@@ -1,0 +1,15 @@
+"""A1 — the §5.1 DSL-size limit, with/without the optimizations."""
+
+from repro.experiments import dslsize
+
+
+def test_a1_dsl_size_limit(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: dslsize.run(config), rounds=1, iterations=1
+    )
+    print()
+    print(dslsize.report(result))
+    # Paper shape: optimizations raise the usable DSL size (40-50 vs
+    # 20-30 rules there; the crossover, not the absolute, is the claim).
+    assert result.limit(True) >= result.limit(False)
+    assert result.limit(True) >= 20

@@ -1,0 +1,24 @@
+"""E1 — §6.1.1 string transformations (TDS vs FlashFill vs Sketch-like)."""
+
+from repro.experiments import strings_exp
+
+
+def test_e1_string_transformations(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: strings_exp.run(config, include_sketch=True, sketch_seconds=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(strings_exp.report(rows))
+    solved = sum(r.tds_solved for r in rows)
+    flashfill = sum(r.flashfill_solved for r in rows)
+    sketch = sum(r.sketch_solved for r in rows)
+    # Paper shape: TDS solves (nearly) everything, strictly more than
+    # FlashFill (which is sub-second where it applies); Sketch none.
+    assert solved >= 12
+    assert flashfill < solved
+    assert all(
+        r.flashfill_seconds < 2.0 for r in rows if r.flashfill_solved
+    )
+    assert sketch <= 2

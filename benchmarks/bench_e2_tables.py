@@ -1,0 +1,17 @@
+"""E2 — §6.1.2 table transformations (TDS vs specialized baseline)."""
+
+from repro.experiments import tables_exp
+
+
+def test_e2_table_transformations(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: tables_exp.run(config), rounds=1, iterations=1
+    )
+    print()
+    print(tables_exp.report(rows))
+    solved = sum(r.tds_solved for r in rows)
+    specialized = sum(r.specialized_solved for r in rows)
+    # Paper shape: TDS handles the full set including the normalization
+    # scenarios beyond the specialized system's language.
+    assert solved >= 7
+    assert specialized < solved

@@ -1,0 +1,17 @@
+"""E3 — §6.1.3 XML transformations (TDS vs Sketch-like)."""
+
+from repro.experiments import xml_exp
+
+
+def test_e3_xml_transformations(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: xml_exp.run(config, include_sketch=True, sketch_seconds=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(xml_exp.report(rows))
+    solved = sum(r.tds_solved for r in rows)
+    sketch = sum(r.sketch_solved for r in rows)
+    assert solved >= 8  # paper: all 10, most under 10s
+    assert sketch <= 1  # paper: none within 10 minutes

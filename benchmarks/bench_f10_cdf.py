@@ -1,0 +1,16 @@
+"""F10 — §6.4 CDF of all DBS execution times."""
+
+from repro.experiments import cdf
+
+
+def test_f10_dbs_time_cdf(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: cdf.run(config), rounds=1, iterations=1
+    )
+    print()
+    print(cdf.report(result))
+    assert len(result.times) >= 20
+    # Paper shape: the distribution is head-heavy — the median is far
+    # below the timeout and most runs finish quickly.
+    assert result.percentile(0.5) < config.budget_seconds / 2
+    assert result.fraction_under(10.0) >= 0.6

@@ -1,0 +1,24 @@
+"""F7/F8 — §6.2 example-ordering sensitivity."""
+
+from repro.experiments import ordering
+
+
+def test_f7_f8_example_ordering(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: ordering.run(config, reorderings_per_sequence=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ordering.report(result))
+    assert result.samples
+    buckets = result.failure_buckets()
+    # Paper shape: small perturbations mostly survive; distant
+    # reorderings fail at a higher rate.
+    low = [b for b in buckets if b[0] == "0.0-0.2"][0]
+    high_failures = sum(f for name, f, t in buckets[2:])
+    high_total = sum(t for name, f, t in buckets[2:])
+    if low[2] and high_total:
+        assert (low[1] / low[2]) <= max(
+            high_failures / high_total, 0.5
+        )

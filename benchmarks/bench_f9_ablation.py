@@ -1,0 +1,25 @@
+"""F9 — §6.3 significance of the algorithm's parts."""
+
+import os
+
+from repro.experiments import ablation
+
+
+def test_f9_ablation(benchmark, config):
+    suites = (
+        None  # all four sets
+        if os.environ.get("REPRO_BENCH_FULL")
+        else ["tables", "xml"]
+    )
+    result = benchmark.pedantic(
+        lambda: ablation.run(config, suites=suites, pexfun_sample=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablation.report(result))
+    for suite, counts in result.counts.items():
+        # Paper shape: the full algorithm dominates each ablation.
+        assert counts["full"] >= counts["neither"], suite
+        if "no DSL" in counts:
+            assert counts["full"] >= counts["no DSL"], suite

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series; EXPERIMENTS.md records the shape
+comparison against the paper. Budgets default to the FAST configuration
+so the whole harness completes on a laptop; set REPRO_BENCH_FULL=1 for
+paper-scale budgets.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import FAST, FULL
+
+
+@pytest.fixture(scope="session")
+def config():
+    return FULL if os.environ.get("REPRO_BENCH_FULL") else FAST

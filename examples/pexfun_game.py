@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Playing the Pex4Fun game (§6.1.4).
+
+TDS plays against the simulated Pex oracle: it proposes a program, the
+oracle answers with a distinguishing input if the program differs from
+the secret reference solution, and the counterexample becomes the next
+example of the sequence — up to the paper's cap of seven rounds."""
+
+from repro.core import Budget
+from repro.pex import PUZZLES, play
+
+SHOWCASE = ["square", "factorial", "concat-first-last", "swap-ends", "sign"]
+
+
+def main() -> None:
+    by_name = {p.name: p for p in PUZZLES}
+    for name in SHOWCASE:
+        puzzle = by_name[name]
+        result = play(
+            puzzle,
+            budget_factory=lambda: Budget(
+                max_seconds=15, max_expressions=200_000
+            ),
+        )
+        print(f"== {puzzle.name} ({puzzle.category}) ==")
+        for i, example in enumerate(result.examples):
+            print(f"  round {i + 1}: Pex says {example}")
+        status = "solved" if result.solved else "NOT solved"
+        print(f"  {status} after {result.iterations} rounds "
+              f"({result.elapsed:.1f}s)")
+        if result.program is not None:
+            print(f"  program: {result.program}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Greedy word wrap — the paper's flagship TDD sequence (§2.1, Fig. 1).
+
+This is the hardest benchmark in the repository: the sequence teaches
+line breaking in stages (no wrap → wrap at the space → wrap as late as
+possible → wrap mid-word → wrap repeatedly via recursion), and the
+synthesizer builds the program up step by step, growing a conditional
+and finally a recursive call.
+
+Expect a long run: the paper used a 3-minute DBS timeout on native code;
+this script uses a comparable budget on the Python evaluator and prints
+each TDS step as it lands.
+"""
+
+import time
+
+from repro.core import Budget, Example, INT, STRING, Signature
+from repro.core.tds import TdsSession
+from repro.domains.registry import get_domain
+from repro.lasy.codegen import to_python
+
+EXAMPLES = [
+    # Single word doesn't wrap.
+    Example(("Word", 4), "Word"),
+    # Two words wrap when longer than line.
+    Example(("Extremely longWords", 14), "Extremely\nlongWords"),
+    # Wrap as late as possible...
+    Example(("How are", 76), "How are"),
+    # ... but no later.
+    Example(("How are you?", 9), "How are\nyou?"),
+    Example(("Hello, how are you today?", 14), "Hello, how are\nyou today?"),
+    # Wrap in middle of word.
+    Example(("Abcdef", 5), "Abcde\nf"),
+    Example(("ThisIsAVeryLongWord a", 15), "ThisIsAVeryLong\nWord a"),
+    # Wrap multiple times (using recursion).
+    Example(("How are you?", 4), "How\nare\nyou?"),
+    # Complicated test to ensure program is correct.
+    Example(
+        ("This is a longer test sentence. a bc", 7),
+        "This is\na\nlonger\ntest\nsentenc\ne. a bc",
+    ),
+]
+
+
+def main() -> None:
+    dsl = get_domain("strings").dsl()
+    signature = Signature(
+        "WordWrap", (("text", STRING), ("length", INT)), STRING
+    )
+    session = TdsSession(
+        signature,
+        dsl,
+        budget_factory=lambda: Budget(
+            max_seconds=75, max_expressions=800_000
+        ),
+    )
+    for i, example in enumerate(EXAMPLES):
+        started = time.monotonic()
+        step = session.add_example(example)
+        print(
+            f"step {i}: {step.action:11s} ({time.monotonic() - started:5.1f}s)"
+            f"  P = {str(session.program)[:110]}",
+            flush=True,
+        )
+    result = session.finalize()
+    print("\nsuccess:", result.success)
+    if result.program is not None:
+        print(to_python(signature, result.program))
+        fn = result.function()
+        print("\nWordWrap('one two three', 7) =",
+              repr(fn("one two three", 7)))
+
+
+if __name__ == "__main__":
+    main()

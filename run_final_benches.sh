@@ -1,0 +1,5 @@
+#!/bin/sh
+# Final benchmark sweep: regenerates every table/figure and records the
+# output EXPERIMENTS.md references.
+cd /root/repo
+python -m pytest benchmarks/ --benchmark-only -s -q 2>&1 | tee /root/repo/bench_output.txt

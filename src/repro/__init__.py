@@ -1,0 +1,24 @@
+"""repro — a reproduction of "Test-Driven Synthesis" (PLDI 2014).
+
+The package implements LaSy: the TDS iterative synthesis methodology
+(Algorithm 1), the DSL-based one-shot synthesizer DBS (Algorithm 2), the
+LaSy front-end language, the paper's four evaluation domains (strings,
+tables, XML, Pex4Fun), the comparison baselines, and the experiment
+harness regenerating every table and figure of the evaluation section.
+"""
+
+__version__ = "0.1.0"
+
+from .core import (  # noqa: F401
+    Budget,
+    DbsOptions,
+    Dsl,
+    DslBuilder,
+    Example,
+    Signature,
+    SynthesizedFunction,
+    TdsOptions,
+    TdsResult,
+    dbs,
+    tds,
+)

@@ -1,0 +1,16 @@
+"""Comparison baselines: FlashFill (VSA), Sketch-like, specialized tables."""
+
+from .flashfill import FlashFillError, FlashFillProgram, learn, try_learn
+from .sketch import SketchResult, sketch_synthesize
+from .tablesynth import TableSynthResult, synthesize_table_transform
+
+__all__ = [
+    "FlashFillError",
+    "FlashFillProgram",
+    "SketchResult",
+    "TableSynthResult",
+    "learn",
+    "sketch_synthesize",
+    "synthesize_table_transform",
+    "try_learn",
+]

@@ -1,0 +1,293 @@
+"""A FlashFill baseline: version-space-algebra string synthesis.
+
+The §6.1.1 comparison point. This is a real (simplified) implementation
+of the core of Gulwani's POPL'11 algorithm — the technology behind Excel
+2013's FlashFill:
+
+* per example, build a DAG over output positions whose edge ``(i, j)``
+  carries every *atomic* program generating ``output[i:j]``: constant
+  strings and ``SubStr(v, p1, p2)`` over learned position-expression
+  sets (constant positions from either end, and token-boundary ``Pos``
+  expressions shared with the strings domain);
+* intersect the DAGs across examples (version-space intersection);
+* extract the highest-ranked program (fewest pieces; substring pieces
+  preferred over constants; robust positions preferred over offsets).
+
+Deliberately *not* implemented — the boundary the paper probes: loops
+over a loop variable, nested substrings, conditional partitioning,
+user-defined lookups, and recursion. Benchmarks needing the Fig. 6
+extensions therefore fail here, while the core tasks solve in
+milliseconds ("FlashFill synthesizes all of the examples it can handle
+in well under a second").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.dsl import Example
+from ..domains.strings import (
+    EPSILON,
+    TOKEN_PATTERNS,
+    _boundary_positions,
+    resolve_position,
+)
+
+PosExpr = Tuple[Any, ...]  # same encoding as the strings domain
+Atomic = Tuple[Any, ...]   # ('const', s) | ('substr', k, lefts, rights)
+
+_MAX_OUTPUT = 48
+_TOKENS: List[Tuple[str, ...]] = [EPSILON] + [
+    (name,)
+    for name in (
+        "Alpha",
+        "Num",
+        "Alnum",
+        "Upper",
+        "Lower",
+        "Space",
+        "Comma",
+        "Dot",
+        "Hyphen",
+        "Slash",
+        "At",
+        "LParen",
+        "RParen",
+        "Newline",
+    )
+    if name in TOKEN_PATTERNS
+]
+
+
+class FlashFillError(ValueError):
+    """The version space is empty or inputs are out of scope."""
+
+
+def _position_exprs(value: str, index: int) -> FrozenSet[PosExpr]:
+    """Every position expression resolving to ``index`` in ``value``."""
+    out: List[PosExpr] = [("cpos", index), ("cpos", index - len(value) - 1)]
+    for left in _TOKENS:
+        for right in _TOKENS:
+            if left is EPSILON and right is EPSILON:
+                continue
+            matches = _boundary_positions(value, left, right)
+            if index in matches:
+                rank = matches.index(index)
+                out.append(("pos", left, right, rank + 1))
+                out.append(("pos", left, right, rank - len(matches)))
+    return frozenset(out)
+
+
+def _occurrences(haystack: str, needle: str) -> List[int]:
+    out: List[int] = []
+    start = 0
+    while True:
+        found = haystack.find(needle, start)
+        if found < 0:
+            return out
+        out.append(found)
+        start = found + 1
+
+
+Dag = Dict[Tuple[int, int], List[Atomic]]
+
+
+def _single_dag(inputs: Sequence[str], output: str) -> Dag:
+    """The POPL'11 Generate step for one example."""
+    dag: Dag = {}
+    for i in range(len(output)):
+        for j in range(i + 1, len(output) + 1):
+            piece = output[i:j]
+            atoms: List[Atomic] = [("const", piece)]
+            for idx, value in enumerate(inputs):
+                for start in _occurrences(value, piece):
+                    atoms.append(
+                        (
+                            "substr",
+                            idx,
+                            _position_exprs(value, start),
+                            _position_exprs(value, start + len(piece)),
+                        )
+                    )
+            dag[(i, j)] = atoms
+    return dag
+
+
+def _intersect_atomics(a: List[Atomic], b: List[Atomic]) -> List[Atomic]:
+    out: List[Atomic] = []
+    for atom_a in a:
+        for atom_b in b:
+            if atom_a[0] != atom_b[0]:
+                continue
+            if atom_a[0] == "const":
+                if atom_a[1] == atom_b[1]:
+                    out.append(atom_a)
+            else:
+                _, idx_a, lefts_a, rights_a = atom_a
+                _, idx_b, lefts_b, rights_b = atom_b
+                if idx_a != idx_b:
+                    continue
+                lefts = lefts_a & lefts_b
+                rights = rights_a & rights_b
+                if lefts and rights:
+                    out.append(("substr", idx_a, lefts, rights))
+    return out
+
+
+def _intersect_dags(
+    d1: Dag, goal1: int, d2: Dag, goal2: int
+) -> Tuple[Dag, int]:
+    """Product construction; nodes are renumbered pairs."""
+    node_ids: Dict[Tuple[int, int], int] = {}
+
+    def node_id(pair: Tuple[int, int]) -> int:
+        if pair not in node_ids:
+            node_ids[pair] = len(node_ids)
+        return node_ids[pair]
+
+    start = node_id((0, 0))
+    assert start == 0
+    out: Dag = {}
+    frontier = [(0, 0)]
+    seen = {(0, 0)}
+    while frontier:
+        i1, i2 = frontier.pop()
+        for (a1, b1), atoms1 in d1.items():
+            if a1 != i1:
+                continue
+            for (a2, b2), atoms2 in d2.items():
+                if a2 != i2:
+                    continue
+                merged = _intersect_atomics(atoms1, atoms2)
+                if not merged:
+                    continue
+                source = node_id((i1, i2))
+                target = node_id((b1, b2))
+                out[(source, target)] = merged
+                if (b1, b2) not in seen:
+                    seen.add((b1, b2))
+                    frontier.append((b1, b2))
+    goal = node_ids.get((goal1, goal2))
+    if goal is None:
+        raise FlashFillError("empty version space")
+    # Renumber edges onto the id space (already done via node_id).
+    return out, goal
+
+
+def _atomic_cost(atom: Atomic) -> float:
+    if atom[0] == "const":
+        # Longer constants are less likely to generalize: a tie between
+        # SubStr("Doe")+Const(", ") and SubStr("Do")+Const("e, ") must
+        # break toward the shorter constant.
+        return 1.4 + 0.05 * len(atom[1])
+    lefts = atom[2]
+    # Prefer token positions over raw offsets.
+    robust = any(p[0] == "pos" for p in lefts)
+    return 1.0 if robust else 1.2
+
+
+def _best_path(dag: Dag, goal: int) -> List[Atomic]:
+    """Cheapest start→goal chain of atomics (Dijkstra)."""
+    adjacency: Dict[int, List[Tuple[int, Atomic, float]]] = {}
+    for (source, target), atoms in dag.items():
+        best = min(atoms, key=_atomic_cost)
+        adjacency.setdefault(source, []).append(
+            (target, best, _atomic_cost(best))
+        )
+    heap: List[Tuple[float, int, List[Atomic]]] = [(0.0, 0, [])]
+    done: set = set()
+    while heap:
+        cost, node, chain = heapq.heappop(heap)
+        if node == goal:
+            return chain
+        if node in done:
+            continue
+        done.add(node)
+        for target, atom, weight in adjacency.get(node, []):
+            if target not in done:
+                heapq.heappush(
+                    heap, (cost + weight, target, chain + [atom])
+                )
+    raise FlashFillError("no covering program in the version space")
+
+
+def _rank_pos(pos_exprs: FrozenSet[PosExpr]) -> PosExpr:
+    """Pick the most robust representative of a position set."""
+
+    def key(p: PosExpr) -> Tuple[int, int]:
+        if p[0] == "pos":
+            return (0, abs(p[3]))
+        return (1, abs(p[1]))
+
+    return min(pos_exprs, key=key)
+
+
+@dataclass
+class FlashFillProgram:
+    """An executable concat-of-pieces program."""
+
+    pieces: List[Atomic]
+
+    def __call__(self, *inputs: str) -> str:
+        out: List[str] = []
+        for atom in self.pieces:
+            if atom[0] == "const":
+                out.append(atom[1])
+            else:
+                _, idx, lefts, rights = atom
+                if idx >= len(inputs):
+                    raise FlashFillError("missing input column")
+                value = inputs[idx]
+                left = resolve_position(_rank_pos(lefts), value)
+                right = resolve_position(_rank_pos(rights), value)
+                if left > right:
+                    raise FlashFillError("inverted substring")
+                out.append(value[left:right])
+        return "".join(out)
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        for atom in self.pieces:
+            if atom[0] == "const":
+                parts.append(f"ConstStr({atom[1]!r})")
+            else:
+                _, idx, lefts, rights = atom
+                parts.append(
+                    f"SubStr(v{idx}, {_rank_pos(lefts)}, {_rank_pos(rights)})"
+                )
+        return "Concatenate(" + ", ".join(parts) + ")"
+
+
+def learn(examples: Sequence[Example]) -> FlashFillProgram:
+    """Learn a FlashFill program from input/output string examples.
+
+    Raises :class:`FlashFillError` when no loop-free concat-of-substrings
+    program is consistent with all examples (the paper's boundary).
+    """
+    if not examples:
+        raise FlashFillError("no examples")
+    dags: List[Tuple[Dag, int]] = []
+    for example in examples:
+        inputs = [a for a in example.args if isinstance(a, str)]
+        output = example.output
+        if not isinstance(output, str) or not inputs:
+            raise FlashFillError("FlashFill handles string rows only")
+        if len(output) > _MAX_OUTPUT:
+            raise FlashFillError("output too long for the baseline")
+        if not output:
+            raise FlashFillError("empty outputs are out of scope")
+        dags.append((_single_dag(inputs, output), len(output)))
+    dag, goal = dags[0]
+    for other, other_goal in dags[1:]:
+        dag, goal = _intersect_dags(dag, goal, other, other_goal)
+    return FlashFillProgram(_best_path(dag, goal))
+
+
+def try_learn(examples: Sequence[Example]) -> Optional[FlashFillProgram]:
+    """Like :func:`learn` but returns None on failure."""
+    try:
+        return learn(examples)
+    except FlashFillError:
+        return None

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``synthesize FILE.lasy`` — parse and synthesize a LaSy program, print
+  the synthesized functions (and optionally generated source);
+* ``experiment NAME`` — run one of the paper's experiment drivers
+  (e1 strings, e2 tables, e3 xml, e4 pexfun, f7f8 ordering, f9 ablation,
+  f10 cdf, a1 dslsize) and print its table/series;
+* ``domains`` — list the registered LaSy domains;
+* ``puzzles`` — list the Pex4Fun puzzle suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.budget import Budget
+
+
+def _budget_factory(args):
+    return lambda: Budget(
+        max_seconds=args.timeout, max_expressions=args.max_expressions
+    )
+
+
+def cmd_synthesize(args) -> int:
+    from .lasy import parse_lasy, run_lasy, to_csharp, to_python
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    program = parse_lasy(source)
+    result = run_lasy(program, budget_factory=_budget_factory(args))
+    status = "ok" if result.success else "FAILED"
+    print(f"{status}  ({result.elapsed:.1f}s, language={program.language})")
+    for name, fn in result.functions.items():
+        print(f"\n== {name} ==")
+        print(f"  {fn}")
+        body = getattr(fn, "body", None)
+        if body is not None and args.emit in ("python", "both"):
+            print(to_python(fn.signature, body))
+        if body is not None and args.emit in ("csharp", "both"):
+            print(to_csharp(fn.signature, body))
+    return 0 if result.success else 1
+
+
+_EXPERIMENTS = {
+    "e1": ("strings_exp", "E1 §6.1.1 string transformations"),
+    "e2": ("tables_exp", "E2 §6.1.2 table transformations"),
+    "e3": ("xml_exp", "E3 §6.1.3 XML transformations"),
+    "e4": ("pexfun_exp", "E4 §6.1.4 Pex4Fun"),
+    "f7f8": ("ordering", "F7/F8 §6.2 example ordering"),
+    "f9": ("ablation", "F9 §6.3 ablation"),
+    "f10": ("cdf", "F10 §6.4 DBS time CDF"),
+    "a1": ("dslsize", "A1 §5.1 DSL size limit"),
+}
+
+
+def cmd_experiment(args) -> int:
+    import importlib
+
+    from .experiments.common import ExperimentConfig
+
+    if args.name not in _EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    module_name, _ = _EXPERIMENTS[args.name]
+    module = importlib.import_module(f".experiments.{module_name}", "repro")
+    config = ExperimentConfig(
+        budget_seconds=args.timeout,
+        budget_expressions=args.max_expressions,
+    )
+    result = module.run(config)
+    print(module.report(result))
+    return 0
+
+
+def cmd_domains(args) -> int:
+    from .domains import known_domains
+
+    for name, domain in sorted(known_domains().items()):
+        dsl = domain.dsl()
+        print(f"{name:10s} {dsl.num_rules:3d} rules  {domain.description}")
+    return 0
+
+
+def cmd_puzzles(args) -> int:
+    from .pex import PUZZLES
+
+    for puzzle in PUZZLES:
+        flag = "" if puzzle.expressible else "  (out of DSL scope)"
+        print(f"{puzzle.name:22s} [{puzzle.category}] "
+              f"{puzzle.signature}{flag}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Test-Driven Synthesis (PLDI 2014) reproduction",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-DBS wall-clock budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--max-expressions",
+        type=int,
+        default=300_000,
+        help="per-DBS expression budget (default 300000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="synthesize a .lasy file")
+    p.add_argument("file")
+    p.add_argument(
+        "--emit",
+        choices=("none", "python", "csharp", "both"),
+        default="python",
+        help="emit generated source for synthesized functions",
+    )
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("domains", help="list registered domains")
+    p.set_defaults(fn=cmd_domains)
+
+    p = sub.add_parser("puzzles", help="list the Pex4Fun puzzles")
+    p.set_defaults(fn=cmd_puzzles)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

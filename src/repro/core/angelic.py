@@ -1,0 +1,162 @@
+"""Angelic context pruning (§7, "Automated program repair").
+
+The paper observes that angelic debugging (Chandra et al., ICSE'11)
+"could be used as a preprocessing step in our algorithm to prune the
+choices for modification points": a context is a plausible repair point
+for a failing example only if *some* value at its hole makes the example
+pass. We implement the executable approximation: probe each context's
+hole with a set of diverse values (harvested from the examples plus
+canned primitives) on every failing example. A context is pruned when,
+for some failing example, every probe yields the *same wrong* result —
+the output provably ignores the hole on that example, so no replacement
+there can fix it. The more aggressive "no probe fixed it" test is
+available behind ``aggressive=True`` (it can prune the one true repair
+point when the magic value is outside the probe set, so it is off by
+default).
+
+This is an optional TDS feature (``TdsOptions.angelic_pruning``); the
+A2 benchmark measures its effect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence
+
+from .contexts import Context
+from .dsl import Dsl, Example, Signature
+from .evaluator import EvaluationError, run_program
+from .expr import Const, Expr, free_vars
+from .types import Type
+from .values import ERROR, freeze, structurally_equal
+
+# Canned probe values per type name; example-derived values are added.
+_CANNED_PROBES = {
+    "int": (0, 1, -1, 7),
+    "str": ("", "a", "zq", " "),
+    "bool": (False, True),
+    "char": ("a", "z"),
+}
+
+
+def _harvest(examples: Sequence[Example], ty: Type, limit: int = 4) -> List[Any]:
+    found: List[Any] = []
+
+    def matches(value: Any) -> bool:
+        if ty.name == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if ty.name in ("str", "char"):
+            return isinstance(value, str)
+        if ty.name == "bool":
+            return isinstance(value, bool)
+        if ty.is_list or ty.name in ("xml", "table"):
+            return isinstance(value, tuple) or hasattr(value, "elements")
+        return False
+
+    def consider(value: Any, depth: int) -> None:
+        if len(found) >= limit:
+            return
+        if matches(value) and value not in found:
+            found.append(value)
+        if depth > 0:
+            if isinstance(value, tuple):
+                for item in value[:3]:
+                    consider(item, depth - 1)
+            elif hasattr(value, "elements"):
+                for item in value.elements()[:3]:
+                    consider(item, depth - 1)
+
+    for example in examples:
+        for value in list(example.args) + [example.output]:
+            consider(value, 2)
+    return found
+
+
+def probe_values(
+    examples: Sequence[Example], hole_type: Type, limit: int = 6
+) -> List[Any]:
+    """Diverse values to try at a context hole."""
+    values = _harvest(examples, hole_type)
+    for canned in _CANNED_PROBES.get(hole_type.name, ()):
+        if canned not in values:
+            values.append(canned)
+    if hole_type.is_list and () not in values:
+        values.append(())
+    return values[:limit]
+
+
+def _outcome(
+    context: Context,
+    value: Any,
+    signature: Signature,
+    example: Example,
+    lasy_fns: Mapping,
+    fuel: int,
+) -> Any:
+    hole_filler: Expr = Const(freeze(value), context.hole_type, context.hole_nt)
+    program = context.plug(hole_filler)
+    try:
+        return run_program(
+            program,
+            signature.param_names,
+            example.args,
+            lasy_fns=lasy_fns,
+            fuel=fuel,
+        )
+    except EvaluationError:
+        return ERROR
+
+
+def angelic_prune(
+    contexts: Sequence[Context],
+    signature: Signature,
+    failing_examples: Sequence[Example],
+    examples: Sequence[Example],
+    lasy_fns: Optional[Mapping] = None,
+    fuel: int = 20_000,
+    aggressive: bool = False,
+) -> List[Context]:
+    """Drop contexts that provably (or, with ``aggressive``, plausibly)
+    cannot repair the failing examples. The trivial context and contexts
+    whose root contains free variables or recursion interplay are always
+    kept."""
+    if not failing_examples:
+        return list(contexts)
+    lasy_fns = lasy_fns or {}
+    kept: List[Context] = []
+    for context in contexts:
+        if context.is_trivial or free_vars(context.root):
+            kept.append(context)
+            continue
+        values = probe_values(examples, context.hole_type)
+        if len(values) < 2:
+            kept.append(context)
+            continue
+        prunable = False
+        for example in failing_examples:
+            outcomes = [
+                _outcome(context, v, signature, example, lasy_fns, fuel)
+                for v in values
+            ]
+            fixed = any(
+                o is not ERROR and structurally_equal(o, example.output)
+                for o in outcomes
+            )
+            if fixed:
+                continue
+            constant = all(
+                _same(o, outcomes[0]) for o in outcomes[1:]
+            )
+            if constant or aggressive:
+                # The hole value does not influence this failing example
+                # (or, aggressively, nothing we tried fixed it).
+                prunable = True
+                break
+        if not prunable:
+            kept.append(context)
+    return kept
+
+
+def _same(a: Any, b: Any) -> bool:
+    if a is ERROR or b is ERROR:
+        return a is b
+    return structurally_equal(a, b)

@@ -1,0 +1,87 @@
+"""Search budgets.
+
+The paper bounds each DBS invocation with a wall-clock timeout (3 minutes
+on their 2009-era Xeon, §6.4). For determinism in tests we additionally
+bound the number of generated expressions and tested programs; whichever
+limit trips first ends the search with TIMEOUT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BudgetExhausted(Exception):
+    """Raised internally when a search budget runs out."""
+
+
+@dataclass
+class Budget:
+    """A mutable budget shared by one DBS invocation."""
+
+    max_seconds: Optional[float] = None
+    max_expressions: Optional[int] = None
+    max_programs: Optional[int] = None
+    expressions: int = 0
+    programs: int = 0
+    _start: float = field(default_factory=time.monotonic)
+
+    def restart_clock(self) -> None:
+        self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def charge_expression(self, count: int = 1) -> None:
+        self.expressions += count
+        self.check()
+
+    def charge_program(self, count: int = 1) -> None:
+        self.programs += count
+        self.check()
+
+    def check(self) -> None:
+        if (
+            self.max_expressions is not None
+            and self.expressions > self.max_expressions
+        ):
+            raise BudgetExhausted("expression budget exhausted")
+        if self.max_programs is not None and self.programs > self.max_programs:
+            raise BudgetExhausted("program budget exhausted")
+        if self.max_seconds is not None and self.elapsed > self.max_seconds:
+            raise BudgetExhausted("time budget exhausted")
+
+    def exhausted(self) -> bool:
+        try:
+            self.check()
+        except BudgetExhausted:
+            return True
+        return False
+
+    def spawn(self, fraction: float = 0.25) -> "Budget":
+        """A smaller budget for a sub-synthesis (loop bodies, §5.3)."""
+        return Budget(
+            max_seconds=(
+                None
+                if self.max_seconds is None
+                else max(0.05, (self.max_seconds - self.elapsed) * fraction)
+            ),
+            max_expressions=(
+                None
+                if self.max_expressions is None
+                else max(50, int(self.max_expressions * fraction))
+            ),
+            max_programs=(
+                None
+                if self.max_programs is None
+                else max(50, int(self.max_programs * fraction))
+            ),
+        )
+
+
+def default_budget() -> Budget:
+    """The default per-DBS budget used by the test suites."""
+    return Budget(max_seconds=20.0, max_expressions=60_000, max_programs=400_000)

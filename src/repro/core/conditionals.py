@@ -1,0 +1,299 @@
+"""The conditional synthesis strategy (§5.2).
+
+For every program ``p`` DBS tries, the set of examples it handles,
+``T(p)``, is recorded; for every generated boolean guard ``g``, the set
+``B(g)`` of examples on which it is true. A cascading conditional
+``if g1: p1 elif g2: p2 ... else pq`` solves the task when every example
+is routed (by the first true guard) to a branch that handles it. Branch
+sets are explored in order of increasing size, so the fewest-branch
+solution is found first.
+
+Conditionals below the top level: a program is placed in a bucket for
+every context ``f(•)`` obtained by removing a subexpression whose
+position admits a conditional in the grammar; the same cascade search
+runs per bucket over the removed subtrees, and the resulting ``If`` is
+plugged back into the bucket's context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .dsl import ConditionalRule, Dsl
+from .expr import Expr, Hole, If, Path, replace_at
+
+ExampleSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class ProgramRecord:
+    """A tried program together with T(p)."""
+
+    program: Expr
+    passed: ExampleSet
+
+
+@dataclass(frozen=True)
+class GuardRecord:
+    """A boolean guard together with B(g). ``errors`` holds examples on
+    which the guard crashed; those examples may never be routed through
+    this guard (a crashing guard crashes the whole conditional)."""
+
+    guard: Expr
+    true_set: ExampleSet
+    errors: ExampleSet = frozenset()
+
+
+# Caps keeping the cover search tractable; the paper relies on the same
+# effect implicitly via its timeout.
+_MAX_DISTINCT_PROGRAMS = 600
+_MAX_DISTINCT_GUARDS = 400
+_MAX_SEARCH_NODES = 4_000
+
+
+@dataclass
+class ConditionalStore:
+    """Accumulates program and guard records during one DBS run."""
+
+    n_examples: int
+    programs: List[ProgramRecord] = field(default_factory=list)
+    guards: List[GuardRecord] = field(default_factory=list)
+    _program_sets: Dict[ExampleSet, Expr] = field(default_factory=dict)
+    _guard_sets: Dict[Tuple[ExampleSet, ExampleSet], Expr] = field(
+        default_factory=dict
+    )
+
+    def record_program(self, program: Expr, passed: ExampleSet) -> None:
+        """Keep the smallest program per distinct T(p); empty T(p) is
+        useless for covers and dropped."""
+        if not passed:
+            return
+        existing = self._program_sets.get(passed)
+        if existing is not None and existing.size <= program.size:
+            return
+        if existing is None and len(self._program_sets) >= _MAX_DISTINCT_PROGRAMS:
+            return
+        self._program_sets[passed] = program
+        self.programs = [
+            ProgramRecord(expr, s) for s, expr in self._program_sets.items()
+        ]
+
+    def record_guard(
+        self, guard: Expr, true_set: ExampleSet, errors: ExampleSet = frozenset()
+    ) -> None:
+        """Keep the smallest guard per distinct (B(g), error-set).
+
+        Degenerate guards (true everywhere or nowhere among non-erroring
+        examples) cannot split anything and are dropped."""
+        if errors == frozenset(range(self.n_examples)):
+            return
+        usable = frozenset(range(self.n_examples)) - errors
+        if not true_set or true_set == usable:
+            return
+        key = (true_set, errors)
+        existing = self._guard_sets.get(key)
+        if existing is not None and existing.size <= guard.size:
+            return
+        if existing is None and len(self._guard_sets) >= _MAX_DISTINCT_GUARDS:
+            return
+        self._guard_sets[key] = guard
+        self.guards = [
+            GuardRecord(expr, s, errs)
+            for (s, errs), expr in self._guard_sets.items()
+        ]
+
+
+class _SearchBudget:
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        self.remaining -= 1
+        return self.remaining >= 0
+
+
+def solve_cascade(
+    store: ConditionalStore,
+    all_examples: ExampleSet,
+    max_branches: int,
+    nt: str,
+    budget=None,
+) -> Optional[If]:
+    """Find a cascading conditional with the fewest branches (≤
+    ``max_branches``) routing every example to a handling branch."""
+    if max_branches < 2:
+        return None
+    # Pre-sort programs by coverage (desc) then size (asc) so greedy-ish
+    # exploration finds covers quickly.
+    programs = sorted(
+        store.programs, key=lambda r: (-len(r.passed), r.program.size)
+    )
+    union: set = set()
+    for record in programs:
+        union |= record.passed
+    if not all_examples <= union:
+        return None  # no Q can cover S
+    for depth in range(2, max_branches + 1):
+        nodes = _SearchBudget(_MAX_SEARCH_NODES)
+        memo: Dict[Tuple[ExampleSet, int], bool] = {}
+        result = _solve(
+            all_examples, depth, programs, store.guards, memo, nodes, budget
+        )
+        if result is not None:
+            guarded, orelse = result
+            if not guarded:
+                return None  # a single program covers S; DBS returns it directly
+            return If(tuple(guarded), orelse, nt)
+    return None
+
+
+def _solve(
+    remaining: ExampleSet,
+    branches_left: int,
+    programs: Sequence[ProgramRecord],
+    guards: Sequence[GuardRecord],
+    memo: Dict[Tuple[ExampleSet, int], bool],
+    nodes: _SearchBudget,
+    budget=None,
+) -> Optional[Tuple[List[Tuple[Expr, Expr]], Expr]]:
+    """Build (guarded branches, else body) handling ``remaining``."""
+    if not nodes.spend():
+        return None
+    if budget is not None:
+        budget.check()  # propagate BudgetExhausted to end the DBS run
+    for record in programs:
+        if remaining <= record.passed:
+            return ([], record.program)
+    if branches_left <= 1:
+        return None
+    key = (remaining, branches_left)
+    if memo.get(key) is False:
+        return None
+    # Candidate splits: guard g sends remaining∩B(g) to a branch that
+    # handles all of it; the rest cascades on. Guards that crash on any
+    # remaining example are unusable here.
+    candidates: List[Tuple[int, GuardRecord, ProgramRecord]] = []
+    for guard in guards:
+        if guard.errors & remaining:
+            continue
+        routed = remaining & guard.true_set
+        if not routed or routed == remaining:
+            continue
+        for record in programs:
+            if routed <= record.passed:
+                candidates.append((len(routed), guard, record))
+                break  # programs sorted: first hit is the best branch
+    candidates.sort(key=lambda c: -c[0])
+    for _, guard, record in candidates:
+        routed = remaining & guard.true_set
+        rest = remaining - routed
+        sub = _solve(
+            rest, branches_left - 1, programs, guards, memo, nodes, budget
+        )
+        if sub is not None:
+            guarded, orelse = sub
+            return ([(guard.guard, record.program)] + guarded, orelse)
+    memo[key] = False
+    return None
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A group of programs sharing a context whose hole position admits a
+    conditional; ``None`` context means top level."""
+
+    rule: ConditionalRule
+    context_root: Optional[Expr]  # program with a Hole, or None for top
+    context_path: Path
+
+
+def bucket_programs(
+    store: ConditionalStore,
+    dsl: Dsl,
+    root_nt: Optional[str] = None,
+    max_buckets: int = 200,
+) -> Dict[Bucket, List[ProgramRecord]]:
+    """Group recorded programs by conditional-position context (§5.2).
+
+    ``root_nt`` is the nonterminal of the search's trivial context (the
+    DSL start for a whole-function synthesis, the loop-body nonterminal
+    for a §5.3 sub-synthesis)."""
+    root_nt = root_nt or dsl.start
+    branch_nts = {rule.branch_nt: rule for rule in dsl.conditionals}
+    cond_start = [
+        rule
+        for rule in dsl.conditionals
+        if rule.nt in dsl.expansion(root_nt)
+        or rule.nt == root_nt
+        or root_nt in dsl.expansion(rule.nt)
+    ]
+    buckets: Dict[Bucket, List[ProgramRecord]] = {}
+    if cond_start:
+        top = Bucket(cond_start[0], None, ())
+        buckets[top] = list(store.programs)
+    for record in store.programs:
+        for path, node in record.program.walk_with_paths():
+            if not path:
+                continue  # root handled by the top-level bucket
+            rule = branch_nts.get(node.nt)
+            if rule is None:
+                continue
+            try:
+                holed = replace_at(record.program, path, Hole(node.nt))
+            except ValueError:
+                continue  # position cannot hold a hole (loop lambda slots)
+            bucket = Bucket(rule, holed, path)
+            if bucket not in buckets and len(buckets) >= max_buckets:
+                continue
+            buckets.setdefault(bucket, []).append(record)
+    return buckets
+
+
+def solve_with_buckets(
+    store: ConditionalStore,
+    dsl: Dsl,
+    all_examples: ExampleSet,
+    max_branches: int,
+    root_nt: Optional[str] = None,
+    budget=None,
+) -> Optional[Expr]:
+    """Try the cascade search at the top level and inside every context
+    bucket; returns a complete program or None."""
+    buckets = bucket_programs(store, dsl, root_nt)
+    # Top-level bucket first (path () sorts first), then small contexts.
+    ordered = sorted(
+        buckets.items(),
+        key=lambda kv: (
+            kv[0].context_root is not None,
+            kv[0].context_root.size if kv[0].context_root else 0,
+        ),
+    )
+    for bucket, records in ordered:
+        if len(records) < 2:
+            continue
+        if bucket.context_root is None:
+            sub_store = store
+            target = all_examples
+            result = solve_cascade(
+                sub_store, target, max_branches, bucket.rule.nt, budget
+            )
+            if result is not None:
+                return result
+            continue
+        # Inside a context: the "programs" are the removed subtrees; a
+        # subtree handles the examples its full program handled.
+        sub_store = ConditionalStore(store.n_examples)
+        from .expr import get_at
+
+        for record in records:
+            subtree = get_at(record.program, bucket.context_path)
+            sub_store.record_program(subtree, record.passed)
+        for guard in store.guards:
+            sub_store.record_guard(guard.guard, guard.true_set, guard.errors)
+        result = solve_cascade(
+            sub_store, all_examples, max_branches, bucket.rule.nt, budget
+        )
+        if result is not None:
+            return replace_at(bucket.context_root, bucket.context_path, result)
+    return None

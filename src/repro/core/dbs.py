@@ -1,0 +1,472 @@
+"""DSL-based synthesis — Algorithm 2.
+
+One DBS invocation searches for a program satisfying *all* given examples
+by plugging grammar-generated expressions into the supplied contexts.
+The search interleaves, per Algorithm 2:
+
+1. loop strategies (tried up front; the paper runs them concurrently in
+   a separate thread, we run them first since they are cheap relative to
+   enumeration);
+2. plugging every (context, expression) pair and testing the result;
+3. a conditional-synthesis pass after each expression generation, using
+   the recorded T(p) and B(g) sets (§5.2);
+4. generating the next expression generation (§5.1).
+
+The result is a program or ``TIMEOUT`` (``DbsResult.program is None``)
+when the budget — wall clock, expression count, or program count — is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .budget import Budget, BudgetExhausted, default_budget
+from .components import ComponentPool, PoolOptions
+from .conditionals import ConditionalStore, solve_with_buckets
+from .contexts import Context, trivial_context
+from .dsl import Dsl, Example, Signature
+from .evaluator import EvaluationError, run_program
+from .expr import Expr, free_vars, is_recursive
+from .loops import run_loop_strategies
+from .types import BOOL, types_compatible
+from .values import ERROR, structurally_equal
+
+
+@dataclass
+class DbsOptions:
+    """Feature switches; the §6.3 ablations turn these off selectively."""
+
+    use_dsl: bool = True
+    semantic_dedup: bool = True
+    enable_conditionals: bool = True
+    enable_loops: bool = True
+    max_generations: int = 24
+    evaluation_fuel: int = 60_000
+    max_recursion_depth: int = 40
+
+
+@dataclass
+class DbsStats:
+    elapsed: float = 0.0
+    expressions: int = 0
+    programs_tested: int = 0
+    generations: int = 0
+    loop_candidates: int = 0
+    conditional_attempts: int = 0
+
+
+@dataclass
+class DbsResult:
+    """``program is None`` means TIMEOUT."""
+
+    program: Optional[Expr]
+    stats: DbsStats
+
+    @property
+    def timed_out(self) -> bool:
+        return self.program is None
+
+
+def dbs(
+    contexts: Sequence[Context],
+    examples: Sequence[Example],
+    seeds: Sequence[Expr],
+    dsl: Dsl,
+    signature: Signature,
+    max_branches: int = 1,
+    budget: Optional[Budget] = None,
+    lasy_fns: Optional[Mapping] = None,
+    lasy_signatures: Optional[Mapping[str, Signature]] = None,
+    options: Optional[DbsOptions] = None,
+    previous_program: Optional[Expr] = None,
+) -> DbsResult:
+    """Algorithm 2. Returns a program satisfying all ``examples`` or
+    TIMEOUT.
+
+    ``previous_program`` (P_i from TDS) is additionally used to evaluate
+    *recursive* candidates angelically when recording T(p): a recursive
+    branch body without its base case diverges under true self-recursion,
+    so its recursive calls are bound to the previous program instead; the
+    assembled conditional is always re-verified with true recursion."""
+    options = options or DbsOptions()
+    budget = budget or default_budget()
+    budget.restart_clock()
+    stats = DbsStats()
+    start_time = time.monotonic()
+    lasy_fns = dict(lasy_fns or {})
+    lasy_signatures = dict(lasy_signatures or {})
+    examples = list(examples)
+    if not contexts:
+        contexts = [trivial_context(dsl)]
+
+    tester = _Tester(
+        signature, examples, lasy_fns, options, stats, budget,
+        previous_program=previous_program,
+    )
+
+    try:
+        # 1. Loop strategies (Algorithm 2, line 1).
+        if options.enable_loops and dsl.loops:
+            program = _try_loop_strategies(
+                dsl, signature, examples, tester, budget,
+                lasy_fns, lasy_signatures, options, stats,
+            )
+            if program is not None:
+                stats.elapsed = time.monotonic() - start_time
+                return DbsResult(program, stats)
+
+        pool = ComponentPool(
+            dsl,
+            signature,
+            examples,
+            seeds=seeds,
+            lasy_fns=lasy_fns,
+            lasy_signatures=lasy_signatures,
+            options=PoolOptions(
+                use_dsl=options.use_dsl,
+                semantic_dedup=options.semantic_dedup,
+            ),
+            budget=budget,
+        )
+        # Composition strategies may value recursive pieces angelically
+        # against the previous program (see strategies._string_pieces).
+        pool.previous_program = previous_program
+        store = ConditionalStore(len(examples))
+        guard_nts = _guard_nts(dsl)
+        all_set = frozenset(range(len(examples)))
+        acceptable = _acceptable_nts(contexts, dsl, options)
+        root_nt = next(
+            (ctx.hole_nt for ctx in contexts if ctx.is_trivial), dsl.start
+        )
+
+        # Generation 0: the atoms (params, constants, seeds, ...).
+        last_store_size = (-1, -1)
+        size_before = -1
+        batches = iter([_all_pool_exprs(pool)])
+        while True:
+            program = None
+            for pending in batches:
+                program = _test_batch(
+                    pending, contexts, acceptable, tester, store, guard_nts,
+                    dsl, options,
+                )
+                if program is not None:
+                    break
+            if program is not None:
+                stats.elapsed = time.monotonic() - start_time
+                stats.expressions = budget.expressions
+                return DbsResult(program, stats)
+            # Composition strategies (§5.4): goal-directed candidates
+            # assembled from the pool, tested through the same contexts.
+            # (Skipped once the budget is dead: only the already-built
+            # partial batch gets its grace-window test.)
+            if budget.exhausted():
+                break
+            pool.guard_sets = [g.true_set for g in store.guards]
+            for strategy in dsl.composition_strategies:
+                candidates = strategy(pool, examples, signature, dsl)
+                if candidates:
+                    program = _test_batch(
+                        candidates, contexts, acceptable, tester, store,
+                        guard_nts, dsl, options,
+                    )
+                    if program is not None:
+                        stats.elapsed = time.monotonic() - start_time
+                        stats.expressions = budget.expressions
+                        return DbsResult(program, stats)
+                    for candidate in candidates:
+                        pool.offer_external(candidate)
+            # Conditional pass (Algorithm 2, line 7).
+            store_size = (len(store.programs), len(store.guards))
+            if (
+                options.enable_conditionals
+                and max_branches > 1
+                and dsl.conditionals
+                and store_size != last_store_size
+            ):
+                last_store_size = store_size
+                stats.conditional_attempts += 1
+                candidate = solve_with_buckets(
+                    store, dsl, all_set, max_branches, root_nt, budget
+                )
+                if candidate is not None and tester.passes_all(candidate):
+                    stats.elapsed = time.monotonic() - start_time
+                    stats.expressions = budget.expressions
+                    return DbsResult(candidate, stats)
+            if stats.generations >= options.max_generations:
+                break
+            if pool.exhausted:
+                break  # budget died mid-generation; partial batch tested
+            if stats.generations > 0 and pool.total() == size_before:
+                break  # language exhausted below the size cap
+            # Next generation (Algorithm 2, line 8), tested batch-wise at
+            # the top of the loop (the generator is lazy).
+            stats.generations += 1
+            size_before = pool.total()
+            batches = pool.advance_batches()
+    except BudgetExhausted:
+        pass
+    stats.elapsed = time.monotonic() - start_time
+    stats.expressions = budget.expressions
+    return DbsResult(None, stats)
+
+
+# ---------------------------------------------------------------------
+
+
+class _Tester:
+    """Evaluates candidate programs against the examples."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        examples: Sequence[Example],
+        lasy_fns: Mapping,
+        options: DbsOptions,
+        stats: DbsStats,
+        budget: Budget,
+        previous_program: Optional[Expr] = None,
+    ):
+        self.signature = signature
+        self.examples = list(examples)
+        self.lasy_fns = lasy_fns
+        self.options = options
+        self.stats = stats
+        self.budget = budget
+        self.previous_program = previous_program
+        # Once the generation budget is exhausted we still want to test
+        # whatever the pool already built (the partial last generation);
+        # the grace counter bounds that final sweep.
+        self._grace = 8_000
+
+    def _charge(self) -> None:
+        from .budget import BudgetExhausted
+
+        self.stats.programs_tested += 1
+        try:
+            self.budget.charge_program()
+        except BudgetExhausted:
+            self._grace -= 1
+            if self._grace < 0:
+                raise
+
+    def passed_set(self, program: Expr) -> frozenset:
+        """T(p): indices of examples the program handles."""
+        self._charge()
+        passed = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(program, example)
+            if value is not ERROR and structurally_equal(value, example.output):
+                passed.add(index)
+        return frozenset(passed)
+
+    def angelic_passed_set(self, program: Expr) -> frozenset:
+        """T(p) with recursive calls answered angelically: from the
+        example table first (the examples are ground truth for the
+        function being synthesized), then by running the previous
+        program. A recursive branch body without its base case diverges
+        under true self-recursion; this lets the conditional strategy
+        still observe which examples the branch would handle."""
+        if not is_recursive(program):
+            return frozenset()
+        self._charge()
+        oracle = self._recursion_oracle()
+        passed = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(program, example, recursion_oracle=oracle)
+            if value is not ERROR and structurally_equal(value, example.output):
+                passed.add(index)
+        return frozenset(passed)
+
+    def _recursion_oracle(self):
+        from .evaluator import EvaluationError as _EE
+        from .values import freeze as _freeze
+
+        table = {
+            _freeze(example.args): _freeze(example.output)
+            for example in self.examples
+        }
+        previous = self.previous_program
+
+        def oracle(args):
+            if args in table:
+                return table[args]
+            if previous is not None:
+                return run_program(
+                    previous,
+                    self.signature.param_names,
+                    args,
+                    lasy_fns=self.lasy_fns,
+                    fuel=self.options.evaluation_fuel,
+                    max_depth=self.options.max_recursion_depth,
+                )
+            raise _EE("angelic recursion: input not in example table")
+
+        return oracle
+
+    def passes_all(self, program: Expr) -> bool:
+        self._charge()
+        for example in self.examples:
+            value = self._run(program, example)
+            if value is ERROR or not structurally_equal(value, example.output):
+                return False
+        return True
+
+    def _run(self, program: Expr, example: Example, recursion_oracle=None):
+        try:
+            return run_program(
+                program,
+                self.signature.param_names,
+                example.args,
+                lasy_fns=self.lasy_fns,
+                fuel=self.options.evaluation_fuel,
+                max_depth=self.options.max_recursion_depth,
+                recursion_oracle=recursion_oracle,
+            )
+        except EvaluationError:
+            return ERROR
+
+    def guard_sets(self, guard: Expr) -> Tuple[frozenset, frozenset]:
+        """(B(g), error set) for a boolean expression."""
+        true_set = set()
+        errors = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(guard, example)
+            if value is ERROR:
+                errors.add(index)
+            elif value is True:
+                true_set.add(index)
+        return frozenset(true_set), frozenset(errors)
+
+
+def _guard_nts(dsl: Dsl) -> frozenset:
+    names = set()
+    for rule in dsl.conditionals:
+        names.update(dsl.expansion(rule.guard_nt))
+    return frozenset(names)
+
+
+def _acceptable_nts(
+    contexts: Sequence[Context], dsl: Dsl, options: DbsOptions
+) -> Dict[int, frozenset]:
+    """Per context (by position), the nonterminal tags it accepts."""
+    table: Dict[int, frozenset] = {}
+    for i, ctx in enumerate(contexts):
+        if ctx.hole_nt in dsl.nonterminals:
+            table[i] = frozenset(dsl.expansion(ctx.hole_nt))
+        else:
+            table[i] = frozenset((ctx.hole_nt,))
+    return table
+
+
+def _all_pool_exprs(pool: ComponentPool) -> List[Expr]:
+    return pool.all_expressions()
+
+
+def _test_batch(
+    exprs: Sequence[Expr],
+    contexts: Sequence[Context],
+    acceptable: Dict[int, frozenset],
+    tester: _Tester,
+    store: ConditionalStore,
+    guard_nts: frozenset,
+    dsl: Dsl,
+    options: DbsOptions,
+) -> Optional[Expr]:
+    """Plug each new expression into each compatible context; return a
+    program satisfying every example, else record T(p)/B(g) and None."""
+    for expr in exprs:
+        expr_free = free_vars(expr)
+        is_guard = (
+            expr.nt in guard_nts
+            if options.use_dsl
+            else expr.nt == "τ:bool"
+        )
+        if is_guard and not expr_free:
+            true_set, errors = tester.guard_sets(expr)
+            store.record_guard(expr, true_set, errors)
+        for i, ctx in enumerate(contexts):
+            if options.use_dsl:
+                if expr.nt not in acceptable[i]:
+                    continue
+            else:
+                expr_type = _expr_type_for_hole(expr, dsl)
+                if expr_type is None or not types_compatible(
+                    ctx.hole_type, expr_type
+                ):
+                    continue
+            program = ctx.plug(expr)
+            if free_vars(program):
+                continue
+            passed = tester.passed_set(program)
+            if len(passed) == len(tester.examples) and tester.examples:
+                return program
+            store.record_program(program, passed)
+            angelic = tester.angelic_passed_set(program)
+            if angelic and angelic != passed:
+                store.record_program(program, angelic)
+    return None
+
+
+def _expr_type_for_hole(expr: Expr, dsl: Dsl):
+    from .contexts import _hole_type
+
+    return _hole_type(dsl, expr)
+
+
+def _try_loop_strategies(
+    dsl: Dsl,
+    signature: Signature,
+    examples: Sequence[Example],
+    tester: _Tester,
+    budget: Budget,
+    lasy_fns: Mapping,
+    lasy_signatures: Mapping[str, Signature],
+    options: DbsOptions,
+    stats: DbsStats,
+) -> Optional[Expr]:
+    """Assemble loop candidates (§5.3) and test them on all examples."""
+
+    def synthesize_body(
+        body_sig: Signature, body_examples: Sequence[Example], start_nt: str
+    ) -> Optional[Expr]:
+        from .contexts import Context as _Context
+        from .expr import Hole
+
+        sub_context = _Context(
+            root=Hole(start_nt),
+            path=(),
+            hole_nt=start_nt,
+            hole_type=dsl.type_of(start_nt),
+        )
+        sub_options = DbsOptions(
+            use_dsl=options.use_dsl,
+            semantic_dedup=options.semantic_dedup,
+            enable_conditionals=options.enable_conditionals,
+            enable_loops=False,  # no nested loop strategies
+            max_generations=options.max_generations,
+            evaluation_fuel=options.evaluation_fuel,
+        )
+        result = dbs(
+            contexts=[sub_context],
+            examples=body_examples,
+            seeds=[],
+            dsl=dsl,
+            signature=body_sig,
+            max_branches=3,
+            budget=budget.spawn(0.35),
+            lasy_fns=lasy_fns,
+            lasy_signatures=lasy_signatures,
+            options=sub_options,
+        )
+        return result.program
+
+    candidates = run_loop_strategies(dsl, signature, examples, synthesize_body)
+    stats.loop_candidates += len(candidates)
+    for candidate in candidates:
+        if tester.passes_all(candidate.program):
+            return candidate.program
+    return None

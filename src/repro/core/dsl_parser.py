@@ -1,0 +1,282 @@
+"""The DSL definition language (§3.2, Fig. 6).
+
+The paper's experts write DSLs as text: a grammar whose rules name .NET
+functions, special all-caps rules for parameters/constants/strategies,
+and ``rewrite`` declarations. This module parses the same shape against
+a Python *component namespace* (any mapping from function names to
+callables — e.g. a module's ``vars()``):
+
+    dsl "walkthrough";
+    start C;
+    nonterminal C : char;
+    nonterminal S : str;
+    nonterminal N : int;
+    C ::= CharAt(S, N) | ToUpper(C);
+    S ::= Word(S, N) | _PARAM;
+    N ::= _CONSTANT;
+
+Rule forms:
+
+* ``F(a, b)``        — a component call; ``F`` must be in the namespace,
+                       argument types come from the nonterminals;
+* ``lambda w: e``    — an inline lambda argument (``Loop(lambda w: e)``);
+                       ``w``'s type is declared via ``lambdavar w : int;``
+* ``a``              — a unit rule (bare nonterminal);
+* ``w``              — a lambda-variable reference (after ``lambdavar``);
+* ``_PARAM`` / ``_CONSTANT`` / ``_LASY_FN(f)`` / ``_RECURSE(f, j)``;
+* ``__CONDITIONAL(b, e)`` / ``__FOREACH(e)`` / ``__FOR(e)`` — the
+  strategy rules (double underscore, as in the paper).
+
+``rewrite lhs ==> rhs;`` lines feed the §5.1 canonicalizer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .dsl import Dsl, DslBuilder, DslError, LambdaSpec
+from .rewrite import parse_rule
+from .types import Type, parse_type
+
+
+class DslParseError(ValueError):
+    """A DSL definition could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+_STATEMENT_RE = re.compile(r"[^;]*;")
+_COMMENT_RE = re.compile(r"//[^\n]*")
+
+
+def _statements(source: str) -> List[Tuple[str, int]]:
+    """Split into ';'-terminated statements with their line numbers."""
+    stripped = _COMMENT_RE.sub("", source)
+    out: List[Tuple[str, int]] = []
+    line = 1
+    pos = 0
+    while pos < len(stripped):
+        match = _STATEMENT_RE.match(stripped, pos)
+        if match is None:
+            rest = stripped[pos:].strip()
+            if rest:
+                raise DslParseError(
+                    f"unterminated statement: {rest[:40]!r}", line
+                )
+            break
+        text = match.group()[:-1]
+        out.append((text.strip(), line))
+        line += match.group().count("\n")
+        pos = match.end()
+    return out
+
+
+def parse_dsl(
+    source: str,
+    namespace: Mapping[str, Callable[..., Any]],
+    constant_provider: Optional[Callable] = None,
+) -> Dsl:
+    """Parse a textual DSL definition into a :class:`Dsl`.
+
+    ``namespace`` supplies the component implementations;
+    ``constant_provider`` (optional) supplies ``_CONSTANT`` values per
+    nonterminal given the examples.
+    """
+    name = "dsl"
+    start: Optional[str] = None
+    nt_types: Dict[str, Type] = {}
+    lambda_vars: Dict[str, Type] = {}
+    rules: List[Tuple[str, str, int]] = []
+    rewrites: List[Tuple[str, int]] = []
+
+    for text, line in _statements(source):
+        if not text:
+            continue
+        head, _, rest = text.partition(" ")
+        if head == "dsl":
+            name = rest.strip().strip('"')
+        elif head == "start":
+            start = rest.strip()
+        elif head == "nonterminal":
+            nt_name, _, ty_text = rest.partition(":")
+            if not ty_text:
+                raise DslParseError(
+                    "nonterminal declarations need ': <type>'", line
+                )
+            nt_types[nt_name.strip()] = parse_type(ty_text.strip())
+        elif head == "lambdavar":
+            var_name, _, ty_text = rest.partition(":")
+            if not ty_text:
+                raise DslParseError(
+                    "lambdavar declarations need ': <type>'", line
+                )
+            lambda_vars[var_name.strip()] = parse_type(ty_text.strip())
+        elif head == "rewrite":
+            rewrites.append((rest.strip(), line))
+        elif "::=" in text:
+            nt_name, _, rhs = text.partition("::=")
+            rules.append((nt_name.strip(), rhs.strip(), line))
+        else:
+            raise DslParseError(f"unrecognized statement {text!r}", line)
+
+    if start is None:
+        raise DslParseError("missing 'start <nonterminal>;'")
+
+    builder = DslBuilder(name, start=start)
+    for nt_name, ty in nt_types.items():
+        builder.nt(nt_name, ty)
+
+    for nt_name, rhs, line in rules:
+        if nt_name not in nt_types:
+            raise DslParseError(f"undeclared nonterminal {nt_name!r}", line)
+        for alternative in _split_alternatives(rhs):
+            _add_rule(
+                builder, nt_name, alternative.strip(), namespace,
+                nt_types, lambda_vars, line,
+            )
+
+    function_names = builder.function_names()
+    for rule_text, line in rewrites:
+        try:
+            builder.rewrite(parse_rule(rule_text, function_names))
+        except ValueError as exc:
+            raise DslParseError(str(exc), line) from exc
+
+    if constant_provider is not None:
+        builder.constants_from(constant_provider)
+    return builder.build()
+
+
+def _split_alternatives(rhs: str) -> List[str]:
+    """Split on top-level '|' (not inside parentheses)."""
+    out: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in rhs:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "|" and depth == 0:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    out.append("".join(current))
+    return out
+
+
+_CALL_RE = re.compile(r"^([A-Za-z_][\w]*)\s*\((.*)\)$", re.DOTALL)
+
+
+def _split_args(text: str) -> List[str]:
+    out: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    last = "".join(current).strip()
+    if last:
+        out.append(last)
+    return out
+
+
+def _add_rule(
+    builder: DslBuilder,
+    nt_name: str,
+    alternative: str,
+    namespace: Mapping[str, Callable[..., Any]],
+    nt_types: Dict[str, Type],
+    lambda_vars: Dict[str, Type],
+    line: int,
+) -> None:
+    if not alternative:
+        raise DslParseError(f"empty alternative for {nt_name!r}", line)
+    if alternative == "_PARAM":
+        builder.param(nt_name)
+        return
+    if alternative == "_CONSTANT":
+        builder.constant(nt_name)
+        return
+    match = _CALL_RE.match(alternative)
+    if match is None:
+        # A bare name: unit rule or lambda-variable reference.
+        if alternative in nt_types:
+            builder.unit(nt_name, alternative)
+            return
+        if alternative in lambda_vars:
+            builder._lambda_vars.setdefault(
+                alternative, lambda_vars[alternative]
+            )
+            builder.var(nt_name, alternative)
+            return
+        raise DslParseError(
+            f"{nt_name!r}: {alternative!r} is neither a nonterminal, a "
+            f"lambda variable, nor a call",
+            line,
+        )
+    callee, args_text = match.group(1), match.group(2)
+    args = _split_args(args_text)
+    if callee == "__CONDITIONAL":
+        if len(args) != 2:
+            raise DslParseError("__CONDITIONAL takes (guard, branch)", line)
+        builder.conditional(nt_name, guard_nt=args[0], branch_nt=args[1])
+        return
+    if callee == "__FOREACH":
+        variants = ("forward", "reverse", "split")
+        builder.foreach(nt_name, body_nt=args[0], variants=variants)
+        return
+    if callee == "__FOR":
+        builder.for_loop(nt_name, body_nt=args[0])
+        return
+    if callee == "_LASY_FN":
+        builder.lasy_fn(nt_name, args)
+        return
+    if callee == "_RECURSE":
+        builder.recurse(nt_name, args)
+        return
+
+    impl = namespace.get(callee)
+    if impl is None or not callable(impl):
+        raise DslParseError(
+            f"{nt_name!r}: no component named {callee!r} in the namespace",
+            line,
+        )
+    specs: List[Any] = []
+    for arg in args:
+        if arg.startswith("lambda "):
+            binder, _, body_nt = arg[len("lambda "):].partition(":")
+            var_names = tuple(v.strip() for v in binder.split(","))
+            body_nt = body_nt.strip()
+            missing = [v for v in var_names if v not in lambda_vars]
+            if missing:
+                raise DslParseError(
+                    f"lambda variable(s) {missing} lack a 'lambdavar' "
+                    f"declaration",
+                    line,
+                )
+            specs.append(
+                LambdaSpec(
+                    var_names,
+                    tuple(lambda_vars[v] for v in var_names),
+                    body_nt,
+                )
+            )
+        else:
+            if arg not in nt_types:
+                raise DslParseError(
+                    f"{callee}: unknown argument nonterminal {arg!r}", line
+                )
+            specs.append(arg)
+    builder.fn(nt_name, callee, specs, impl)

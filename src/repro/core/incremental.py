@@ -1,0 +1,100 @@
+"""Incremental re-synthesis (§8 future work).
+
+"[We intend to] explore other applications for TDS utilizing its
+incremental nature including updating synthesized code as a
+specification changes or fixing code from another synthesizer that
+generates approximate or incomplete solutions."
+
+Both applications fall out of TDS's structure: seed a session with the
+*old* (or approximate) program as ``P_0`` instead of ⊥, and feed the new
+specification's examples in order. Examples the old program still
+satisfies cost nothing; the first disagreement triggers a DBS call whose
+contexts and components come from the old program, so the repair is a
+subexpression replacement whenever one suffices — exactly the paper's
+"program repair as synthesis-from-a-previous-program" reading.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional, Sequence
+
+from .budget import Budget
+from .dsl import Dsl, Example, Signature
+from .expr import Expr
+from .tds import BudgetFactory, TdsOptions, TdsResult, TdsSession
+
+
+class WarmTdsSession(TdsSession):
+    """A TDS session whose ``P_0`` is an existing program."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        dsl: Dsl,
+        previous_program: Optional[Expr],
+        budget_factory: Optional[BudgetFactory] = None,
+        lasy_fns: Optional[MutableMapping] = None,
+        lasy_signatures: Optional[Mapping[str, Signature]] = None,
+        options: Optional[TdsOptions] = None,
+    ):
+        super().__init__(
+            signature,
+            dsl,
+            budget_factory=budget_factory,
+            lasy_fns=lasy_fns,
+            lasy_signatures=lasy_signatures,
+            options=options,
+        )
+        self.program = previous_program
+
+
+def resynthesize(
+    signature: Signature,
+    previous_program: Optional[Expr],
+    examples: Sequence[Example],
+    dsl: Dsl,
+    budget_factory: Optional[BudgetFactory] = None,
+    lasy_fns: Optional[MutableMapping] = None,
+    options: Optional[TdsOptions] = None,
+) -> TdsResult:
+    """Update ``previous_program`` to satisfy a changed specification.
+
+    The ordered ``examples`` are the *new* specification; the previous
+    program plays ``P_0``. Returns an ordinary :class:`TdsResult` (whose
+    step records show which examples were already satisfied for free).
+    """
+    session = WarmTdsSession(
+        signature,
+        dsl,
+        previous_program,
+        budget_factory=budget_factory,
+        lasy_fns=lasy_fns,
+        options=options,
+    )
+    for example in examples:
+        session.add_example(example)
+    return session.finalize()
+
+
+def repair(
+    signature: Signature,
+    approximate_program: Expr,
+    examples: Sequence[Example],
+    dsl: Dsl,
+    budget_factory: Optional[BudgetFactory] = None,
+    options: Optional[TdsOptions] = None,
+) -> TdsResult:
+    """Fix an approximate/incomplete program from another synthesizer.
+
+    Identical mechanics to :func:`resynthesize`; named separately because
+    the paper lists the two applications separately and callers read
+    better with the intent spelled out.
+    """
+    return resynthesize(
+        signature,
+        approximate_program,
+        examples,
+        dsl,
+        budget_factory=budget_factory,
+        options=options,
+    )

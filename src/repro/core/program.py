@@ -1,0 +1,92 @@
+"""Synthesized functions as callable artifacts.
+
+TDS produces an expression; wrapping it with its signature gives a plain
+Python callable usable from other LaSy functions (``_LASY_FN``), from the
+Pex4Fun game loop, and from user code. ``lookup`` declarations (§2.2)
+become :class:`LookupFunction` — they "just store the list of
+input/output examples and look up any inputs in that list".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from .dsl import Example, Signature
+from .evaluator import EvaluationError, run_program
+from .expr import Expr
+from .values import freeze, structurally_equal
+
+
+@dataclass
+class SynthesizedFunction:
+    """A function with a synthesized body."""
+
+    signature: Signature
+    body: Expr
+    lasy_fns: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+    fuel: int = 200_000
+    max_depth: int = 60
+
+    def __call__(self, *args: Any) -> Any:
+        if len(args) != len(self.signature.params):
+            raise TypeError(
+                f"{self.signature.name} expects "
+                f"{len(self.signature.params)} arguments, got {len(args)}"
+            )
+        return run_program(
+            self.body,
+            self.signature.param_names,
+            args,
+            lasy_fns=self.lasy_fns,
+            fuel=self.fuel,
+            max_depth=self.max_depth,
+        )
+
+    def satisfies(self, example: Example) -> bool:
+        try:
+            value = self(*example.args)
+        except EvaluationError:
+            return False
+        return structurally_equal(value, example.output)
+
+    def satisfies_all(self, examples: Sequence[Example]) -> bool:
+        return all(self.satisfies(e) for e in examples)
+
+    def __str__(self) -> str:
+        return f"{self.signature} => {self.body}"
+
+
+@dataclass
+class LookupFunction:
+    """A ``lookup`` declaration: a stored example table (§2.2)."""
+
+    signature: Signature
+    table: Dict[Tuple[Any, ...], Any] = field(default_factory=dict)
+
+    def add(self, example: Example) -> None:
+        self.table[freeze(example.args)] = freeze(example.output)
+
+    def __call__(self, *args: Any) -> Any:
+        key = freeze(tuple(args))
+        if key not in self.table:
+            raise EvaluationError(
+                f"lookup {self.signature.name} has no entry for {key!r}"
+            )
+        return self.table[key]
+
+    def satisfies(self, example: Example) -> bool:
+        key = freeze(example.args)
+        return key in self.table and structurally_equal(
+            self.table[key], example.output
+        )
+
+    def satisfies_all(self, examples: Sequence[Example]) -> bool:
+        return all(self.satisfies(e) for e in examples)
+
+    @property
+    def body(self) -> Optional[Expr]:
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.signature} => lookup[{len(self.table)} entries]"

@@ -1,0 +1,271 @@
+"""Composition strategies: goal-directed construction of expressions.
+
+§5.4 observes that the conditional and loop strategies are instances of
+one concept — strategies that use the example *outputs* to direct the
+search — and that "a DSL designer could include other strategies like
+inverses of DSL-defined functions". This module provides the most
+important such inverse for string-like domains: a **concatenation
+strategy** that, instead of enumerating every ``Concatenate(f, e)``
+combination bottom-up, runs a dynamic program over the expected outputs
+and assembles only chains of pooled pieces that actually cover them —
+FlashFill's trace-expression decomposition, driven by the DBS pool.
+
+A strategy is a callable ``(pool, examples, signature, dsl) ->
+[candidate expressions]``; DBS runs every registered strategy after each
+generation and feeds the candidates through the normal context-plugging
+and T(p) bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .dsl import Dsl, Example, Signature
+from .expr import Call, Expr, Function
+
+CompositionStrategy = Callable[..., List[Expr]]
+
+# Search caps for one strategy invocation.
+_MAX_CHAINS = 24
+_MAX_PIECES = 8
+_MAX_STATES = 50_000
+
+
+def make_concat_strategy(
+    concat_name: str = "Concatenate",
+    piece_nt: str = "f",
+    out_nt: str = "e",
+) -> CompositionStrategy:
+    """Build the concatenation inverse-strategy for a DSL whose ``out_nt``
+    has a binary, right-nested concatenation rule named ``concat_name``
+    over pieces from ``piece_nt``."""
+
+    def strategy(
+        pool: Any,
+        examples: Sequence[Example],
+        signature: Signature,
+        dsl: Dsl,
+    ) -> List[Expr]:
+        del signature
+        outputs = [e.output for e in examples]
+        if not outputs or not all(isinstance(o, str) for o in outputs):
+            return []
+        concat_fn = _find_function(dsl, out_nt, concat_name)
+        if concat_fn is None:
+            return []
+        pieces = _string_pieces(pool, dsl, piece_nt, len(examples))
+        if not pieces:
+            return []
+        chains: List[List[Expr]] = []
+        total = frozenset(range(len(examples)))
+        # Full cover: one chain matching every output.
+        chains.extend(
+            _cover(outputs, _valid_on(pieces, range(len(examples))), limit=_MAX_CHAINS)
+        )
+        # Subset covers feed the conditional strategy (§5.2). The useful
+        # subsets are exactly the true-sets of recorded guards (and their
+        # complements): a chain covering such a subset is a branch the
+        # cascade can route to. DBS publishes them on the pool.
+        if len(examples) > 1:
+            subsets: List[frozenset] = []
+            for true_set in getattr(pool, "guard_sets", ()):
+                for candidate in (
+                    frozenset(true_set),
+                    frozenset(range(len(examples))) - frozenset(true_set),
+                ):
+                    if (
+                        1 < len(candidate) < len(examples)
+                        and candidate not in subsets
+                    ):
+                        subsets.append(candidate)
+            subsets.sort(key=len, reverse=True)
+            for subset in subsets[:10]:
+                indices = sorted(subset)
+                projected = _valid_on(pieces, indices)
+                chains.extend(
+                    _cover([outputs[k] for k in indices], projected, limit=4)
+                )
+            # Per-example covers: branch candidates for one example each.
+            for index, output in enumerate(outputs):
+                single = _valid_on(pieces, [index])
+                chains.extend(
+                    _cover([output], single, limit=4)
+                )
+        out: List[Expr] = []
+        seen: set = set()
+        for chain in chains:
+            expr = _build_chain(chain, concat_fn, out_nt)
+            if expr is not None and expr not in seen:
+                seen.add(expr)
+                out.append(expr)
+        return out
+
+    return strategy
+
+
+def _valid_on(pieces, indices) -> List[Tuple[Expr, Tuple[str, ...]]]:
+    """Project piece value vectors onto ``indices``, keeping only pieces
+    that are error-free there."""
+    from .values import ERROR
+
+    indices = list(indices)
+    out: List[Tuple[Expr, Tuple[str, ...]]] = []
+    for expr, values in pieces:
+        projected = tuple(values[k] for k in indices)
+        if any(v is ERROR for v in projected):
+            continue
+        out.append((expr, projected))
+    return out
+
+
+def _find_function(dsl: Dsl, nt: str, name: str) -> Optional[Function]:
+    for prod in dsl.productions_for(nt):
+        if prod.kind == "call" and prod.func and prod.func.name == name:
+            return prod.func
+    return None
+
+
+def _string_pieces(
+    pool: Any, dsl: Dsl, piece_nt: str, n_examples: int
+) -> List[Tuple[Expr, Tuple[str, ...]]]:
+    """Pooled candidate pieces: expressions of the piece nonterminal with
+    all-string cached value vectors.
+
+    Recursive expressions carry no cached values (their meaning depends
+    on the whole program), but under the angelic example-table oracle
+    they still have one observable answer per example — computing it
+    here lets a chain end in a recursive tail (word wrap's
+    ``line + "\n" + Recurse(rest, length)``). DBS re-verifies every
+    assembled candidate with true self-recursion."""
+    from .evaluator import EvaluationError, run_program
+    from .expr import is_recursive
+    from .values import ERROR, freeze
+
+    names = (
+        dsl.expansion(piece_nt)
+        if piece_nt in dsl.nonterminals
+        else (piece_nt,)
+    )
+    examples = pool.examples
+    table = {freeze(e.args): freeze(e.output) for e in examples}
+    previous = getattr(pool, "previous_program", None)
+
+    def oracle(args):
+        if args in table:
+            return table[args]
+        if previous is not None:
+            return run_program(
+                previous, pool.signature.param_names, args, fuel=20_000
+            )
+        raise EvaluationError("angelic recursion: input not in table")
+
+    out: List[Tuple[Expr, Tuple[str, ...]]] = []
+    angelic_budget = 400
+    for name in names:
+        for entry in pool._entries.get(name, []):
+            values = entry.values
+            if values is None:
+                if not is_recursive(entry.expr) or angelic_budget <= 0:
+                    continue
+                angelic_budget -= 1
+                computed = []
+                for example in examples:
+                    try:
+                        value = run_program(
+                            entry.expr,
+                            pool.signature.param_names,
+                            example.args,
+                            fuel=20_000,
+                            recursion_oracle=oracle,
+                        )
+                    except EvaluationError:
+                        value = ERROR
+                    computed.append(value)
+                values = tuple(computed)
+            if len(values) != n_examples:
+                continue
+            if all(v is ERROR or not isinstance(v, str) for v in values):
+                continue
+            if any(
+                v is not ERROR and not isinstance(v, str) for v in values
+            ):
+                continue
+            # Pieces may error on *some* examples: a branch body is
+            # allowed (indeed expected) to crash on examples other
+            # branches handle. Covers filter per projected subset.
+            out.append((entry.expr, tuple(values)))
+    return out
+
+
+def _cover(
+    outputs: Sequence[str],
+    pieces: Sequence[Tuple[Expr, Tuple[str, ...]]],
+    limit: int,
+) -> List[List[Expr]]:
+    """All (up to ``limit``) chains of pieces whose per-example values
+    concatenate exactly to every output. Depth-first with memoized dead
+    states; chains with fewer pieces are preferred (DFS tries longer
+    pieces first)."""
+    n = len(outputs)
+    start = tuple([0] * n)
+    goal = tuple(len(o) for o in outputs)
+    # Index pieces by first character per example to cut the scan.
+    dead: set = set()
+    results: List[List[Expr]] = []
+    budget = [_MAX_STATES]
+
+    def transitions(state: Tuple[int, ...]):
+        for expr, values in pieces:
+            next_state = []
+            progress = 0
+            ok = True
+            for k in range(n):
+                piece = values[k]
+                pos = state[k]
+                if not outputs[k].startswith(piece, pos):
+                    ok = False
+                    break
+                next_state.append(pos + len(piece))
+                progress += len(piece)
+            if ok and progress > 0:
+                yield expr, tuple(next_state), progress
+
+    def dfs(state: Tuple[int, ...], chain: List[Expr]) -> bool:
+        if len(results) >= limit:
+            return True
+        budget[0] -= 1
+        if budget[0] < 0:
+            return True
+        if state == goal:
+            results.append(list(chain))
+            return len(results) >= limit
+        if len(chain) >= _MAX_PIECES or state in dead:
+            return False
+        # Prefer big bites: fewer pieces, more generalizable programs.
+        moves = sorted(transitions(state), key=lambda m: -m[2])
+        found_any = False
+        for expr, next_state, _ in moves:
+            chain.append(expr)
+            stop = dfs(next_state, chain)
+            chain.pop()
+            found_any = found_any or next_state == goal or results
+            if stop:
+                return True
+        if not results:
+            dead.add(state)
+        return False
+
+    dfs(start, [])
+    return results
+
+
+def _build_chain(
+    chain: Sequence[Expr], concat_fn: Function, out_nt: str
+) -> Optional[Expr]:
+    """Right-nested ``Concatenate(p1, Concatenate(p2, ...))``."""
+    if not chain:
+        return None
+    expr = chain[-1]
+    for piece in reversed(chain[:-1]):
+        expr = Call(concat_fn, (piece, expr), out_nt)
+    return expr

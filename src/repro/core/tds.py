@@ -1,0 +1,286 @@
+"""Test-driven synthesis — Algorithm 1.
+
+TDS consumes the examples *in order*, maintaining a program ``P_i`` that
+satisfies the first ``i`` examples. For each new example it hands DBS:
+
+* the contexts of ``P_i`` (one hole per removable subexpression, plus
+  per-branch contexts, plus the trivial context ``•``) — unless the
+  failing example provably never reaches a branch, in which case that
+  branch's body contexts are pruned;
+* the subexpressions of ``P_i`` as extra components (so "the effort to
+  build it in previous iterations will not be wasted" — and, crucially,
+  components of *earlier* programs that no longer appear are forgotten);
+* a branch budget ``num_branch(P_i) + failuresInARow`` — new conditionals
+  are allowed only after failures, to avoid overfitting a branch per
+  example.
+
+On DBS timeout the previous program is kept and the failure counter
+rises; the next iteration retries with one more example and a bigger
+branch budget. Synthesis fails overall if the final program does not
+satisfy every example.
+
+:class:`TdsSession` exposes the loop one example at a time — "in an
+interactive setting the user could look at P_{i+1} or its output when
+choosing S_{i+1}" (§4.1). The LaSy runner interleaves sessions for
+multiple functions and the Pex4Fun game feeds counterexamples as they
+are discovered; :func:`tds` is the batch wrapper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, MutableMapping, Optional, Sequence
+
+from .budget import Budget, default_budget
+from .contexts import contexts_of, prune_contexts, subexpressions_of, trivial_context
+from .dbs import DbsOptions, DbsResult, dbs
+from .dsl import Dsl, Example, Signature
+from .evaluator import EvaluationError, run_program
+from .expr import Expr, count_branches
+from .program import SynthesizedFunction
+from .values import ERROR, structurally_equal
+
+
+@dataclass
+class TdsOptions:
+    """TDS feature switches; §6.3 ablates contexts and subexpressions."""
+
+    use_contexts: bool = True
+    use_subexpressions: bool = True
+    prune_unreached: bool = True
+    # Angelic context pruning (§7 related work; see repro.core.angelic).
+    angelic_pruning: bool = False
+    final_retries: int = 1
+    dbs: DbsOptions = field(default_factory=DbsOptions)
+
+
+@dataclass
+class TdsStep:
+    """One iteration's record; Fig. 10 aggregates the DBS timings."""
+
+    example_index: int
+    action: str  # 'satisfied' | 'synthesized' | 'timeout'
+    dbs_time: float = 0.0
+    expressions: int = 0
+    programs_tested: int = 0
+    branch_budget: int = 1
+
+
+@dataclass
+class TdsResult:
+    program: Optional[Expr]
+    success: bool
+    steps: List[TdsStep]
+    elapsed: float
+    signature: Signature
+
+    def function(
+        self, lasy_fns: Optional[Mapping] = None
+    ) -> SynthesizedFunction:
+        if self.program is None:
+            raise ValueError("synthesis failed; no program to wrap")
+        return SynthesizedFunction(
+            self.signature, self.program, lasy_fns or {}
+        )
+
+    @property
+    def dbs_times(self) -> List[float]:
+        return [s.dbs_time for s in self.steps if s.action != "satisfied"]
+
+
+BudgetFactory = Callable[[], Budget]
+
+
+class TdsSession:
+    """Algorithm 1, driven one example at a time."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        dsl: Dsl,
+        budget_factory: Optional[BudgetFactory] = None,
+        lasy_fns: Optional[MutableMapping] = None,
+        lasy_signatures: Optional[Mapping[str, Signature]] = None,
+        options: Optional[TdsOptions] = None,
+    ):
+        self.signature = signature
+        self.dsl = dsl
+        self.budget_factory = budget_factory or default_budget
+        # Deliberately *not* copied: the LaSy runner mutates this mapping
+        # as other functions are (re)synthesized.
+        self.lasy_fns = lasy_fns if lasy_fns is not None else {}
+        self.lasy_signatures = dict(lasy_signatures or {})
+        self.options = options or TdsOptions()
+
+        self.program: Optional[Expr] = None  # P_0 = ⊥
+        self.failures_in_a_row = 0
+        self.examples: List[Example] = []
+        self.steps: List[TdsStep] = []
+        self._started = time.monotonic()
+
+    # -- the TDS loop body -------------------------------------------------
+
+    def add_example(self, example: Example) -> TdsStep:
+        """Consume the next example (one iteration of Algorithm 1)."""
+        index = len(self.examples)
+        self.examples.append(example)
+        if self.program is not None and self._satisfies(self.program, example):
+            step = TdsStep(index, "satisfied")
+            self.failures_in_a_row = 0
+            self.steps.append(step)
+            return step
+        result = self._dbs_step(self.examples)
+        branch_budget = count_branches(self.program) + self.failures_in_a_row
+        if result.program is not None:
+            self.program = result.program
+            self.failures_in_a_row = 0
+            action = "synthesized"
+        else:
+            self.failures_in_a_row += 1
+            action = "timeout"
+        step = TdsStep(
+            index,
+            action,
+            dbs_time=result.stats.elapsed,
+            expressions=result.stats.expressions,
+            programs_tested=result.stats.programs_tested,
+            branch_budget=branch_budget,
+        )
+        self.steps.append(step)
+        return step
+
+    def finalize(self) -> TdsResult:
+        """Trailing-failure recovery and the final all-examples check.
+
+        The main loop retries a failed example implicitly when later
+        examples arrive; the last examples get the same second chance
+        here (``final_retries`` extra DBS calls with the grown branch
+        budget)."""
+        retries = self.options.final_retries
+        while (
+            retries > 0
+            and self.failures_in_a_row > 0
+            and not self.satisfies_all()
+        ):
+            retries -= 1
+            result = self._dbs_step(self.examples)
+            index = len(self.examples) - 1
+            if result.program is not None:
+                self.program = result.program
+                self.failures_in_a_row = 0
+                action = "synthesized"
+            else:
+                self.failures_in_a_row += 1
+                action = "timeout"
+            self.steps.append(
+                TdsStep(
+                    index,
+                    action,
+                    dbs_time=result.stats.elapsed,
+                    expressions=result.stats.expressions,
+                    programs_tested=result.stats.programs_tested,
+                )
+            )
+        return TdsResult(
+            program=self.program,
+            success=self.satisfies_all(),
+            steps=self.steps,
+            elapsed=time.monotonic() - self._started,
+            signature=self.signature,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def satisfies_all(self) -> bool:
+        if self.program is None:
+            return not self.examples
+        return all(self._satisfies(self.program, e) for e in self.examples)
+
+    def current_function(self) -> Optional[SynthesizedFunction]:
+        if self.program is None:
+            return None
+        return SynthesizedFunction(
+            self.signature, self.program, self.lasy_fns
+        )
+
+    def _satisfies(self, program: Expr, example: Example) -> bool:
+        try:
+            value = run_program(
+                program,
+                self.signature.param_names,
+                example.args,
+                lasy_fns=self.lasy_fns,
+                fuel=self.options.dbs.evaluation_fuel,
+                max_depth=self.options.dbs.max_recursion_depth,
+            )
+        except EvaluationError:
+            return False
+        return value is not ERROR and structurally_equal(value, example.output)
+
+    def _dbs_step(self, prefix: Sequence[Example]) -> DbsResult:
+        program = self.program
+        options = self.options
+        if program is None or not options.use_contexts:
+            contexts = [trivial_context(self.dsl)]
+        else:
+            contexts = contexts_of(program, self.dsl)
+            failing = [
+                e for e in prefix if not self._satisfies(program, e)
+            ]
+            if options.prune_unreached:
+                contexts = prune_contexts(
+                    contexts, program, self.signature, failing
+                )
+            if options.angelic_pruning:
+                from .angelic import angelic_prune
+
+                contexts = angelic_prune(
+                    contexts,
+                    self.signature,
+                    failing,
+                    prefix,
+                    lasy_fns=self.lasy_fns,
+                )
+        if program is None or not options.use_subexpressions:
+            seeds: List[Expr] = []
+        else:
+            seeds = subexpressions_of(program)
+        max_branches = count_branches(program) + self.failures_in_a_row
+        return dbs(
+            contexts=contexts,
+            examples=prefix,
+            seeds=seeds,
+            dsl=self.dsl,
+            signature=self.signature,
+            max_branches=max_branches,
+            budget=self.budget_factory(),
+            lasy_fns=self.lasy_fns,
+            lasy_signatures=self.lasy_signatures,
+            options=options.dbs,
+            previous_program=program,
+        )
+
+
+def tds(
+    signature: Signature,
+    examples: Sequence[Example],
+    dsl: Dsl,
+    budget_factory: Optional[BudgetFactory] = None,
+    lasy_fns: Optional[MutableMapping] = None,
+    lasy_signatures: Optional[Mapping[str, Signature]] = None,
+    options: Optional[TdsOptions] = None,
+) -> TdsResult:
+    """Algorithm 1 over a complete example sequence (batch wrapper around
+    :class:`TdsSession`)."""
+    session = TdsSession(
+        signature,
+        dsl,
+        budget_factory=budget_factory,
+        lasy_fns=lasy_fns,
+        lasy_signatures=lasy_signatures,
+        options=options,
+    )
+    for example in examples:
+        session.add_example(example)
+    return session.finalize()

@@ -1,0 +1,151 @@
+"""A small structural type system for DSL expressions.
+
+The paper hosts LaSy in C#, so DSL components carry .NET type signatures.
+We reproduce the part the synthesizer actually needs: named atomic types
+(``str``, ``int``, ``bool``, domain types like ``xml`` and ``table``),
+parameterized list types (``list<str>``), and function types for lambda
+arguments to higher-order components (``fun<str, str>``).
+
+Types are interned immutable values; identity is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """A structural type: a constructor name plus type arguments.
+
+    ``Type('str')`` is the string type; ``Type('list', (Type('int'),))``
+    is ``list<int>``; ``Type('fun', (a, b))`` is a one-argument function
+    from ``a`` to ``b`` (functions of higher arity curry).
+    """
+
+    name: str
+    args: Tuple["Type", ...] = field(default=())
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}<{inner}>"
+
+    __repr__ = __str__
+
+    @property
+    def is_function(self) -> bool:
+        return self.name == "fun"
+
+    @property
+    def is_list(self) -> bool:
+        return self.name == "list"
+
+    def element_type(self) -> "Type":
+        """Element type of a list type."""
+        if not self.is_list:
+            raise TypeError(f"{self} is not a list type")
+        return self.args[0]
+
+
+# Atomic types used across the built-in domains.
+STRING = Type("str")
+INT = Type("int")
+BOOL = Type("bool")
+CHAR = Type("char")
+UNIT = Type("unit")
+XML = Type("xml")
+TABLE = Type("table")
+ANY = Type("any")
+
+
+def list_of(elem: Type) -> Type:
+    """The type ``list<elem>``."""
+    return Type("list", (elem,))
+
+
+def fun(arg: Type, result: Type) -> Type:
+    """The one-argument function type ``fun<arg, result>``."""
+    return Type("fun", (arg, result))
+
+
+def fun_n(args: Tuple[Type, ...], result: Type) -> Type:
+    """Curried n-argument function type."""
+    ty = result
+    for arg in reversed(args):
+        ty = fun(arg, ty)
+    return ty
+
+
+_ATOMS = {t.name: t for t in (STRING, INT, BOOL, CHAR, UNIT, XML, TABLE, ANY)}
+
+
+class TypeParseError(ValueError):
+    """Raised when a type string cannot be parsed."""
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual form, e.g. ``list<str>``.
+
+    >>> parse_type('list<str>')
+    list<str>
+    >>> parse_type('fun<int, list<int>>')
+    fun<int, list<int>>
+    """
+    parsed, pos = _parse_type(text, 0)
+    if text[pos:].strip():
+        raise TypeParseError(f"trailing characters in type: {text!r}")
+    return parsed
+
+
+def _parse_type(text: str, pos: int) -> Tuple[Type, int]:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    start = pos
+    while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+        pos += 1
+    name = text[start:pos]
+    if not name:
+        raise TypeParseError(f"expected a type name at {pos} in {text!r}")
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    if pos < len(text) and text[pos] == "<":
+        pos += 1
+        args = []
+        while True:
+            arg, pos = _parse_type(text, pos)
+            args.append(arg)
+            while pos < len(text) and text[pos].isspace():
+                pos += 1
+            if pos >= len(text):
+                raise TypeParseError(f"unterminated type arguments in {text!r}")
+            if text[pos] == ",":
+                pos += 1
+                continue
+            if text[pos] == ">":
+                pos += 1
+                break
+            raise TypeParseError(f"unexpected {text[pos]!r} in {text!r}")
+        return Type(name, tuple(args)), pos
+    if name in _ATOMS:
+        return _ATOMS[name], pos
+    return Type(name), pos
+
+
+def types_compatible(expected: Type, actual: Type) -> bool:
+    """Whether a value of type ``actual`` may flow where ``expected`` is.
+
+    ``any`` is compatible with everything (used by the type-only Pex4Fun
+    DSL and the sketch-like baseline, which deliberately under-constrain).
+    """
+    if expected == actual:
+        return True
+    if expected.name == "any" or actual.name == "any":
+        return True
+    if expected.name == actual.name and len(expected.args) == len(actual.args):
+        return all(
+            types_compatible(e, a) for e, a in zip(expected.args, actual.args)
+        )
+    return False

@@ -1,0 +1,6 @@
+"""Domain substrates: the paper's four evaluation domains plus the
+registry LaSy uses to resolve ``language <name>;`` declarations."""
+
+from .registry import Domain, get_domain, known_domains, register_domain
+
+__all__ = ["Domain", "get_domain", "known_domains", "register_domain"]

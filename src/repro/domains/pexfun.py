@@ -1,0 +1,452 @@
+"""The Pex4Fun domain (§6.1.4).
+
+"We use a single DSL with a set of 40 simple string and int functions
+which may be combined in any type-safe way" — unlike the other domains
+this grammar is deliberately shallow: one nonterminal per type, every
+function a rule, so the grammar adds no information beyond the types
+(which is why the §6.3 ablation has no "no DSL" bar for Pex4Fun).
+
+The DSL was written without looking at the puzzles, so — like the
+paper's — it is missing pieces some puzzles need (bitwise operations,
+large polynomial arithmetic), which is part of what the experiment
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.dsl import Dsl, DslBuilder, Example
+from ..core.evaluator import EvaluationError
+from ..core.types import ANY, BOOL, INT, STRING, Type, list_of
+from .registry import Domain, register_domain
+
+STRS = list_of(STRING)
+INTS = list_of(INT)
+
+
+def _int(value: Any) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise EvaluationError("expected an int")
+    return value
+
+
+def _str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise EvaluationError("expected a string")
+    return value
+
+
+def _strs(value: Any) -> Tuple[str, ...]:
+    if not isinstance(value, tuple) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise EvaluationError("expected a string array")
+    return value
+
+
+def _ints(value: Any) -> Tuple[int, ...]:
+    if not isinstance(value, tuple) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in value
+    ):
+        raise EvaluationError("expected an int array")
+    return value
+
+
+# -- int components ---------------------------------------------------------
+
+
+def add(a, b):
+    return _int(a) + _int(b)
+
+
+def sub(a, b):
+    return _int(a) - _int(b)
+
+
+def mul(a, b):
+    return _int(a) * _int(b)
+
+
+def div(a, b):
+    if _int(b) == 0:
+        raise EvaluationError("division by zero")
+    return int(_int(a) / _int(b))  # C# truncating division
+
+
+def mod(a, b):
+    if _int(b) == 0:
+        raise EvaluationError("division by zero")
+    a, b = _int(a), _int(b)
+    return a - b * int(a / b)  # C# remainder semantics
+
+
+def neg(a):
+    return -_int(a)
+
+
+def abs_int(a):
+    return abs(_int(a))
+
+
+def min_int(a, b):
+    return min(_int(a), _int(b))
+
+
+def max_int(a, b):
+    return max(_int(a), _int(b))
+
+
+def str_length(s):
+    return len(_str(s))
+
+
+def parse_int(s):
+    s = _str(s).strip()
+    try:
+        return int(s)
+    except ValueError as exc:
+        raise EvaluationError(f"not an int: {s!r}") from exc
+
+
+def index_of(s, sub_s):
+    return _str(s).find(_str(sub_s))
+
+
+def arr_length_i(xs):
+    return len(_ints(xs))
+
+
+def arr_length_s(xs):
+    return len(_strs(xs))
+
+
+def sum_ints(xs):
+    return sum(_ints(xs))
+
+
+def elem_at_i(xs, i):
+    xs, i = _ints(xs), _int(i)
+    if not -len(xs) <= i < len(xs):
+        raise EvaluationError("index out of range")
+    return xs[i]
+
+
+# -- string components --------------------------------------------------------
+
+
+def concat(a, b):
+    return _str(a) + _str(b)
+
+
+def substring(s, start, length):
+    s, start, length = _str(s), _int(start), _int(length)
+    if start < 0 or length < 0 or start + length > len(s):
+        raise EvaluationError("substring out of range")  # C# semantics
+    return s[start:start + length]
+
+
+def substring_from(s, start):
+    s, start = _str(s), _int(start)
+    if start < 0 or start > len(s):
+        raise EvaluationError("substring out of range")
+    return s[start:]
+
+
+def char_at(s, i):
+    s, i = _str(s), _int(i)
+    if not 0 <= i < len(s):
+        raise EvaluationError("index out of range")
+    return s[i]
+
+
+def to_upper(s):
+    return _str(s).upper()
+
+
+def to_lower(s):
+    return _str(s).lower()
+
+
+def trim(s):
+    return _str(s).strip()
+
+
+def replace(s, old, new):
+    if _str(old) == "":
+        raise EvaluationError("empty search string")
+    return _str(s).replace(old, _str(new))
+
+
+def reverse_str(s):
+    return _str(s)[::-1]
+
+
+def repeat(s, k):
+    k = _int(k)
+    if k < 0 or k > 100:
+        raise EvaluationError("repeat count out of range")
+    return _str(s) * k
+
+
+def int_to_str(a):
+    return str(_int(a))
+
+
+def join_strs(sep, xs):
+    return _str(sep).join(_strs(xs))
+
+
+def split_str(s, sep):
+    if _str(sep) == "":
+        raise EvaluationError("empty separator")
+    return tuple(_str(s).split(sep))
+
+
+def first_line(s):
+    return _str(s).split("\n")[0]
+
+
+def elem_at_s(xs, i):
+    xs, i = _strs(xs), _int(i)
+    if not -len(xs) <= i < len(xs):
+        raise EvaluationError("index out of range")
+    return xs[i]
+
+
+def first_elem_s(xs):
+    xs = _strs(xs)
+    if not xs:
+        raise EvaluationError("empty array")
+    return xs[0]
+
+
+def last_elem_s(xs):
+    xs = _strs(xs)
+    if not xs:
+        raise EvaluationError("empty array")
+    return xs[-1]
+
+
+# -- array components ----------------------------------------------------------
+
+
+def arr_set_i(xs, i, v):
+    xs, i = _ints(xs), _int(i)
+    if not 0 <= i < len(xs):
+        raise EvaluationError("index out of range")
+    return xs[:i] + (_int(v),) + xs[i + 1:]
+
+
+def arr_set_s(xs, i, v):
+    xs, i = _strs(xs), _int(i)
+    if not 0 <= i < len(xs):
+        raise EvaluationError("index out of range")
+    return xs[:i] + (_str(v),) + xs[i + 1:]
+
+
+def to_ints(xs):
+    out: List[int] = []
+    for piece in _strs(xs):
+        piece = piece.strip()
+        try:
+            out.append(int(piece))
+        except ValueError as exc:
+            raise EvaluationError(f"not an int: {piece!r}") from exc
+    return tuple(out)
+
+
+def skip_strs(xs, k):
+    xs, k = _strs(xs), _int(k)
+    if k < 0 or k > len(xs):
+        raise EvaluationError("skip out of range")
+    return xs[k:]
+
+
+def sort_ints(xs):
+    return tuple(sorted(_ints(xs)))
+
+
+# -- bool components -------------------------------------------------------------
+
+
+def lt(a, b):
+    return _int(a) < _int(b)
+
+
+def le(a, b):
+    return _int(a) <= _int(b)
+
+
+def eq_i(a, b):
+    return _int(a) == _int(b)
+
+
+def eq_s(a, b):
+    return _str(a) == _str(b)
+
+
+def contains(s, sub_s):
+    return _str(sub_s) in _str(s)
+
+
+def starts_with(s, prefix):
+    return _str(s).startswith(_str(prefix))
+
+
+def ends_with(s, suffix):
+    return _str(s).endswith(_str(suffix))
+
+
+def is_empty(s):
+    return _str(s) == ""
+
+
+def not_b(a):
+    if not isinstance(a, bool):
+        raise EvaluationError("expected a bool")
+    return not a
+
+
+# -- constants ---------------------------------------------------------------------
+
+
+def pexfun_constants(examples: Sequence[Example]) -> Dict[str, List[Any]]:
+    ints = [0, 1, 2, -1, 10]
+    strings: List[str] = ["", " ", ",", "\n", "-"]
+    outputs: List[str] = []
+    for example in examples:
+        for value in list(example.args) + [example.output]:
+            if isinstance(value, int) and not isinstance(value, bool):
+                if -100 <= value <= 100 and value not in ints:
+                    ints.append(value)
+            elif isinstance(value, str):
+                if len(value) <= 12 and value not in strings:
+                    strings.append(value)
+                if value is example.output:
+                    outputs.append(value)
+    # Common output affixes are likely constant pieces ("Hello, ").
+    if outputs:
+        prefix = outputs[0]
+        suffix = outputs[0]
+        for text in outputs[1:]:
+            while prefix and not text.startswith(prefix):
+                prefix = prefix[:-1]
+            while suffix and not text.endswith(suffix):
+                suffix = suffix[:-1]
+        for affix in (prefix, suffix):
+            if 0 < len(affix) <= 12 and affix not in strings:
+                strings.append(affix)
+    return {"int": ints[:12], "str": strings[:14]}
+
+
+# -- the DSL --------------------------------------------------------------------------
+
+
+def make_pexfun_dsl() -> Dsl:
+    """The type-directed Pex4Fun DSL (~40 string/int components)."""
+    b = DslBuilder("pexfun", start="P")
+    b.nt("P", ANY)
+    b.nt("int", INT)
+    b.nt("str", STRING)
+    b.nt("bool", BOOL)
+    b.nt("strs", STRS)
+    b.nt("ints", INTS)
+
+    for nt in ("int", "str", "bool", "strs", "ints"):
+        b.unit("P", nt)
+        b.param(nt)
+
+    b.constant("int")
+    b.constant("str")
+
+    # Conditionals and loop strategies on the value-producing types.
+    for nt in ("int", "str", "strs", "ints"):
+        b.conditional(nt, guard_nt="bool", branch_nt=nt)
+    b.for_loop("int", body_nt="int")
+    b.for_loop("str", body_nt="str")
+    b.foreach("ints", body_nt="int")
+    b.foreach("strs", body_nt="str")
+
+    # int
+    b.fn("int", "Add", ["int", "int"], add)
+    b.fn("int", "Sub", ["int", "int"], sub)
+    b.fn("int", "Mul", ["int", "int"], mul)
+    b.fn("int", "Div", ["int", "int"], div)
+    b.fn("int", "Mod", ["int", "int"], mod)
+    b.fn("int", "Neg", ["int"], neg)
+    b.fn("int", "Abs", ["int"], abs_int)
+    b.fn("int", "Min", ["int", "int"], min_int)
+    b.fn("int", "Max", ["int", "int"], max_int)
+    b.fn("int", "Length", ["str"], str_length)
+    b.fn("int", "ParseInt", ["str"], parse_int)
+    b.fn("int", "IndexOf", ["str", "str"], index_of)
+    b.fn("int", "ArrLengthI", ["ints"], arr_length_i)
+    b.fn("int", "ArrLengthS", ["strs"], arr_length_s)
+    b.fn("int", "Sum", ["ints"], sum_ints)
+    b.fn("int", "ElemAtI", ["ints", "int"], elem_at_i)
+
+    # str
+    b.fn("str", "Concat", ["str", "str"], concat)
+    b.fn("str", "Substring", ["str", "int", "int"], substring)
+    b.fn("str", "SubstringFrom", ["str", "int"], substring_from)
+    b.fn("str", "CharAt", ["str", "int"], char_at)
+    b.fn("str", "ToUpper", ["str"], to_upper)
+    b.fn("str", "ToLower", ["str"], to_lower)
+    b.fn("str", "Trim", ["str"], trim)
+    b.fn("str", "Replace", ["str", "str", "str"], replace)
+    b.fn("str", "Reverse", ["str"], reverse_str)
+    b.fn("str", "Repeat", ["str", "int"], repeat)
+    b.fn("str", "IntToStr", ["int"], int_to_str)
+    b.fn("str", "Join", ["str", "strs"], join_strs)
+    b.fn("str", "FirstLine", ["str"], first_line)
+    b.fn("str", "ElemAtS", ["strs", "int"], elem_at_s)
+    b.fn("str", "FirstElem", ["strs"], first_elem_s)
+    b.fn("str", "LastElem", ["strs"], last_elem_s)
+
+    # arrays
+    b.fn("strs", "Split", ["str", "str"], split_str)
+    b.fn("strs", "ArrSetS", ["strs", "int", "str"], arr_set_s)
+    b.fn("strs", "SkipStrs", ["strs", "int"], skip_strs)
+    b.fn("ints", "ArrSetI", ["ints", "int", "int"], arr_set_i)
+    b.fn("ints", "ToInts", ["strs"], to_ints)
+    b.fn("ints", "SortInts", ["ints"], sort_ints)
+
+    # bool
+    b.fn("bool", "Lt", ["int", "int"], lt)
+    b.fn("bool", "Le", ["int", "int"], le)
+    b.fn("bool", "EqI", ["int", "int"], eq_i)
+    b.fn("bool", "EqS", ["str", "str"], eq_s)
+    b.fn("bool", "Contains", ["str", "str"], contains)
+    b.fn("bool", "StartsWith", ["str", "str"], starts_with)
+    b.fn("bool", "EndsWith", ["str", "str"], ends_with)
+    b.fn("bool", "IsEmpty", ["str"], is_empty)
+    b.fn("bool", "Not", ["bool"], not_b)
+
+    # _RECURSE on the common unary-int shape (e.g. recursively defined
+    # sequences); arity/type checks make it a no-op for other signatures.
+    b.recurse("int", ["int"])
+    b.recurse("str", ["str"])
+
+    b.constants_from(pexfun_constants)
+    from ..core.strategies import make_concat_strategy
+
+    b.composition_strategy(
+        make_concat_strategy("Concat", piece_nt="str", out_nt="str")
+    )
+    return b.build()
+
+
+def coerce_pexfun(ty: Type, value: Any) -> Any:
+    del ty
+    return value
+
+
+PEXFUN_DOMAIN = register_domain(
+    Domain(
+        name="pexfun",
+        make_dsl=make_pexfun_dsl,
+        coerce=coerce_pexfun,
+        description="Type-directed string/int DSL for Pex4Fun puzzles",
+    )
+)

@@ -1,0 +1,65 @@
+"""Registry of LaSy domains.
+
+A *domain* packages the two things an expert provides per §3.2: a DSL
+definition and the glue to the host value universe (how LaSy literals of
+the domain's types are materialized — e.g. XML documents are written as
+strings in LaSy source and parsed into trees here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.dsl import Dsl
+from ..core.types import Type
+
+
+def _identity_coerce(ty: Type, value: Any) -> Any:
+    del ty
+    return value
+
+
+@dataclass
+class Domain:
+    """A named LaSy language: a DSL factory plus literal coercion."""
+
+    name: str
+    make_dsl: Callable[[], Dsl]
+    coerce: Callable[[Type, Any], Any] = _identity_coerce
+    description: str = ""
+    _cached: Optional[Dsl] = field(default=None, repr=False)
+
+    def dsl(self) -> Dsl:
+        if self._cached is None:
+            self._cached = self.make_dsl()
+        return self._cached
+
+
+_DOMAINS: Dict[str, Domain] = {}
+
+
+def register_domain(domain: Domain) -> Domain:
+    """Register (or replace) a domain under its name."""
+    _DOMAINS[domain.name] = domain
+    return domain
+
+
+def get_domain(name: str) -> Domain:
+    if name not in _DOMAINS:
+        _ensure_builtins()
+    if name not in _DOMAINS:
+        raise KeyError(
+            f"unknown LaSy language {name!r}; known: {sorted(_DOMAINS)}"
+        )
+    return _DOMAINS[name]
+
+
+def known_domains() -> Dict[str, Domain]:
+    _ensure_builtins()
+    return dict(_DOMAINS)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in domains so their registrations run."""
+    from . import strings, tables, xmldsl, pexfun  # noqa: F401

@@ -1,0 +1,371 @@
+"""The table-transformation domain (§6.1.2).
+
+Spreadsheet tables are immutable rectangular grids of strings (a tuple
+of equal-length row tuples). The DSL follows Harris & Gulwani's
+spreadsheet table transformations (PLDI'11): cell rearrangement and
+copying via row/column selection, transposition, stacking, and — per the
+paper's §6.1.2 extension — "more predicates … to handle a wider range of
+real world normalization scenarios", here reified as expert
+normalization kernels (unpivot, fill-down, subheader promotion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.dsl import Dsl, DslBuilder, Example, LambdaSpec
+from ..core.evaluator import EvaluationError
+from ..core.types import BOOL, INT, STRING, TABLE, Type, list_of
+from .registry import Domain, register_domain
+
+Row = Tuple[str, ...]
+TableValue = Tuple[Row, ...]
+
+ROW = list_of(STRING)
+
+
+def as_table(value: Any) -> TableValue:
+    """Validate and canonicalize a table value (rectangular, strings)."""
+    if not isinstance(value, tuple):
+        raise EvaluationError("expected a table")
+    rows: List[Row] = []
+    width = None
+    for row in value:
+        if not isinstance(row, tuple) or not all(
+            isinstance(c, str) for c in row
+        ):
+            raise EvaluationError("table rows must be tuples of strings")
+        if width is None:
+            width = len(row)
+        elif len(row) != width:
+            raise EvaluationError("table is not rectangular")
+        rows.append(row)
+    return tuple(rows)
+
+
+def table(rows: Sequence[Sequence[str]]) -> TableValue:
+    """Public constructor used by the suites and tests."""
+    return as_table(tuple(tuple(r) for r in rows))
+
+
+# -- basic accessors -----------------------------------------------------
+
+
+def num_rows(t: Any) -> int:
+    return len(as_table(t))
+
+
+def num_cols(t: Any) -> int:
+    t = as_table(t)
+    return len(t[0]) if t else 0
+
+
+def _check_row_index(t: TableValue, k: int) -> int:
+    if not -len(t) <= k < len(t):
+        raise EvaluationError("row index out of range")
+    return k
+
+
+def get_row(t: Any, k: int) -> Row:
+    t = as_table(t)
+    return t[_check_row_index(t, k)]
+
+
+def get_col(t: Any, k: int) -> Row:
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    return tuple(row[k] for row in t)
+
+
+def get_cell(t: Any, r: int, c: int) -> str:
+    row = get_row(t, r)
+    if not -len(row) <= c < len(row):
+        raise EvaluationError("column index out of range")
+    return row[c]
+
+
+# -- structural operations -------------------------------------------------
+
+
+def transpose(t: Any) -> TableValue:
+    t = as_table(t)
+    if not t:
+        return ()
+    return tuple(zip(*t))
+
+
+def drop_row(t: Any, k: int) -> TableValue:
+    t = as_table(t)
+    _check_row_index(t, k)
+    index = k % len(t)
+    return t[:index] + t[index + 1:]
+
+
+def drop_col(t: Any, k: int) -> TableValue:
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    index = k % len(t[0])
+    return tuple(row[:index] + row[index + 1:] for row in t)
+
+
+def take_rows(t: Any, k: int) -> TableValue:
+    t = as_table(t)
+    if k < 0 or k > len(t):
+        raise EvaluationError("take count out of range")
+    return t[:k]
+
+
+def skip_rows(t: Any, k: int) -> TableValue:
+    t = as_table(t)
+    if k < 0 or k > len(t):
+        raise EvaluationError("skip count out of range")
+    return t[k:]
+
+
+def stack(a: Any, b: Any) -> TableValue:
+    a, b = as_table(a), as_table(b)
+    if a and b and len(a[0]) != len(b[0]):
+        raise EvaluationError("stacked tables must share the width")
+    return as_table(a + b)
+
+
+def paste_cols(a: Any, b: Any) -> TableValue:
+    a, b = as_table(a), as_table(b)
+    if len(a) != len(b):
+        raise EvaluationError("pasted tables must share the height")
+    return tuple(ra + rb for ra, rb in zip(a, b))
+
+
+def from_row(row: Any) -> TableValue:
+    if not isinstance(row, tuple) or not all(isinstance(c, str) for c in row):
+        raise EvaluationError("expected a row of strings")
+    return (tuple(row),)
+
+
+def from_col(col: Any) -> TableValue:
+    if not isinstance(col, tuple) or not all(isinstance(c, str) for c in col):
+        raise EvaluationError("expected a column of strings")
+    return tuple((c,) for c in col)
+
+
+def filter_rows_nonempty(t: Any, k: int) -> TableValue:
+    """Rows whose k-th cell is non-empty."""
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    return tuple(row for row in t if row[k] != "")
+
+
+def filter_rows_eq(t: Any, k: int, value: str) -> TableValue:
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    return tuple(row for row in t if row[k] == value)
+
+
+def sort_rows_by(t: Any, k: int) -> TableValue:
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    return tuple(sorted(t, key=lambda row: row[k]))
+
+
+# -- normalization kernels (§6.1.2 "more predicates") -----------------------
+
+
+def unpivot(t: Any, keys: int) -> TableValue:
+    """Wide→long: the first row is headers, the first ``keys`` columns
+    identify the record; every further (header, value) pair becomes its
+    own output row. Empty values are skipped (missing observations)."""
+    t = as_table(t)
+    if len(t) < 2 or keys < 0 or keys >= len(t[0]):
+        raise EvaluationError("unpivot needs a header row and key columns")
+    header = t[0]
+    out: List[Row] = []
+    for row in t[1:]:
+        for j in range(keys, len(row)):
+            if row[j] == "":
+                continue
+            out.append(row[:keys] + (header[j], row[j]))
+    return tuple(out)
+
+
+def fill_down(t: Any, k: int) -> TableValue:
+    """Replace empty cells in column ``k`` with the nearest value above
+    (subheaded spreadsheet normalization)."""
+    t = as_table(t)
+    if not t or not -len(t[0]) <= k < len(t[0]):
+        raise EvaluationError("column index out of range")
+    current = ""
+    out: List[Row] = []
+    for row in t:
+        cell = row[k]
+        if cell != "":
+            current = cell
+        else:
+            row = row[:k] + (current,) + row[k + 1:]
+        out.append(row)
+    return tuple(out)
+
+
+def promote_subheaders(t: Any) -> TableValue:
+    """Rows where only the first cell is filled are group subheaders;
+    prepend the subheader value as a new key column on the group's rows
+    and drop the subheader rows."""
+    t = as_table(t)
+    if not t:
+        return ()
+    current = ""
+    out: List[Row] = []
+    for row in t:
+        if row[0] != "" and all(c == "" for c in row[1:]):
+            current = row[0]
+            continue
+        out.append((current,) + row)
+    return tuple(out)
+
+
+def delete_empty_rows(t: Any) -> TableValue:
+    t = as_table(t)
+    return tuple(row for row in t if any(c != "" for c in row))
+
+
+def map_rows(t: Any, fn: Any) -> TableValue:
+    out: List[Row] = []
+    for row in as_table(t):
+        mapped = fn(row)
+        if not isinstance(mapped, tuple) or not all(
+            isinstance(c, str) for c in mapped
+        ):
+            raise EvaluationError("MapRows body must produce rows")
+        out.append(tuple(mapped))
+    return as_table(tuple(out))
+
+
+def row_reverse(row: Any) -> Row:
+    if not isinstance(row, tuple):
+        raise EvaluationError("expected a row")
+    return tuple(reversed(row))
+
+
+def row_take(row: Any, k: int) -> Row:
+    if not isinstance(row, tuple) or k < 0 or k > len(row):
+        raise EvaluationError("row take out of range")
+    return tuple(row[:k])
+
+
+def row_skip(row: Any, k: int) -> Row:
+    if not isinstance(row, tuple) or k < 0 or k > len(row):
+        raise EvaluationError("row skip out of range")
+    return tuple(row[k:])
+
+
+def row_concat(a: Any, b: Any) -> Row:
+    if not isinstance(a, tuple) or not isinstance(b, tuple):
+        raise EvaluationError("expected rows")
+    return tuple(a) + tuple(b)
+
+
+# -- constants -------------------------------------------------------------
+
+
+def table_constants(examples: Sequence[Example]) -> Dict[str, List[Any]]:
+    """Small indexes plus cell values shared across example tables."""
+    ints = [0, 1, 2, 3, -1]
+    cells: List[str] = []
+    for example in examples:
+        for value in list(example.args) + [example.output]:
+            if isinstance(value, tuple):
+                for row in value:
+                    if isinstance(row, tuple):
+                        for cell in row:
+                            if (
+                                isinstance(cell, str)
+                                and cell
+                                and len(cell) <= 16
+                                and cell not in cells
+                            ):
+                                cells.append(cell)
+    return {"k": ints, "s": cells[:12]}
+
+
+# -- the DSL ----------------------------------------------------------------
+
+
+def make_tables_dsl() -> Dsl:
+    """The table-transformation DSL for the §6.1.2 benchmarks."""
+    b = DslBuilder("tables", start="P")
+    b.nt("P", TABLE)
+    b.nt("t", TABLE)
+    b.nt("row", ROW)
+    b.nt("k", INT)
+    b.nt("s", STRING)
+    b.nt("b", BOOL)
+
+    b.conditional("P", guard_nt="b", branch_nt="t")
+    b.unit("P", "t")
+
+    b.param("t")
+    b.constant("k")
+    b.constant("s")
+
+    b.fn("t", "Transpose", ["t"], transpose)
+    b.fn("t", "DropRow", ["t", "k"], drop_row)
+    b.fn("t", "DropCol", ["t", "k"], drop_col)
+    b.fn("t", "TakeRows", ["t", "k"], take_rows)
+    b.fn("t", "SkipRows", ["t", "k"], skip_rows)
+    b.fn("t", "Stack", ["t", "t"], stack)
+    b.fn("t", "PasteCols", ["t", "t"], paste_cols)
+    b.fn("t", "FromRow", ["row"], from_row)
+    b.fn("t", "FromCol", ["row"], from_col)
+    b.fn("t", "FilterRowsNonEmpty", ["t", "k"], filter_rows_nonempty)
+    b.fn("t", "FilterRowsEq", ["t", "k", "s"], filter_rows_eq)
+    b.fn("t", "SortRowsBy", ["t", "k"], sort_rows_by)
+    b.fn("t", "Unpivot", ["t", "k"], unpivot)
+    b.fn("t", "FillDown", ["t", "k"], fill_down)
+    b.fn("t", "PromoteSubheaders", ["t"], promote_subheaders)
+    b.fn("t", "DeleteEmptyRows", ["t"], delete_empty_rows)
+    b.fn(
+        "t",
+        "MapRows",
+        ["t", LambdaSpec(("r",), (ROW,), "row")],
+        map_rows,
+    )
+    b.var("row", "r")
+
+    b.fn("row", "GetRow", ["t", "k"], get_row)
+    b.fn("row", "GetCol", ["t", "k"], get_col)
+    b.fn("row", "RowReverse", ["row"], row_reverse)
+    b.fn("row", "RowTake", ["row", "k"], row_take)
+    b.fn("row", "RowSkip", ["row", "k"], row_skip)
+    b.fn("row", "RowConcat", ["row", "row"], row_concat)
+
+    b.fn("k", "NumRows", ["t"], num_rows)
+    b.fn("k", "NumCols", ["t"], num_cols)
+    b.fn("s", "GetCell", ["t", "k", "k"], get_cell)
+
+    b.fn("b", "EqK", ["k", "k"], lambda a, c: a == c)
+    b.fn("b", "LtK", ["k", "k"], lambda a, c: a < c)
+    b.fn("b", "EqS", ["s", "s"], lambda a, c: a == c)
+
+    b.constants_from(table_constants)
+    return b.build()
+
+
+def coerce_table(ty: Type, value: Any) -> Any:
+    if ty == TABLE and isinstance(value, tuple):
+        return as_table(value)
+    return value
+
+
+TABLES_DOMAIN = register_domain(
+    Domain(
+        name="tables",
+        make_dsl=make_tables_dsl,
+        coerce=coerce_table,
+        description="Spreadsheet table transformations "
+        "(after Harris & Gulwani, PLDI'11)",
+    )
+)

@@ -1,0 +1,43 @@
+"""Experiment drivers, one per table/figure of the paper's evaluation.
+
+=====  =========================================  ====================
+Id     Paper artifact                             Module
+=====  =========================================  ====================
+E1     §6.1.1 string transformations              strings_exp
+E2     §6.1.2 table transformations               tables_exp
+E3     §6.1.3 XML transformations                 xml_exp
+E4     §6.1.4 Pex4Fun game                        pexfun_exp
+F7/F8  §6.2 example-ordering sensitivity          ordering
+F9     §6.3 ablation                              ablation
+F10    §6.4 CDF of DBS run times                  cdf
+A1     §5.1 DSL-size limit (extra)                dslsize
+=====  =========================================  ====================
+"""
+
+from . import (
+    ablation,
+    cdf,
+    dslsize,
+    ordering,
+    pexfun_exp,
+    report_all,
+    strings_exp,
+    tables_exp,
+    xml_exp,
+)
+from .common import FAST, FULL, ExperimentConfig
+
+__all__ = [
+    "ExperimentConfig",
+    "FAST",
+    "FULL",
+    "ablation",
+    "cdf",
+    "dslsize",
+    "ordering",
+    "pexfun_exp",
+    "report_all",
+    "strings_exp",
+    "tables_exp",
+    "xml_exp",
+]

@@ -1,0 +1,119 @@
+"""F9 — §6.3 significance of the algorithm's parts.
+
+"In order to evaluate the usefulness of the different parts of our
+algorithm, we ran our benchmarks with parts of it disabled": the
+contexts and the subexpressions from the previous program (TDS's two
+information channels), individually and together, and the DSL guidance
+inside DBS. The figure counts how many benchmarks each configuration
+still synthesizes, per benchmark set.
+
+The Pex4Fun configuration has no "no DSL" bar — its DSL already encodes
+only the types, so that configuration is identical to "full" (we run a
+reduced puzzle sample under the TDS ablations only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..core.dbs import DbsOptions
+from ..core.tds import TdsOptions
+from ..pex.puzzles import PUZZLES
+from ..suites import ALL_SUITES
+from .common import ExperimentConfig, FAST, format_table, run_suite
+from .pexfun_exp import MANUAL_SEQUENCES
+
+CONFIGURATIONS: Dict[str, TdsOptions] = {
+    "full": TdsOptions(),
+    "no contexts": TdsOptions(use_contexts=False),
+    "no subexprs": TdsOptions(use_subexpressions=False),
+    "neither": TdsOptions(use_contexts=False, use_subexpressions=False),
+    "no DSL": TdsOptions(dbs=DbsOptions(use_dsl=False)),
+    # Our §7-inspired extension: angelic context pruning on top of the
+    # full algorithm (the paper suggests it as future preprocessing).
+    "angelic": TdsOptions(angelic_pruning=True),
+}
+
+
+@dataclass
+class AblationResult:
+    # counts[suite][configuration] = number synthesized
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    totals: Dict[str, int] = field(default_factory=dict)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    suites: Optional[Sequence[str]] = None,
+    pexfun_sample: int = 10,
+) -> AblationResult:
+    config = config or FAST
+    result = AblationResult()
+    chosen = suites if suites is not None else list(ALL_SUITES) + ["pexfun"]
+    for suite_name in chosen:
+        result.counts[suite_name] = {}
+        if suite_name == "pexfun":
+            puzzles = [
+                p for p in PUZZLES if p.expressible
+            ][:pexfun_sample]
+            result.totals[suite_name] = len(puzzles)
+            for conf_name, options in CONFIGURATIONS.items():
+                if conf_name == "no DSL":
+                    continue  # identical to full for the type-only DSL
+                from ..pex.game import play, play_with_manual_examples
+
+                solved = 0
+                for puzzle in puzzles:
+                    game = play(
+                        puzzle,
+                        budget_factory=config.budget_factory(),
+                        options=options,
+                    )
+                    if game.solved:
+                        solved += 1
+                    elif puzzle.name in MANUAL_SEQUENCES:
+                        retry = play_with_manual_examples(
+                            puzzle,
+                            MANUAL_SEQUENCES[puzzle.name],
+                            budget_factory=config.budget_factory(),
+                            options=options,
+                        )
+                        solved += retry.solved
+                result.counts[suite_name][conf_name] = solved
+            continue
+        benchmarks = ALL_SUITES[suite_name]
+        result.totals[suite_name] = len(benchmarks)
+        for conf_name, options in CONFIGURATIONS.items():
+            outcomes = run_suite(benchmarks, config, options=options)
+            result.counts[suite_name][conf_name] = sum(
+                1 for o in outcomes if o.success
+            )
+    return result
+
+
+def report(result: AblationResult) -> str:
+    configurations = list(CONFIGURATIONS)
+    rows = []
+    for suite, counts in result.counts.items():
+        rows.append(
+            [suite]
+            + [
+                f"{counts[c]}/{result.totals[suite]}" if c in counts else "n/a"
+                for c in configurations
+            ]
+        )
+    return "\n".join(
+        [
+            "F9 — synthesized per benchmark set × configuration (§6.3)",
+            format_table(["suite"] + configurations, rows),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""Shared machinery for the experiment drivers (one per table/figure)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.budget import Budget
+from ..core.tds import TdsOptions
+from ..suites.benchmark import Benchmark, BenchmarkOutcome
+
+
+@dataclass
+class ExperimentConfig:
+    """Budgets for one experiment run.
+
+    ``fast`` budgets keep the whole harness runnable in CI; ``full``
+    budgets approximate the paper's 3-minute DBS timeout scaled to this
+    host. Shapes (who wins, buckets, crossovers) are stable across the
+    two; absolute times are not comparable with the paper's 2009 hardware
+    (see EXPERIMENTS.md).
+    """
+
+    budget_seconds: float = 20.0
+    budget_expressions: int = 250_000
+    hard_multiplier: float = 2.0
+
+    def budget_factory(self, hard: bool = False) -> Callable[[], Budget]:
+        scale = self.hard_multiplier if hard else 1.0
+        return lambda: Budget(
+            max_seconds=self.budget_seconds * scale,
+            max_expressions=int(self.budget_expressions * scale),
+        )
+
+
+FAST = ExperimentConfig(
+    budget_seconds=12.0, budget_expressions=150_000, hard_multiplier=3.0
+)
+FULL = ExperimentConfig(budget_seconds=45.0, budget_expressions=600_000)
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    config: ExperimentConfig,
+    options: Optional[TdsOptions] = None,
+) -> BenchmarkOutcome:
+    start = time.monotonic()
+    try:
+        result = benchmark.run(
+            budget_factory=config.budget_factory(benchmark.hard),
+            options=options,
+        )
+        success = result.success
+        holdout = success and benchmark.check_holdout(result)
+        dbs_times = result.dbs_times
+    except Exception:
+        success = False
+        holdout = False
+        dbs_times = []
+    return BenchmarkOutcome(
+        benchmark=benchmark,
+        success=success,
+        holdout_ok=holdout,
+        elapsed=time.monotonic() - start,
+        dbs_times=dbs_times,
+    )
+
+
+def run_suite(
+    benchmarks: Sequence[Benchmark],
+    config: ExperimentConfig,
+    options: Optional[TdsOptions] = None,
+) -> List[BenchmarkOutcome]:
+    return [run_benchmark(b, config, options) for b in benchmarks]
+
+
+def time_buckets(
+    outcomes: Sequence[BenchmarkOutcome],
+    bounds: Tuple[float, ...] = (1.0, 5.0, 25.0),
+) -> List[Tuple[str, int]]:
+    """The paper's presentation: how many solved under each bound."""
+    rows: List[Tuple[str, int]] = []
+    previous = 0.0
+    solved = [o for o in outcomes if o.success]
+    for bound in bounds:
+        count = sum(1 for o in solved if previous <= o.elapsed < bound)
+        rows.append((f"{previous:g}-{bound:g}s", count))
+        previous = bound
+    rows.append((f">={previous:g}s", sum(1 for o in solved if o.elapsed >= previous)))
+    rows.append(("unsolved", sum(1 for o in outcomes if not o.success)))
+    return rows
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    widths = [len(h) for h in headers]
+    rendered = [[str(c) for c in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)
+
+
+@dataclass
+class SeriesResult:
+    """A named series of (x, y) points (for the figure experiments)."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)

@@ -1,0 +1,182 @@
+"""F7/F8 — §6.2 example-ordering sensitivity.
+
+The paper reran TDS on randomly reordered copies of the manually-ordered
+example sequences. Fig. 7 plots synthesis time (normalized so the
+curated order is 1) against the reordering's distance from the curated
+order (inversions, normalized so the full reversal is 1); Fig. 8 plots
+the failure proportion per distance bucket. Both showed: robust to
+small perturbations, increasingly slow/failing as the distance grows.
+
+We reuse the manual Pex4Fun sequences (the paper's hardest cases) plus
+the long string sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dsl import Example, Signature
+from ..core.tds import TdsOptions, tds
+from ..domains.registry import get_domain
+from .common import ExperimentConfig, FAST, format_table
+from .pexfun_exp import MANUAL_SEQUENCES
+from ..pex.puzzles import PUZZLES
+
+
+def normalized_inversions(order: Sequence[int]) -> float:
+    """Number of out-of-order pairs, normalized so the reversal is 1.0
+    (the paper's footnote-3 metric)."""
+    n = len(order)
+    if n < 2:
+        return 0.0
+    inversions = sum(
+        1
+        for i in range(n)
+        for j in range(i + 1, n)
+        if order[i] > order[j]
+    )
+    return inversions / (n * (n - 1) / 2)
+
+
+@dataclass
+class OrderingSample:
+    sequence: str
+    inversions: float
+    solved: bool
+    time_ratio: float  # synthesis time / curated-order time
+
+
+@dataclass
+class OrderingResult:
+    samples: List[OrderingSample] = field(default_factory=list)
+
+    def failure_buckets(
+        self, edges: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.01)
+    ) -> List[Tuple[str, int, int]]:
+        """Fig. 8: (bucket, failures, total) per inversion range."""
+        out: List[Tuple[str, int, int]] = []
+        low = 0.0
+        for high in edges:
+            bucket = [
+                s for s in self.samples if low <= s.inversions < high
+            ]
+            out.append(
+                (
+                    f"{low:.1f}-{min(high, 1.0):.1f}",
+                    sum(1 for s in bucket if not s.solved),
+                    len(bucket),
+                )
+            )
+            low = high
+        return out
+
+    def geometric_mean_ratios(self) -> List[Tuple[float, float]]:
+        """Fig. 7's line: geometric mean of time ratios per distance."""
+        groups: Dict[float, List[float]] = {}
+        for sample in self.samples:
+            if sample.solved and sample.time_ratio > 0:
+                key = round(sample.inversions, 1)
+                groups.setdefault(key, []).append(sample.time_ratio)
+        points = []
+        for key in sorted(groups):
+            ratios = groups[key]
+            product = 1.0
+            for r in ratios:
+                product *= r
+            points.append((key, product ** (1.0 / len(ratios))))
+        return points
+
+
+def _sequences() -> List[Tuple[str, Signature, List[Example]]]:
+    by_name = {p.name: p for p in PUZZLES}
+    out = []
+    for name, examples in MANUAL_SEQUENCES.items():
+        puzzle = by_name.get(name)
+        if puzzle is not None and len(examples) >= 4:
+            out.append((name, puzzle.signature, examples))
+    return out
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    reorderings_per_sequence: int = 6,
+    seed: int = 7,
+    options: Optional[TdsOptions] = None,
+) -> OrderingResult:
+    config = config or FAST
+    rng = random.Random(seed)
+    dsl = get_domain("pexfun").dsl()
+    result = OrderingResult()
+    for name, signature, examples in _sequences():
+        baseline = tds(
+            signature,
+            examples,
+            dsl,
+            budget_factory=config.budget_factory(),
+            options=options,
+        )
+        if not baseline.success or baseline.elapsed <= 0:
+            continue  # can't normalize against a failing curated order
+        result.samples.append(OrderingSample(name, 0.0, True, 1.0))
+        indexes = list(range(len(examples)))
+        # §6.2 also reports the exact reversal ("51 of [60] were also
+        # successfully synthesized with those test cases in reverse
+        # order"), so sample it deterministically alongside the random
+        # reorderings.
+        orders = [list(reversed(indexes))]
+        for _ in range(reorderings_per_sequence):
+            shuffled_order = indexes[:]
+            rng.shuffle(shuffled_order)
+            orders.append(shuffled_order)
+        for order in orders:
+            shuffled = [examples[i] for i in order]
+            outcome = tds(
+                signature,
+                shuffled,
+                dsl,
+                budget_factory=config.budget_factory(),
+                options=options,
+            )
+            result.samples.append(
+                OrderingSample(
+                    sequence=name,
+                    inversions=normalized_inversions(order),
+                    solved=outcome.success,
+                    time_ratio=(
+                        outcome.elapsed / baseline.elapsed
+                        if outcome.success
+                        else 0.0
+                    ),
+                )
+            )
+    return result
+
+
+def report(result: OrderingResult) -> str:
+    fig7 = format_table(
+        ["norm. inversions", "geo-mean time ratio"],
+        [[f"{x:.1f}", f"{y:.2f}"] for x, y in result.geometric_mean_ratios()],
+    )
+    fig8 = format_table(
+        ["bucket", "failed", "total"],
+        [[b, f, t] for b, f, t in result.failure_buckets()],
+    )
+    return "\n".join(
+        [
+            "F7 — normalized time vs. reordering distance (§6.2)",
+            fig7,
+            "",
+            "F8 — failure proportion per distance bucket (§6.2)",
+            fig8,
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

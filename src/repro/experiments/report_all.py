@@ -1,0 +1,96 @@
+"""Run every experiment and emit one consolidated report.
+
+``python -m repro.experiments.report_all [--full]`` regenerates all the
+paper's tables and figures in sequence and prints the combined report —
+the source for EXPERIMENTS.md's "measured" column.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List
+
+from . import (
+    ablation,
+    cdf,
+    dslsize,
+    ordering,
+    pexfun_exp,
+    strings_exp,
+    tables_exp,
+    xml_exp,
+)
+from .common import FAST, FULL, ExperimentConfig, time_buckets
+
+
+def run_all(config: ExperimentConfig) -> str:
+    sections: List[str] = []
+
+    def add(title: str, body: str, started: float) -> None:
+        sections.append(
+            f"{'=' * 72}\n{title}  ({time.monotonic() - started:.0f}s)\n"
+            f"{'=' * 72}\n{body}"
+        )
+
+    t = time.monotonic()
+    rows = strings_exp.run(config, include_sketch=True, sketch_seconds=6)
+    buckets = "; ".join(
+        f"{name}: {count}"
+        for name, count in time_buckets(
+            [_as_outcome(r) for r in rows]
+        )
+    )
+    add("E1 strings", strings_exp.report(rows) + f"\nbuckets: {buckets}", t)
+
+    t = time.monotonic()
+    add("E2 tables", tables_exp.report(tables_exp.run(config)), t)
+
+    t = time.monotonic()
+    add(
+        "E3 xml",
+        xml_exp.report(xml_exp.run(config, include_sketch=True, sketch_seconds=6)),
+        t,
+    )
+
+    t = time.monotonic()
+    add("E4 pexfun", pexfun_exp.report(pexfun_exp.run(config)), t)
+
+    t = time.monotonic()
+    add(
+        "F7/F8 ordering",
+        ordering.report(ordering.run(config, reorderings_per_sequence=4)),
+        t,
+    )
+
+    t = time.monotonic()
+    add("F9 ablation", ablation.report(ablation.run(config)), t)
+
+    t = time.monotonic()
+    add("F10 cdf", cdf.report(cdf.run(config)), t)
+
+    t = time.monotonic()
+    add("A1 dsl size", dslsize.report(dslsize.run(config)), t)
+
+    return "\n\n".join(sections)
+
+
+def _as_outcome(row):
+    from ..suites.benchmark import Benchmark, BenchmarkOutcome
+
+    return BenchmarkOutcome(
+        benchmark=Benchmark(row.name, "", "strings"),
+        success=row.tds_solved,
+        holdout_ok=row.tds_holdout,
+        elapsed=row.tds_seconds,
+        dbs_times=[],
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    config = FULL if "--full" in sys.argv else FAST
+    print(run_all(config))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,146 @@
+"""E1 — §6.1.1 string transformations.
+
+Regenerates the section's reported rows: per-sequence synthesis outcome
+and timing bucket for TDS, the FlashFill (VSA) comparison — which solves
+the in-scope tasks "in well under a second" and rejects the rest — and
+the Sketch-like baseline, which times out across the board.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baselines.flashfill import try_learn
+from ..baselines.sketch import sketch_synthesize
+from ..core.budget import Budget
+from ..core.values import structurally_equal
+from ..domains.registry import get_domain
+from ..lasy.parser import parse_lasy
+from ..lasy.runner import _coerce_example
+from ..suites.strings_suite import STRING_BENCHMARKS
+from .common import ExperimentConfig, FAST, format_table, run_suite, time_buckets
+
+
+@dataclass
+class StringRow:
+    name: str
+    n_examples: int
+    tds_solved: bool
+    tds_holdout: bool
+    tds_seconds: float
+    flashfill_solved: bool
+    flashfill_seconds: float
+    sketch_solved: bool
+    sketch_seconds: float
+
+
+def _primary_examples(benchmark):
+    program = parse_lasy(benchmark.source)
+    domain = get_domain(benchmark.domain)
+    primary = next(
+        d for d in program.declarations if not d.is_lookup
+    )
+    examples = [
+        _coerce_example(domain, primary.signature, stmt)
+        for stmt in program.examples
+        if stmt.func_name == primary.name
+    ]
+    return primary.signature, examples
+
+
+def _flashfill_on(benchmark):
+    signature, examples = _primary_examples(benchmark)
+    start = time.monotonic()
+    # FlashFill handles pure string rows (no int params, no helpers).
+    if any(ty.name != "str" for ty in signature.param_types):
+        return False, time.monotonic() - start
+    program = try_learn(examples)
+    if program is None:
+        return False, time.monotonic() - start
+    for example in examples:
+        try:
+            value = program(*example.args)
+        except Exception:
+            return False, time.monotonic() - start
+        if not structurally_equal(value, example.output):
+            return False, time.monotonic() - start
+    return True, time.monotonic() - start
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    include_sketch: bool = True,
+    sketch_seconds: float = 10.0,
+) -> List[StringRow]:
+    config = config or FAST
+    outcomes = run_suite(STRING_BENCHMARKS, config)
+    rows: List[StringRow] = []
+    for outcome in outcomes:
+        benchmark = outcome.benchmark
+        ff_solved, ff_time = _flashfill_on(benchmark)
+        if include_sketch:
+            signature, examples = _primary_examples(benchmark)
+            sk = sketch_synthesize(
+                signature,
+                examples,
+                get_domain("strings").dsl(),
+                budget=Budget(max_seconds=sketch_seconds),
+            )
+            sk_solved, sk_time = sk.solved, sk.elapsed
+        else:
+            sk_solved, sk_time = False, 0.0
+        rows.append(
+            StringRow(
+                name=benchmark.name,
+                n_examples=benchmark.n_examples(),
+                tds_solved=outcome.success,
+                tds_holdout=outcome.holdout_ok,
+                tds_seconds=outcome.elapsed,
+                flashfill_solved=ff_solved,
+                flashfill_seconds=ff_time,
+                sketch_solved=sk_solved,
+                sketch_seconds=sk_time,
+            )
+        )
+    return rows
+
+
+def report(rows: List[StringRow]) -> str:
+    table = format_table(
+        ["sequence", "#ex", "TDS", "t(s)", "holdout", "FlashFill", "t(s)", "Sketch-like"],
+        [
+            [
+                r.name,
+                r.n_examples,
+                "yes" if r.tds_solved else "NO",
+                f"{r.tds_seconds:.2f}",
+                "ok" if r.tds_holdout else "-",
+                "yes" if r.flashfill_solved else "no",
+                f"{r.flashfill_seconds:.3f}",
+                "yes" if r.sketch_solved else "timeout",
+            ]
+            for r in rows
+        ],
+    )
+    solved = sum(r.tds_solved for r in rows)
+    ff = sum(r.flashfill_solved for r in rows)
+    sk = sum(r.sketch_solved for r in rows)
+    lines = [
+        "E1 — string transformations (§6.1.1)",
+        table,
+        f"TDS solved {solved}/{len(rows)}; FlashFill {ff}/{len(rows)} "
+        f"(in-scope tasks only, max "
+        f"{max((r.flashfill_seconds for r in rows), default=0):.3f}s); "
+        f"Sketch-like {sk}/{len(rows)}.",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""E3 — §6.1.3 XML transformations.
+
+Per-benchmark TDS outcome and timing, plus the Sketch-like baseline
+("we also implemented the DSL and benchmarks in Sketch, which was unable
+to synthesize any of them within 10 minutes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baselines.sketch import sketch_synthesize
+from ..core.budget import Budget
+from ..domains.registry import get_domain
+from ..lasy.parser import parse_lasy
+from ..lasy.runner import _coerce_example
+from ..suites.xml_suite import XML_BENCHMARKS
+from .common import ExperimentConfig, FAST, format_table, run_suite
+
+
+@dataclass
+class XmlRow:
+    name: str
+    n_examples: int
+    tds_solved: bool
+    tds_holdout: bool
+    tds_seconds: float
+    sketch_solved: bool
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    include_sketch: bool = True,
+    sketch_seconds: float = 10.0,
+) -> List[XmlRow]:
+    config = config or FAST
+    outcomes = run_suite(XML_BENCHMARKS, config)
+    rows: List[XmlRow] = []
+    for outcome in outcomes:
+        benchmark = outcome.benchmark
+        sketch_solved = False
+        if include_sketch:
+            program = parse_lasy(benchmark.source)
+            domain = get_domain("xml")
+            primary = next(
+                d for d in program.declarations if not d.is_lookup
+            )
+            examples = [
+                _coerce_example(domain, primary.signature, stmt)
+                for stmt in program.examples
+                if stmt.func_name == primary.name
+            ]
+            sketch_solved = sketch_synthesize(
+                primary.signature,
+                examples,
+                domain.dsl(),
+                budget=Budget(max_seconds=sketch_seconds),
+            ).solved
+        rows.append(
+            XmlRow(
+                name=benchmark.name,
+                n_examples=benchmark.n_examples(),
+                tds_solved=outcome.success,
+                tds_holdout=outcome.holdout_ok,
+                tds_seconds=outcome.elapsed,
+                sketch_solved=sketch_solved,
+            )
+        )
+    return rows
+
+
+def report(rows: List[XmlRow]) -> str:
+    table = format_table(
+        ["benchmark", "#ex", "TDS", "t(s)", "holdout", "Sketch-like"],
+        [
+            [
+                r.name,
+                r.n_examples,
+                "yes" if r.tds_solved else "NO",
+                f"{r.tds_seconds:.2f}",
+                "ok" if r.tds_holdout else "-",
+                "yes" if r.sketch_solved else "timeout",
+            ]
+            for r in rows
+        ],
+    )
+    solved = sum(r.tds_solved for r in rows)
+    sk = sum(r.sketch_solved for r in rows)
+    return "\n".join(
+        [
+            "E3 — XML transformations (§6.1.3)",
+            table,
+            f"TDS solved {solved}/{len(rows)}; Sketch-like {sk}/{len(rows)}.",
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,22 @@
+"""The LaSy front-end language (Fig. 5): parser, runner, codegen."""
+
+from .codegen import compile_python, runtime_namespace, to_csharp, to_python
+from .parser import LasyParseError, parse_lasy, parse_lasy_type
+from .program import FunctionDecl, LasyProgram, RequireStmt
+from .runner import LasyRunResult, run_lasy, synthesize
+
+__all__ = [
+    "FunctionDecl",
+    "LasyParseError",
+    "LasyProgram",
+    "LasyRunResult",
+    "RequireStmt",
+    "parse_lasy",
+    "parse_lasy_type",
+    "run_lasy",
+    "synthesize",
+    "compile_python",
+    "runtime_namespace",
+    "to_csharp",
+    "to_python",
+]

@@ -1,0 +1,286 @@
+"""Parser for the LaSy programming-by-example language (Fig. 5).
+
+Grammar::
+
+    P ::= language I; F* E*
+    F ::= function t f((t x,)*);  |  lookup t f((t x,)*);
+    E ::= require f((V,)*) == V;
+
+LaSy leans on its host language (C# in the paper) for types and literal
+values; this parser supports the literal forms the paper's programs use:
+double-quoted strings with C-style escapes, integers, ``true``/``false``,
+single-quoted chars, and ``{...}`` array literals. Type names are C#-ish:
+``string``, ``int``, ``bool``, ``char``, ``T[]``, ``XDocument``,
+``XElement``, ``Table``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.dsl import Signature
+from ..core.types import (
+    BOOL,
+    CHAR,
+    INT,
+    STRING,
+    TABLE,
+    XML,
+    Type,
+    list_of,
+)
+from .program import FunctionDecl, LasyProgram, RequireStmt
+
+
+class LasyParseError(ValueError):
+    """A LaSy source file could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+_TYPE_NAMES = {
+    "string": STRING,
+    "int": INT,
+    "bool": BOOL,
+    "char": CHAR,
+    "XDocument": XML,
+    "XElement": XML,
+    "Table": TABLE,
+}
+
+
+def parse_lasy_type(name: str) -> Type:
+    """Map a C#-ish LaSy type name onto a core type."""
+    name = name.strip()
+    if name.endswith("[]"):
+        return list_of(parse_lasy_type(name[:-2]))
+    if name in _TYPE_NAMES:
+        return _TYPE_NAMES[name]
+    raise LasyParseError(f"unknown LaSy type {name!r}")
+
+
+# ---------------------------------------------------------------------
+# Lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:\[\])?)
+  | (?P<eqeq>==)
+  | (?P<punct>[;(),{}])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LasyParseError(
+                f"unexpected character {source[pos]!r}", line
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    return tokens
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+    "0": "\0",
+}
+
+
+def unescape(body: str, line: int = 0) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise LasyParseError("dangling escape in string literal", line)
+            esc = body[i]
+            if esc not in _ESCAPES:
+                raise LasyParseError(f"unknown escape \\{esc}", line)
+            out.append(_ESCAPES[esc])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------
+# Parser
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            last_line = self.tokens[-1].line if self.tokens else 0
+            raise LasyParseError("unexpected end of input", last_line)
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise LasyParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line
+            )
+        return token
+
+    def expect_ident(self, text: Optional[str] = None) -> Token:
+        return self.expect("ident", text)
+
+    # -- grammar ------------------------------------------------------
+
+    def parse_program(self) -> LasyProgram:
+        self.expect_ident("language")
+        lang = self.expect("ident").text
+        self.expect("punct", ";")
+        program = LasyProgram(language=lang)
+        while self.peek() is not None:
+            token = self.peek()
+            assert token is not None
+            if token.kind == "ident" and token.text in ("function", "lookup"):
+                program.declarations.append(self.parse_declaration())
+            elif token.kind == "ident" and token.text == "require":
+                program.examples.append(self.parse_require())
+            else:
+                raise LasyParseError(
+                    f"expected a declaration or require, found "
+                    f"{token.text!r}",
+                    token.line,
+                )
+        program.validate()
+        return program
+
+    def parse_declaration(self) -> FunctionDecl:
+        keyword = self.next()
+        is_lookup = keyword.text == "lookup"
+        ret_type = parse_lasy_type(self.expect("ident").text)
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: List[Tuple[str, Type]] = []
+        if self.peek() and self.peek().text != ")":
+            while True:
+                pty = parse_lasy_type(self.expect("ident").text)
+                pname = self.expect("ident").text
+                params.append((pname, pty))
+                token = self.next()
+                if token.text == ")":
+                    break
+                if token.text != ",":
+                    raise LasyParseError(
+                        f"expected ',' or ')', found {token.text!r}",
+                        token.line,
+                    )
+        else:
+            self.expect("punct", ")")
+        self.expect("punct", ";")
+        return FunctionDecl(
+            Signature(name, tuple(params), ret_type), is_lookup=is_lookup
+        )
+
+    def parse_require(self) -> RequireStmt:
+        self.expect_ident("require")
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        args: List[Any] = []
+        if self.peek() and self.peek().text != ")":
+            while True:
+                args.append(self.parse_value())
+                token = self.next()
+                if token.text == ")":
+                    break
+                if token.text != ",":
+                    raise LasyParseError(
+                        f"expected ',' or ')', found {token.text!r}",
+                        token.line,
+                    )
+        else:
+            self.expect("punct", ")")
+        self.expect("eqeq")
+        output = self.parse_value()
+        self.expect("punct", ";")
+        return RequireStmt(name, tuple(args), output)
+
+    def parse_value(self) -> Any:
+        token = self.next()
+        if token.kind == "string":
+            return unescape(token.text[1:-1], token.line)
+        if token.kind == "char":
+            return unescape(token.text[1:-1], token.line)
+        if token.kind == "number":
+            return int(token.text)
+        if token.kind == "ident" and token.text in ("true", "false"):
+            return token.text == "true"
+        if token.text == "{":
+            items: List[Any] = []
+            nxt = self.peek()
+            if nxt is not None and nxt.text == "}":
+                self.next()
+                return tuple(items)
+            while True:
+                items.append(self.parse_value())
+                closing = self.next()
+                if closing.text == "}":
+                    break
+                if closing.text != ",":
+                    raise LasyParseError(
+                        f"expected ',' or '}}', found {closing.text!r}",
+                        closing.line,
+                    )
+            return tuple(items)
+        raise LasyParseError(f"expected a value, found {token.text!r}", token.line)
+
+
+def parse_lasy(source: str) -> LasyProgram:
+    """Parse LaSy source text into a :class:`LasyProgram`.
+
+    >>> prog = parse_lasy('''
+    ...     language strings;
+    ...     function string F(string a);
+    ...     require F("x") == "X";
+    ... ''')
+    >>> prog.language, prog.declarations[0].name, prog.examples[0].output
+    ('strings', 'F', 'X')
+    """
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,72 @@
+"""The LaSy program AST (Fig. 5).
+
+A LaSy program is a language reference, a list of function (or lookup)
+declarations, and an *ordered* sequence of ``require`` examples. The
+order of the examples is part of the program's meaning (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from ..core.dsl import Signature
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """``function t f(t x, ...);`` or ``lookup t f(t x, ...);``."""
+
+    signature: Signature
+    is_lookup: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.signature.name
+
+
+@dataclass(frozen=True)
+class RequireStmt:
+    """``require f(V1, ...) == VR;``."""
+
+    func_name: str
+    args: Tuple[Any, ...]
+    output: Any
+
+
+@dataclass
+class LasyProgram:
+    """A parsed LaSy program."""
+
+    language: str
+    declarations: List[FunctionDecl] = field(default_factory=list)
+    examples: List[RequireStmt] = field(default_factory=list)
+
+    def declaration(self, name: str) -> FunctionDecl:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no declaration for function {name!r}")
+
+    def examples_for(self, name: str) -> List[RequireStmt]:
+        return [e for e in self.examples if e.func_name == name]
+
+    def validate(self) -> None:
+        """Every example must reference a declared function with the
+        right arity."""
+        names = {d.name for d in self.declarations}
+        if len(names) != len(self.declarations):
+            raise ValueError("duplicate function declarations")
+        for stmt in self.examples:
+            if stmt.func_name not in names:
+                raise ValueError(
+                    f"require references undeclared function "
+                    f"{stmt.func_name!r}"
+                )
+            decl = self.declaration(stmt.func_name)
+            if len(stmt.args) != len(decl.signature.params):
+                raise ValueError(
+                    f"require for {stmt.func_name!r} has "
+                    f"{len(stmt.args)} arguments, expected "
+                    f"{len(decl.signature.params)}"
+                )

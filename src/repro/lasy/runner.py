@@ -1,0 +1,158 @@
+"""Synthesize a whole LaSy program.
+
+The runner walks the program's ``require`` statements *in order*,
+dispatching each to the TDS session of the function it constrains.
+Lookup declarations simply accumulate their examples (§2.2). Functions
+may call previously-synthesized LaSy functions (``_LASY_FN``): the
+shared ``lasy_fns`` mapping is updated after every successful step, so a
+later function sees the helpers' latest programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..core.budget import Budget
+from ..core.dsl import Example, Signature
+from ..core.program import LookupFunction, SynthesizedFunction
+from ..core.tds import TdsOptions, TdsResult, TdsSession
+from ..domains.registry import Domain, get_domain
+from .program import LasyProgram, RequireStmt
+
+SynthesizedCallable = Union[SynthesizedFunction, LookupFunction]
+
+
+@dataclass
+class LasyRunResult:
+    """Outcome of synthesizing a LaSy program."""
+
+    program: LasyProgram
+    functions: Dict[str, SynthesizedCallable]
+    results: Dict[str, TdsResult]
+    success: bool
+    elapsed: float
+    steps: List = field(default_factory=list)
+
+    @property
+    def dbs_times(self) -> List[float]:
+        """All DBS invocation times across all functions (Fig. 10)."""
+        out: List[float] = []
+        for result in self.results.values():
+            out.extend(result.dbs_times)
+        return out
+
+    def __getitem__(self, name: str) -> SynthesizedCallable:
+        return self.functions[name]
+
+
+def run_lasy(
+    program: LasyProgram,
+    domain: Optional[Domain] = None,
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    options: Optional[TdsOptions] = None,
+) -> LasyRunResult:
+    """Synthesize every function of ``program``; returns callables."""
+    start = time.monotonic()
+    domain = domain or get_domain(program.language)
+    dsl = domain.dsl()
+
+    lasy_fns: Dict[str, Any] = {}
+    signatures: Dict[str, Signature] = {
+        decl.name: decl.signature for decl in program.declarations
+    }
+    lookups: Dict[str, LookupFunction] = {}
+    sessions: Dict[str, TdsSession] = {}
+
+    for decl in program.declarations:
+        if decl.is_lookup:
+            lookup = LookupFunction(decl.signature)
+            lookups[decl.name] = lookup
+            lasy_fns[decl.name] = lookup
+        else:
+            other_signatures = {
+                name: sig
+                for name, sig in signatures.items()
+                if name != decl.name
+            }
+            sessions[decl.name] = TdsSession(
+                decl.signature,
+                dsl,
+                budget_factory=budget_factory,
+                lasy_fns=lasy_fns,
+                lasy_signatures=other_signatures,
+                options=options,
+            )
+
+    steps = []
+    for stmt in program.examples:
+        example = _coerce_example(domain, signatures[stmt.func_name], stmt)
+        if stmt.func_name in lookups:
+            lookups[stmt.func_name].add(example)
+            continue
+        session = sessions[stmt.func_name]
+        step = session.add_example(example)
+        steps.append((stmt.func_name, step))
+        if session.program is not None:
+            lasy_fns[stmt.func_name] = session.current_function()
+
+    results: Dict[str, TdsResult] = {}
+    success = True
+    for name, session in sessions.items():
+        result = session.finalize()
+        results[name] = result
+        if result.program is not None:
+            lasy_fns[name] = session.current_function()
+        success = success and result.success
+
+    functions: Dict[str, SynthesizedCallable] = {}
+    functions.update(lookups)
+    for name, session in sessions.items():
+        fn = session.current_function()
+        if fn is not None:
+            functions[name] = fn
+
+    return LasyRunResult(
+        program=program,
+        functions=functions,
+        results=results,
+        success=success,
+        elapsed=time.monotonic() - start,
+        steps=steps,
+    )
+
+
+def _coerce_example(
+    domain: Domain, signature: Signature, stmt: RequireStmt
+) -> Example:
+    """Materialize LaSy literals into domain values (e.g. XML strings
+    into XML trees) according to the declared parameter types."""
+    args = tuple(
+        domain.coerce(ty, value)
+        for (_, ty), value in zip(signature.params, stmt.args)
+    )
+    output = domain.coerce(signature.return_type, stmt.output)
+    return Example(args, output)
+
+
+def synthesize(
+    source: str,
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    options: Optional[TdsOptions] = None,
+) -> LasyRunResult:
+    """Parse and synthesize LaSy source text — the library's front door.
+
+    >>> result = synthesize('''
+    ...     language pexfun;
+    ...     function int Id(int x);
+    ...     require Id(3) == 3;
+    ... ''')  # doctest: +SKIP
+    """
+    from .parser import parse_lasy
+
+    return run_lasy(
+        parse_lasy(source),
+        budget_factory=budget_factory,
+        options=options,
+    )

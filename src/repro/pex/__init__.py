@@ -1,0 +1,19 @@
+"""Simulated Pex oracle and the Pex4Fun game (§6.1.4)."""
+
+from .feedback import Feedback, generate_feedback
+from .game import GameResult, MAX_ITERATIONS, play, play_with_manual_examples
+from .oracle import Oracle
+from .puzzles import PUZZLES, Puzzle, puzzles_by_category
+
+__all__ = [
+    "Feedback",
+    "GameResult",
+    "generate_feedback",
+    "MAX_ITERATIONS",
+    "Oracle",
+    "PUZZLES",
+    "Puzzle",
+    "play",
+    "play_with_manual_examples",
+    "puzzles_by_category",
+]

@@ -1,0 +1,115 @@
+"""Feedback generation for Pex4Fun players (§8 future work).
+
+"[We intend to] use the synthesizer to generate feedback for the
+Pex4Fun game and introductory programming assignments." Given a player's
+attempt at a puzzle, this module produces:
+
+1. the oracle's distinguishing input (what Pex would show the player);
+2. the *smallest repair*: the player's program re-synthesized against
+   the counterexamples via incremental TDS — because TDS modifies one
+   subexpression at a time, the diff localizes the bug;
+3. a readable rendering of the repair in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..core.budget import Budget
+from ..core.dsl import Example
+from ..core.expr import Expr
+from ..core.incremental import resynthesize
+from ..domains.registry import get_domain
+from ..lasy.codegen import to_python
+from .oracle import Oracle
+from .puzzles import Puzzle
+
+
+@dataclass
+class Feedback:
+    """What a Pex4Fun player would be shown."""
+
+    puzzle: Puzzle
+    correct: bool
+    counterexamples: List[Example]
+    repaired_program: Optional[Expr] = None
+    suggestion: Optional[str] = None
+
+    def render(self) -> str:
+        if self.correct:
+            return f"{self.puzzle.name}: correct — no distinguishing input."
+        lines = [f"{self.puzzle.name}: not yet correct."]
+        for example in self.counterexamples:
+            rendered_args = ", ".join(repr(a) for a in example.args)
+            lines.append(
+                f"  your code disagrees on ({rendered_args}): "
+                f"expected {example.output!r}"
+            )
+        if self.suggestion is not None:
+            lines.append("  a minimal repair of your approach:")
+            lines.extend("    " + line for line in self.suggestion.splitlines())
+        return "\n".join(lines)
+
+
+def generate_feedback(
+    puzzle: Puzzle,
+    player_program: Optional[Expr],
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    max_rounds: int = 3,
+    oracle_seed: int = 0,
+) -> Feedback:
+    """Check a player's program and synthesize a localized repair.
+
+    ``player_program`` is an expression over the Pex4Fun DSL (the shape
+    a player's submission reaches us in after parsing); ``None`` models
+    an empty submission.
+    """
+    budget_factory = budget_factory or (
+        lambda: Budget(max_seconds=10, max_expressions=120_000)
+    )
+    dsl = get_domain("pexfun").dsl()
+    oracle = Oracle(puzzle, seed=oracle_seed)
+    fn = _as_callable(player_program, puzzle)
+    first = oracle.find_counterexample(fn)
+    if first is None:
+        return Feedback(puzzle, True, [])
+
+    counterexamples = [first]
+    program = player_program
+    for _ in range(max_rounds):
+        result = resynthesize(
+            puzzle.signature,
+            program,
+            counterexamples,
+            dsl,
+            budget_factory=budget_factory,
+        )
+        program = result.program
+        if program is None:
+            break
+        fn = _as_callable(program, puzzle)
+        nxt = oracle.find_counterexample(fn)
+        if nxt is None:
+            return Feedback(
+                puzzle,
+                False,
+                counterexamples,
+                repaired_program=program,
+                suggestion=to_python(puzzle.signature, program),
+            )
+        counterexamples.append(nxt)
+    return Feedback(puzzle, False, counterexamples)
+
+
+def _as_callable(program: Optional[Expr], puzzle: Puzzle):
+    if program is None:
+        return None
+    from ..core.evaluator import run_program
+
+    def fn(*args: Any):
+        return run_program(
+            program, puzzle.signature.param_names, args
+        )
+
+    return fn

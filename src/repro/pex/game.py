@@ -1,0 +1,114 @@
+"""The Pex4Fun game loop (§6.1.4).
+
+"Each time the player thinks they have a solution, the Pex test
+generation tool … generates a distinguishing input if the player's code
+does not match the specification." Here the player is TDS: each oracle
+counterexample becomes the next example of the session, up to the
+paper's cap of 7 iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.budget import Budget
+from ..core.dsl import Example
+from ..core.tds import TdsOptions, TdsSession
+from ..domains.registry import get_domain
+from .oracle import Oracle
+from .puzzles import Puzzle
+
+MAX_ITERATIONS = 7  # the paper's cap
+
+
+@dataclass
+class GameResult:
+    puzzle: Puzzle
+    solved: bool
+    iterations: int
+    examples: List[Example]
+    elapsed: float
+    dbs_times: List[float] = field(default_factory=list)
+    program: Optional[object] = None
+
+
+def play(
+    puzzle: Puzzle,
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    options: Optional[TdsOptions] = None,
+    max_iterations: int = MAX_ITERATIONS,
+    oracle_seed: int = 0,
+) -> GameResult:
+    """Play one puzzle: synthesize, ask Pex, repeat (≤ 7 rounds)."""
+    start = time.monotonic()
+    dsl = get_domain("pexfun").dsl()
+    oracle = Oracle(puzzle, seed=oracle_seed)
+    session = TdsSession(
+        puzzle.signature, dsl, budget_factory=budget_factory, options=options
+    )
+    examples: List[Example] = []
+    solved = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        candidate = session.current_function()
+        counterexample = oracle.find_counterexample(candidate)
+        if counterexample is None:
+            solved = True
+            iterations -= 1  # the last round found nothing to refute
+            break
+        examples.append(counterexample)
+        session.add_example(counterexample)
+        if session.program is None:
+            # TDS could not even fit the prefix; give the failure counter
+            # another round, as the algorithm prescribes, via the next
+            # counterexample (which will repeat).
+            continue
+    else:
+        candidate = session.current_function()
+        solved = oracle.find_counterexample(candidate) is None
+    return GameResult(
+        puzzle=puzzle,
+        solved=solved,
+        iterations=iterations,
+        examples=examples,
+        elapsed=time.monotonic() - start,
+        dbs_times=[s.dbs_time for s in session.steps if s.action != "satisfied"],
+        program=session.program,
+    )
+
+
+def play_with_manual_examples(
+    puzzle: Puzzle,
+    examples: List[Example],
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    options: Optional[TdsOptions] = None,
+    oracle_seed: int = 0,
+) -> GameResult:
+    """The paper's fallback: "a sequence of test cases was generated
+    manually to synthesize solutions to those puzzles". The manual
+    sequence is fed in order; the oracle then verifies the result."""
+    start = time.monotonic()
+    dsl = get_domain("pexfun").dsl()
+    session = TdsSession(
+        puzzle.signature, dsl, budget_factory=budget_factory, options=options
+    )
+    for example in examples:
+        session.add_example(example)
+    session.finalize()
+    oracle = Oracle(puzzle, seed=oracle_seed)
+    candidate = session.current_function()
+    solved = (
+        candidate is not None
+        and oracle.find_counterexample(candidate) is None
+    )
+    return GameResult(
+        puzzle=puzzle,
+        solved=solved,
+        iterations=len(examples),
+        examples=list(examples),
+        elapsed=time.monotonic() - start,
+        dbs_times=[s.dbs_time for s in session.steps if s.action != "satisfied"],
+        program=session.program,
+    )

@@ -1,0 +1,345 @@
+"""Pex4Fun puzzles: secret reference solutions (§6.1.4).
+
+The paper played 172 (proprietary) Pex4Fun puzzles; we reimplement an
+86-puzzle suite spanning the same categories it names — the solved
+examples (factorial, swapping array elements, delimiter-directed
+summing, concat-first-and-last) and the named failure categories
+(looping structures outside the strategies like 3n+1 step counting,
+missing components like bitwise ops, and arithmetic too large for
+component-based search like specific cubic polynomials).
+
+Each puzzle carries the secret reference solution the simulated Pex
+oracle tests against, plus seed inputs that characterize its domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..core.dsl import Signature
+from ..core.types import BOOL, INT, STRING, list_of
+
+STRS = list_of(STRING)
+INTS = list_of(INT)
+
+
+@dataclass
+class Puzzle:
+    """One Pex4Fun puzzle: a secret reference solution."""
+
+    name: str
+    signature: Signature
+    reference: Callable[..., Any]
+    category: str
+    seeds: List[Tuple[Any, ...]] = field(default_factory=list)
+    # Whether the suite author believes the DSL can express a solution;
+    # mirrors the paper's post-hoc failure taxonomy, used only in docs.
+    expressible: bool = True
+
+
+def _sig(name: str, params: Sequence[Tuple[str, Any]], ret: Any) -> Signature:
+    return Signature(name, tuple(params), ret)
+
+
+def _csharp_div(a: int, b: int) -> int:
+    return int(a / b)
+
+
+def _csharp_mod(a: int, b: int) -> int:
+    return a - b * int(a / b)
+
+
+PUZZLES: List[Puzzle] = []
+
+
+def _add(puzzle: Puzzle) -> None:
+    PUZZLES.append(puzzle)
+
+
+# ---------------------------------------------------------------------
+# Arithmetic puzzles
+
+_add(Puzzle("identity-int", _sig("P", [("x", INT)], INT), lambda x: x, "arith",
+            seeds=[(3,), (-2,)]))
+_add(Puzzle("add-seven", _sig("P", [("x", INT)], INT), lambda x: x + 7, "arith",
+            seeds=[(0,), (5,)]))
+_add(Puzzle("double", _sig("P", [("x", INT)], INT), lambda x: 2 * x, "arith",
+            seeds=[(1,), (4,)]))
+_add(Puzzle("square", _sig("P", [("x", INT)], INT), lambda x: x * x, "arith",
+            seeds=[(2,), (5,)]))
+_add(Puzzle("negate", _sig("P", [("x", INT)], INT), lambda x: -x, "arith",
+            seeds=[(3,), (-4,)]))
+_add(Puzzle("absolute", _sig("P", [("x", INT)], INT), abs, "arith",
+            seeds=[(-5,), (5,)]))
+_add(Puzzle("successor-of-double", _sig("P", [("x", INT)], INT),
+            lambda x: 2 * x + 1, "arith", seeds=[(0,), (3,)]))
+_add(Puzzle("max-of-two", _sig("P", [("a", INT), ("b", INT)], INT), max,
+            "arith", seeds=[(1, 2), (5, 3)]))
+_add(Puzzle("min-of-two", _sig("P", [("a", INT), ("b", INT)], INT), min,
+            "arith", seeds=[(1, 2), (5, 3)]))
+_add(Puzzle("difference", _sig("P", [("a", INT), ("b", INT)], INT),
+            lambda a, b: a - b, "arith", seeds=[(5, 2), (1, 4)]))
+_add(Puzzle("average-floor", _sig("P", [("a", INT), ("b", INT)], INT),
+            lambda a, b: _csharp_div(a + b, 2), "arith",
+            seeds=[(2, 4), (3, 4)]))
+_add(Puzzle("remainder-ten", _sig("P", [("x", INT)], INT),
+            lambda x: _csharp_mod(x, 10), "arith", seeds=[(37,), (5,)]))
+_add(Puzzle("sign", _sig("P", [("x", INT)], INT),
+            lambda x: 1 if x > 0 else (-1 if x < 0 else 0), "conditional",
+            seeds=[(4,), (-4,), (0,)]))
+_add(Puzzle("clamp-nonnegative", _sig("P", [("x", INT)], INT),
+            lambda x: max(x, 0), "conditional", seeds=[(-3,), (5,)]))
+_add(Puzzle("parity-name", _sig("P", [("x", INT)], STRING),
+            lambda x: "even" if x % 2 == 0 else "odd", "conditional",
+            seeds=[(2,), (3,)]))
+_add(Puzzle("grade-pass", _sig("P", [("x", INT)], STRING),
+            lambda x: "pass" if x >= 60 else "fail", "conditional",
+            seeds=[(60,), (59,), (80,)]))
+
+# Loop-shaped arithmetic (the FOR strategy's home turf).
+_add(Puzzle("factorial", _sig("P", [("n", INT)], INT),
+            lambda n: 1 if n <= 0 else n * PUZZLES_FACT(n - 1), "loop",
+            seeds=[(0,), (1,), (2,), (3,), (4,)]))
+
+
+def PUZZLES_FACT(n: int) -> int:
+    out = 1
+    for i in range(1, n + 1):
+        out *= i
+    return out
+
+
+# Fix the factorial reference to the iterative helper (the lambda above
+# closed over this module before the helper existed).
+PUZZLES[-1].reference = lambda n: PUZZLES_FACT(max(n, 0))
+
+_add(Puzzle("sum-to-n", _sig("P", [("n", INT)], INT),
+            lambda n: n * (n + 1) // 2 if n >= 0 else 0, "loop",
+            seeds=[(0,), (1,), (2,), (3,), (4,)]))
+_add(Puzzle("power-of-two", _sig("P", [("n", INT)], INT),
+            lambda n: 2 ** max(n, 0), "loop",
+            seeds=[(0,), (1,), (2,), (3,), (4,)]))
+_add(Puzzle("sum-of-squares", _sig("P", [("n", INT)], INT),
+            lambda n: sum(i * i for i in range(1, max(n, 0) + 1)), "loop",
+            seeds=[(0,), (1,), (2,), (3,), (4,)]))
+_add(Puzzle("repeat-digits", _sig("P", [("n", INT)], STRING),
+            lambda n: "x" * max(n, 0), "loop",
+            seeds=[(0,), (1,), (2,), (3,)]))
+
+# ---------------------------------------------------------------------
+# String puzzles
+
+_add(Puzzle("identity-str", _sig("P", [("s", STRING)], STRING),
+            lambda s: s, "string", seeds=[("hi",), ("",)]))
+_add(Puzzle("shout", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.upper(), "string", seeds=[("hi",), ("Ok",)]))
+_add(Puzzle("whisper", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.lower(), "string", seeds=[("HI",), ("Ok",)]))
+_add(Puzzle("mirror", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[::-1], "string", seeds=[("abc",), ("xy",)]))
+_add(Puzzle("first-char", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[0], "string", seeds=[("abc",), ("q",)]))
+_add(Puzzle("last-char", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[-1], "string", seeds=[("abc",), ("q",)]))
+_add(Puzzle("greeting", _sig("P", [("s", STRING)], STRING),
+            lambda s: "Hello, " + s, "string", seeds=[("Ann",), ("Bo",)]))
+_add(Puzzle("exclaim", _sig("P", [("s", STRING)], STRING),
+            lambda s: s + "!", "string", seeds=[("wow",), ("",)]))
+_add(Puzzle("double-str", _sig("P", [("s", STRING)], STRING),
+            lambda s: s + s, "string", seeds=[("ab",), ("x",)]))
+_add(Puzzle("trim-ends", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.strip(), "string", seeds=[("  hi  ",), ("ok",)]))
+_add(Puzzle("length-of", _sig("P", [("s", STRING)], INT),
+            len, "string", seeds=[("abc",), ("",)]))
+_add(Puzzle("spaces-to-dashes", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.replace(" ", "-"), "string",
+            seeds=[("a b c",), ("hi",)]))
+_add(Puzzle("drop-first", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[1:], "string", seeds=[("abc",), ("q",)]))
+_add(Puzzle("first-line", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.split("\n")[0], "string",
+            seeds=[("a\nb",), ("one",)]))
+_add(Puzzle("is-palindrome", _sig("P", [("s", STRING)], BOOL),
+            lambda s: s == s[::-1], "string", seeds=[("aba",), ("ab",)]))
+_add(Puzzle("contains-space", _sig("P", [("s", STRING)], BOOL),
+            lambda s: " " in s, "string", seeds=[("a b",), ("ab",)]))
+_add(Puzzle("empty-to-na", _sig("P", [("s", STRING)], STRING),
+            lambda s: "n/a" if s == "" else s, "conditional",
+            seeds=[("",), ("hi",)]))
+_add(Puzzle("yes-if-long", _sig("P", [("s", STRING)], STRING),
+            lambda s: "yes" if len(s) > 3 else "no", "conditional",
+            seeds=[("hi",), ("hello",)]))
+_add(Puzzle("initial-dot", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[0] + ".", "string", seeds=[("Ann",), ("bo",)]))
+_add(Puzzle("last-word", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.split(" ")[-1], "string",
+            seeds=[("a b",), ("one two three",)]))
+_add(Puzzle("word-count", _sig("P", [("s", STRING)], INT),
+            lambda s: len(s.split(" ")), "string",
+            seeds=[("a b",), ("one",)]))
+
+# ---------------------------------------------------------------------
+# Array puzzles
+
+_add(Puzzle("first-elem", _sig("P", [("a", STRS)], STRING),
+            lambda a: a[0], "array", seeds=[(("x", "y"),), (("q",),)]))
+_add(Puzzle("last-elem", _sig("P", [("a", STRS)], STRING),
+            lambda a: a[-1], "array", seeds=[(("x", "y"),), (("q",),)]))
+_add(Puzzle("concat-first-last", _sig("P", [("a", STRS)], STRING),
+            lambda a: a[0] + a[-1], "array",
+            seeds=[(("x", "y", "z"),), (("hi", "there"),)]))
+_add(Puzzle("array-length", _sig("P", [("a", STRS)], INT),
+            len, "array", seeds=[(("x", "y"),), ((),)]))
+_add(Puzzle("join-commas", _sig("P", [("a", STRS)], STRING),
+            lambda a: ",".join(a), "array",
+            seeds=[(("x", "y"),), (("a", "b", "c"),)]))
+_add(Puzzle("sum-array", _sig("P", [("a", INTS)], INT),
+            sum, "array", seeds=[((1, 2, 3),), ((4,),)]))
+_add(Puzzle("first-int", _sig("P", [("a", INTS)], INT),
+            lambda a: a[0], "array", seeds=[((7, 1),), ((3,),)]))
+_add(Puzzle("swap-ends", _sig("P", [("a", INTS)], INTS),
+            lambda a: (a[-1],) + tuple(a[1:-1]) + (a[0],), "array",
+            seeds=[((1, 2, 3),), ((4, 5),)]))
+_add(Puzzle("set-first-zero", _sig("P", [("a", INTS)], INTS),
+            lambda a: (0,) + tuple(a[1:]), "array",
+            seeds=[((1, 2),), ((7, 8, 9),)]))
+_add(Puzzle("sort-array", _sig("P", [("a", INTS)], INTS),
+            lambda a: tuple(sorted(a)), "array",
+            seeds=[((3, 1, 2),), ((5, 4),)]))
+_add(Puzzle("doubled-elements", _sig("P", [("a", INTS)], INTS),
+            lambda a: tuple(2 * x for x in a), "loop",
+            seeds=[((1, 2, 3),), ((4,),)]))
+_add(Puzzle("squares-of", _sig("P", [("a", INTS)], INTS),
+            lambda a: tuple(x * x for x in a), "loop",
+            seeds=[((3, 5, 4),), ((2,),)]))
+_add(Puzzle("running-sum", _sig("P", [("a", INTS)], INTS),
+            lambda a: tuple(sum(a[:i + 1]) for i in range(len(a))), "loop",
+            seeds=[((5, 2, 3),), ((1, 1),)]))
+_add(Puzzle("shouted-words", _sig("P", [("a", STRS)], STRS),
+            lambda a: tuple(w.upper() for w in a), "loop",
+            seeds=[(("hi", "bye"),), (("ok",),)]))
+_add(Puzzle("count-words", _sig("P", [("s", STRING)], INT),
+            lambda s: len(s.split(",")), "string",
+            seeds=[("a,b",), ("x,y,z",)]))
+
+# ---------------------------------------------------------------------
+# Mixed / harder puzzles
+
+_add(Puzzle("delimiter-sum", _sig("P", [("s", STRING)], INT),
+            lambda s: sum(
+                int(piece)
+                for piece in s.split("\n", 1)[1].split(s.split("\n", 1)[0])
+            ),
+            "mixed",
+            seeds=[(",\n1,2,3",), (";\n4;5",)]))
+_add(Puzzle("second-line", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.split("\n")[1], "mixed",
+            seeds=[("a\nb",), ("1\n2\n3",)]))
+_add(Puzzle("parse-and-double", _sig("P", [("s", STRING)], INT),
+            lambda s: 2 * int(s), "mixed", seeds=[("4",), ("10",)]))
+_add(Puzzle("digits-of", _sig("P", [("x", INT)], INT),
+            lambda x: len(str(abs(x))), "mixed", seeds=[(7,), (4321,)]))
+_add(Puzzle("sum-csv", _sig("P", [("s", STRING)], INT),
+            lambda s: sum(int(p) for p in s.split(",")), "mixed",
+            seeds=[("1,2",), ("10,20,30",)]))
+
+# ---------------------------------------------------------------------
+# Puzzles the DSL cannot express (the paper's failure categories)
+
+_add(Puzzle("collatz-steps", _sig("P", [("n", INT)], INT),
+            lambda n: _collatz(n), "unsupported-loop",
+            seeds=[(1,), (2,), (3,), (6,)], expressible=False))
+_add(Puzzle("bitwise-or", _sig("P", [("a", INT), ("b", INT)], INT),
+            lambda a, b: a | b, "missing-component",
+            seeds=[(1, 2), (5, 3)], expressible=False))
+_add(Puzzle("bitwise-xor", _sig("P", [("a", INT), ("b", INT)], INT),
+            lambda a, b: a ^ b, "missing-component",
+            seeds=[(1, 2), (5, 3)], expressible=False))
+_add(Puzzle("cubic-poly", _sig("P", [("x", INT)], INT),
+            lambda x: 3 * x ** 3 - 7 * x ** 2 + 2 * x - 9, "too-large",
+            seeds=[(0,), (1,), (2,)], expressible=False))
+_add(Puzzle("quartic-mix", _sig("P", [("x", INT), ("y", INT)], INT),
+            lambda x, y: x ** 2 * y ** 2 + 5 * x * y - 11, "too-large",
+            seeds=[(1, 1), (2, 3)], expressible=False))
+
+
+# ---------------------------------------------------------------------
+# A second wave of puzzles (same categories, harder mixes)
+
+_add(Puzzle("max-of-three", _sig("P", [("a", INT), ("b", INT), ("c", INT)], INT),
+            lambda a, b, c: max(a, b, c), "arith",
+            seeds=[(1, 2, 3), (5, 4, 1), (2, 9, 2)]))
+_add(Puzzle("distance", _sig("P", [("a", INT), ("b", INT)], INT),
+            lambda a, b: abs(a - b), "arith", seeds=[(3, 7), (9, 2)]))
+_add(Puzzle("last-digit", _sig("P", [("x", INT)], INT),
+            lambda x: abs(x) % 10, "arith", seeds=[(37,), (5,), (-42,)]))
+_add(Puzzle("is-positive", _sig("P", [("x", INT)], BOOL),
+            lambda x: x > 0, "conditional", seeds=[(3,), (-3,), (0,)]))
+_add(Puzzle("bigger-name", _sig("P", [("a", STRING), ("b", STRING)], STRING),
+            lambda a, b: a if len(a) >= len(b) else b, "conditional",
+            seeds=[("hi", "there"), ("longer", "abc")]))
+_add(Puzzle("count-down", _sig("P", [("n", INT)], STRING),
+            lambda n: "x" * max(n, 0) + "!", "loop",
+            seeds=[(0,), (1,), (2,), (3,)]))
+_add(Puzzle("double-factorial-ish", _sig("P", [("n", INT)], INT),
+            lambda n: _running_product(n), "loop",
+            seeds=[(0,), (1,), (2,), (3,), (4,)]))
+_add(Puzzle("first-two", _sig("P", [("s", STRING)], STRING),
+            lambda s: s[:2], "string", seeds=[("abc",), ("q",), ("hello",)]))
+_add(Puzzle("surround-stars", _sig("P", [("s", STRING)], STRING),
+            lambda s: "*" + s + "*", "string", seeds=[("a",), ("hi",)]))
+_add(Puzzle("comma-to-space", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.replace(",", " "), "string",
+            seeds=[("a,b",), ("x,y,z",)]))
+_add(Puzzle("second-word", _sig("P", [("s", STRING)], STRING),
+            lambda s: s.split(" ")[1], "string",
+            seeds=[("a b",), ("one two three",)]))
+_add(Puzzle("last-int", _sig("P", [("a", INTS)], INT),
+            lambda a: a[-1], "array", seeds=[((1, 2),), ((7,),)]))
+_add(Puzzle("min-of-array", _sig("P", [("a", INTS)], INT),
+            lambda a: min(a), "array", seeds=[((3, 1, 2),), ((9, 5),)]))
+_add(Puzzle("negate-all", _sig("P", [("a", INTS)], INTS),
+            lambda a: tuple(-x for x in a), "loop",
+            seeds=[((1, 2),), ((3, -4, 5),)]))
+_add(Puzzle("trim-all", _sig("P", [("a", STRS)], STRS),
+            lambda a: tuple(w.strip() for w in a), "loop",
+            seeds=[((" a ", "b "),), (("x",),)]))
+_add(Puzzle("sum-plus-length", _sig("P", [("a", INTS)], INT),
+            lambda a: sum(a) + len(a), "mixed",
+            seeds=[((1, 2),), ((5, 5, 5),)]))
+_add(Puzzle("int-of-second-csv", _sig("P", [("s", STRING)], INT),
+            lambda s: int(s.split(",")[1]), "mixed",
+            seeds=[("1,2",), ("10,20,30",)]))
+_add(Puzzle("popcount", _sig("P", [("x", INT)], INT),
+            lambda x: bin(max(x, 0)).count("1"), "missing-component",
+            seeds=[(1,), (3,), (7,)], expressible=False))
+_add(Puzzle("quintic", _sig("P", [("x", INT)], INT),
+            lambda x: x ** 5 - 4 * x ** 3 + x - 2, "too-large",
+            seeds=[(0,), (1,), (2,)], expressible=False))
+
+
+def _running_product(n: int) -> int:
+    out = 1
+    for i in range(1, max(n, 0) + 1):
+        out *= 2 * i
+    return out
+
+
+def _collatz(n: int) -> int:
+    if n < 1:
+        return 0
+    steps = 0
+    while n != 1:
+        n = n // 2 if n % 2 == 0 else 3 * n + 1
+        steps += 1
+        if steps > 1000:
+            break
+    return steps
+
+
+def puzzles_by_category() -> dict:
+    out: dict = {}
+    for puzzle in PUZZLES:
+        out.setdefault(puzzle.category, []).append(puzzle)
+    return out

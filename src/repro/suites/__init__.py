@@ -1,0 +1,21 @@
+"""Benchmark suites for the four evaluation domains (§6.1)."""
+
+from .benchmark import Benchmark, BenchmarkOutcome
+from .strings_suite import STRING_BENCHMARKS
+from .tables_suite import TABLE_BENCHMARKS
+from .xml_suite import XML_BENCHMARKS
+
+ALL_SUITES = {
+    "strings": STRING_BENCHMARKS,
+    "tables": TABLE_BENCHMARKS,
+    "xml": XML_BENCHMARKS,
+}
+
+__all__ = [
+    "ALL_SUITES",
+    "Benchmark",
+    "BenchmarkOutcome",
+    "STRING_BENCHMARKS",
+    "TABLE_BENCHMARKS",
+    "XML_BENCHMARKS",
+]

@@ -1,0 +1,84 @@
+"""Benchmark definitions shared by the suites and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.budget import Budget
+from ..core.tds import TdsOptions
+from ..lasy.parser import parse_lasy
+from ..lasy.runner import LasyRunResult, run_lasy
+
+
+@dataclass
+class Benchmark:
+    """One benchmark: a LaSy program plus optional held-out checks.
+
+    ``holdout`` entries are (function name, args, expected output)
+    triples *not* shown to the synthesizer; they check that the
+    synthesized program generalized rather than memorized.
+    """
+
+    name: str
+    source: str
+    domain: str
+    description: str = ""
+    holdout: List[Tuple[str, Tuple[Any, ...], Any]] = field(
+        default_factory=list
+    )
+    # Difficulty hint used by the experiment harness to size budgets.
+    hard: bool = False
+
+    def n_examples(self) -> int:
+        return len(parse_lasy(self.source).examples)
+
+    def run(
+        self,
+        budget_factory: Optional[Callable[[], Budget]] = None,
+        options: Optional[TdsOptions] = None,
+    ) -> LasyRunResult:
+        program = parse_lasy(self.source)
+        return run_lasy(
+            program, budget_factory=budget_factory, options=options
+        )
+
+    def check_holdout(self, result: LasyRunResult) -> bool:
+        """All held-out checks pass on the synthesized functions."""
+        from ..core.values import structurally_equal
+        from ..domains.registry import get_domain
+
+        domain = get_domain(self.domain)
+        program = parse_lasy(self.source)
+        for func_name, args, expected in self.holdout:
+            fn = result.functions.get(func_name)
+            if fn is None:
+                return False
+            signature = program.declaration(func_name).signature
+            coerced_args = tuple(
+                domain.coerce(ty, value)
+                for (_, ty), value in zip(signature.params, args)
+            )
+            coerced_expected = domain.coerce(signature.return_type, expected)
+            try:
+                actual = fn(*coerced_args)
+            except Exception:
+                return False
+            if not structurally_equal(actual, coerced_expected):
+                return False
+        return True
+
+
+@dataclass
+class BenchmarkOutcome:
+    """Result of running one benchmark through the synthesizer."""
+
+    benchmark: Benchmark
+    success: bool
+    holdout_ok: bool
+    elapsed: float
+    dbs_times: List[float]
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name

@@ -1,0 +1,235 @@
+"""The string-transformation benchmark suite (§6.1.1).
+
+Fifteen example sequences: FlashFill-style tasks from Gulwani (POPL'11)
+expressible in the original DSL, seven tasks that need the Fig. 6
+extensions (nested substrings, loop-variable positions, SplitAndMerge,
+lookups via helper functions), and greedy word wrap (§2.1, Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .benchmark import Benchmark
+
+STRING_BENCHMARKS: List[Benchmark] = [
+    # ---- FlashFill-expressible tasks -------------------------------
+    Benchmark(
+        name="surname-initial",
+        domain="strings",
+        description="'Dan Grossman' -> 'Grossman, D.' (POPL'11 style)",
+        source="""
+            language strings;
+            function string Format(string name);
+            require Format("Dan Grossman") == "Grossman, D.";
+            require Format("Sumit Gulwani") == "Gulwani, S.";
+        """,
+        holdout=[("Format", ("Peter Provost",), "Provost, P.")],
+    ),
+    Benchmark(
+        name="initials",
+        domain="strings",
+        description="'Dan Grossman' -> 'D.G.'",
+        source="""
+            language strings;
+            function string Initials(string name);
+            require Initials("Dan Grossman") == "D.G.";
+            require Initials("Ada Lovelace") == "A.L.";
+            require Initials("Alonzo The Church") == "A.T.";
+        """,
+        holdout=[("Initials", ("Grace Hopper",), "G.H.")],
+    ),
+    Benchmark(
+        name="extract-domain",
+        domain="strings",
+        description="'user@host.com' -> 'host.com'",
+        source="""
+            language strings;
+            function string Domain(string email);
+            require Domain("alice@example.com") == "example.com";
+            require Domain("bob@research.org") == "research.org";
+        """,
+        holdout=[("Domain", ("carol@city.edu",), "city.edu")],
+    ),
+    Benchmark(
+        name="extract-quantity",
+        domain="strings",
+        description="'34 lbs' -> '34'",
+        source="""
+            language strings;
+            function string Quantity(string s);
+            require Quantity("34 lbs") == "34";
+            require Quantity("7 oz") == "7";
+        """,
+        holdout=[("Quantity", ("128 kg",), "128")],
+    ),
+    Benchmark(
+        name="parenthesize",
+        domain="strings",
+        description="'John' -> '(John)'",
+        source="""
+            language strings;
+            function string Paren(string s);
+            require Paren("John") == "(John)";
+            require Paren("Mary Ann") == "(Mary Ann)";
+        """,
+        holdout=[("Paren", ("x",), "(x)")],
+    ),
+    Benchmark(
+        name="date-reorder",
+        domain="strings",
+        description="'01/21/2001' -> '21-01-2001'",
+        source="""
+            language strings;
+            function string Reorder(string d);
+            require Reorder("01/21/2001") == "21-01-2001";
+            require Reorder("12/03/1999") == "03-12-1999";
+            require Reorder("07/30/2024") == "30-07-2024";
+        """,
+        holdout=[("Reorder", ("04/15/2010",), "15-04-2010")],
+    ),
+    Benchmark(
+        name="drop-extension",
+        domain="strings",
+        description="'report.pdf' -> 'report'",
+        source="""
+            language strings;
+            function string Stem(string f);
+            require Stem("report.pdf") == "report";
+            require Stem("archive.tar") == "archive";
+        """,
+        holdout=[("Stem", ("notes.txt",), "notes")],
+    ),
+    Benchmark(
+        name="last-word",
+        domain="strings",
+        description="'one two three' -> 'three'",
+        source="""
+            language strings;
+            function string LastWord(string s);
+            require LastWord("one two three") == "three";
+            require LastWord("hello world") == "world";
+        """,
+        holdout=[("LastWord", ("just one more test",), "test")],
+    ),
+    # ---- tasks needing the Fig. 6 extensions ------------------------
+    Benchmark(
+        name="two-digit-year",
+        domain="strings",
+        description="two-digit year from a date (nested substrings)",
+        source="""
+            language strings;
+            function string Year2(string d);
+            require Year2("03/15/2012") == "12";
+            require Year2("1/2/1998") == "98";
+            require Year2("5/6/2023 AD") == "23";
+        """,
+        holdout=[("Year2", ("11/30/2047 AD",), "47")],
+        hard=True,
+    ),
+    Benchmark(
+        name="reverse-string",
+        domain="strings",
+        description="reverse (loop-variable-dependent substring indexes)",
+        source="""
+            language strings;
+            function string Rev(string s);
+            require Rev("ab") == "ba";
+            require Rev("abc") == "cba";
+            require Rev("abcd") == "dcba";
+        """,
+        holdout=[("Rev", ("xyzw",), "wzyx")],
+        hard=True,
+    ),
+    Benchmark(
+        name="bib-venue",
+        domain="strings",
+        description="bibliography entry conversion with a lookup (Fig. 2)",
+        source="""
+            language strings;
+            lookup string VenueFullName(string abbr);
+            function string Cite(string entry);
+            require VenueFullName("PLDI") == "Programming Language Design and Implementation";
+            require VenueFullName("POPL") == "Principles of Programming Languages";
+            require VenueFullName("ICSE") == "International Conference on Software Engineering";
+            require Cite("Smith PLDI") == "Smith, Programming Language Design and Implementation.";
+            require Cite("Jones POPL") == "Jones, Principles of Programming Languages.";
+        """,
+        holdout=[
+            (
+                "Cite",
+                ("Brown ICSE",),
+                "Brown, International Conference on Software Engineering.",
+            )
+        ],
+        hard=True,
+    ),
+    Benchmark(
+        name="split-merge-list",
+        domain="strings",
+        description="resegment a separated list (SplitAndMerge)",
+        source="""
+            language strings;
+            function string Reseparate(string s);
+            require Reseparate("alice,bob,carol") == "alice; bob; carol";
+            require Reseparate("x,y") == "x; y";
+            require Reseparate("a,b,c,d") == "a; b; c; d";
+        """,
+        holdout=[("Reseparate", ("p,q,r",), "p; q; r")],
+    ),
+    Benchmark(
+        name="prefix-lines",
+        domain="strings",
+        description="bullet every line (SplitAndMerge with a loop body)",
+        source="""
+            language strings;
+            function string Bullets(string s);
+            require Bullets("alpha\\nbeta") == "- alpha\\n- beta";
+            require Bullets("one") == "- one";
+            require Bullets("a\\nbb\\nccc") == "- a\\n- bb\\n- ccc";
+        """,
+        holdout=[("Bullets", ("w\nx\ny\nz",), "- w\n- x\n- y\n- z")],
+        hard=True,
+    ),
+    Benchmark(
+        name="abbrev-dotted",
+        domain="strings",
+        description="'International Business Machines' -> 'I.B.M.' (Loop)",
+        source="""
+            language strings;
+            function string Abbrev(string s);
+            require Abbrev("International Business Machines") == "I.B.M.";
+            require Abbrev("Central Processing Unit") == "C.P.U.";
+        """,
+        holdout=[("Abbrev", ("Full Time Job",), "F.T.J.")],
+        hard=True,
+    ),
+    # ---- word wrap (§2.1, Fig. 1) -----------------------------------
+    Benchmark(
+        name="word-wrap",
+        domain="strings",
+        description="greedy word wrap, built up per the Fig. 1 sequence",
+        source="""
+            language strings;
+            function string WordWrap(string text, int length);
+            // Single word doesn't wrap.
+            require WordWrap("Word", 4) == "Word";
+            // Two words wrap when longer than line.
+            require WordWrap("Extremely longWords", 14) == "Extremely\\nlongWords";
+            // Wrap as late as possible...
+            require WordWrap("How are", 76) == "How are";
+            // ... but no later.
+            require WordWrap("How are you?", 9) == "How are\\nyou?";
+            require WordWrap("Hello, how are you today?", 14) == "Hello, how are\\nyou today?";
+            // Wrap in middle of word.
+            require WordWrap("Abcdef", 5) == "Abcde\\nf";
+            require WordWrap("ThisIsAVeryLongWord a", 15) == "ThisIsAVeryLong\\nWord a";
+            // Wrap multiple times (using recursion).
+            require WordWrap("How are you?", 4) == "How\\nare\\nyou?";
+            // Complicated test to ensure program is correct.
+            require WordWrap("This is a longer test sentence. a bc", 7) == "This is\\na\\nlonger\\ntest\\nsentenc\\ne. a bc";
+        """,
+        holdout=[("WordWrap", ("one two three", 7), "one two\nthree")],
+        hard=True,
+    ),
+]

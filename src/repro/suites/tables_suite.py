@@ -1,0 +1,179 @@
+"""The table-transformation benchmark suite (§6.1.2).
+
+Eight normalization scenarios in the style of Harris & Gulwani's
+help-forum benchmarks, including the subheader-normalization cases the
+paper's extended grammar adds. Tables are written as nested LaSy array
+literals (rows of strings).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .benchmark import Benchmark
+
+TABLE_BENCHMARKS: List[Benchmark] = [
+    Benchmark(
+        name="transpose",
+        domain="tables",
+        description="rows-to-columns layout flip",
+        source="""
+            language tables;
+            function Table Flip(Table t);
+            require Flip({{"a", "b"}, {"1", "2"}, {"3", "4"}})
+                 == {{"a", "1", "3"}, {"b", "2", "4"}};
+        """,
+        holdout=[
+            (
+                "Flip",
+                ((("x", "y", "z"), ("1", "2", "3")),),
+                (("x", "1"), ("y", "2"), ("z", "3")),
+            )
+        ],
+    ),
+    Benchmark(
+        name="drop-header",
+        domain="tables",
+        description="remove the header row",
+        source="""
+            language tables;
+            function Table Body(Table t);
+            require Body({{"name", "age"}, {"ann", "31"}, {"bo", "25"}})
+                 == {{"ann", "31"}, {"bo", "25"}};
+            require Body({{"h1", "h2"}, {"v", "w"}})
+                 == {{"v", "w"}};
+        """,
+        holdout=[
+            ("Body", ((("a", "b"), ("c", "d"), ("e", "f")),), (("c", "d"), ("e", "f"))),
+        ],
+    ),
+    Benchmark(
+        name="unpivot-wide",
+        domain="tables",
+        description="wide spreadsheet to long relational form",
+        source="""
+            language tables;
+            function Table Normalize(Table t);
+            require Normalize({{"name", "jan", "feb"},
+                               {"ann", "3", "4"},
+                               {"bo", "", "7"}})
+                 == {{"ann", "jan", "3"},
+                     {"ann", "feb", "4"},
+                     {"bo", "feb", "7"}};
+        """,
+        holdout=[
+            (
+                "Normalize",
+                (
+                    (
+                        ("id", "q1", "q2"),
+                        ("x", "1", ""),
+                        ("y", "5", "6"),
+                    ),
+                ),
+                (("x", "q1", "1"), ("y", "q1", "5"), ("y", "q2", "6")),
+            )
+        ],
+    ),
+    Benchmark(
+        name="fill-down-keys",
+        domain="tables",
+        description="fill blank key cells from the row above",
+        source="""
+            language tables;
+            function Table Fill(Table t);
+            require Fill({{"east", "a", "1"},
+                          {"", "b", "2"},
+                          {"west", "c", "3"},
+                          {"", "d", "4"}})
+                 == {{"east", "a", "1"},
+                     {"east", "b", "2"},
+                     {"west", "c", "3"},
+                     {"west", "d", "4"}};
+        """,
+        holdout=[
+            (
+                "Fill",
+                ((("k", "1"), ("", "2"), ("", "3")),),
+                (("k", "1"), ("k", "2"), ("k", "3")),
+            )
+        ],
+    ),
+    Benchmark(
+        name="promote-subheaders",
+        domain="tables",
+        description="turn one-cell subheader rows into a key column",
+        source="""
+            language tables;
+            function Table Promote(Table t);
+            require Promote({{"Fruit", ""},
+                             {"apple", "3"},
+                             {"pear", "5"},
+                             {"Veg", ""},
+                             {"leek", "2"}})
+                 == {{"Fruit", "apple", "3"},
+                     {"Fruit", "pear", "5"},
+                     {"Veg", "leek", "2"}};
+        """,
+        holdout=[
+            (
+                "Promote",
+                ((("A", ""), ("x", "1"), ("B", ""), ("y", "2")),),
+                (("A", "x", "1"), ("B", "y", "2")),
+            )
+        ],
+    ),
+    Benchmark(
+        name="delete-blank-rows",
+        domain="tables",
+        description="drop fully blank spacer rows",
+        source="""
+            language tables;
+            function Table Compact(Table t);
+            require Compact({{"a", "1"}, {"", ""}, {"b", "2"}, {"", ""}})
+                 == {{"a", "1"}, {"b", "2"}};
+            require Compact({{"", ""}, {"x", "y"}})
+                 == {{"x", "y"}};
+        """,
+        holdout=[
+            ("Compact", ((("", ""), ("p", "q"), ("", "")),), (("p", "q"),)),
+        ],
+    ),
+    Benchmark(
+        name="reverse-columns",
+        domain="tables",
+        description="mirror every row (a MapRows loop)",
+        source="""
+            language tables;
+            function Table Mirror(Table t);
+            require Mirror({{"a", "b", "c"}, {"1", "2", "3"}})
+                 == {{"c", "b", "a"}, {"3", "2", "1"}};
+        """,
+        holdout=[
+            ("Mirror", ((("x", "y"), ("u", "v")),), (("y", "x"), ("v", "u"))),
+        ],
+    ),
+    Benchmark(
+        name="move-footer-up",
+        domain="tables",
+        description="move the summary footer row to the top",
+        source="""
+            language tables;
+            function Table FooterFirst(Table t);
+            require FooterFirst({{"a", "1"}, {"b", "2"}, {"total", "3"}})
+                 == {{"total", "3"}, {"a", "1"}, {"b", "2"}};
+            require FooterFirst({{"x", "9"}, {"total", "9"}})
+                 == {{"total", "9"}, {"x", "9"}};
+            require FooterFirst({{"q", "1"}, {"r", "5"}, {"s", "2"}, {"total", "8"}})
+                 == {{"total", "8"}, {"q", "1"}, {"r", "5"}, {"s", "2"}};
+        """,
+        holdout=[
+            (
+                "FooterFirst",
+                ((("r", "0"), ("s", "1"), ("t", "2"), ("total", "3")),),
+                (("total", "3"), ("r", "0"), ("s", "1"), ("t", "2")),
+            )
+        ],
+        hard=True,
+    ),
+]

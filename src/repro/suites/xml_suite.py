@@ -1,0 +1,197 @@
+"""The XML-transformation benchmark suite (§6.1.3).
+
+Ten help-forum-style tasks, including the two programs of Figs. 3-4
+(lists-to-table alignment and class-attribute propagation) and one
+cross-domain task that routes through the string bridge.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .benchmark import Benchmark
+
+XML_BENCHMARKS: List[Benchmark] = [
+    Benchmark(
+        name="lists-to-table",
+        domain="xml",
+        description="align named paragraphs from several divs (Fig. 3)",
+        source="""
+            language xml;
+            function XDocument ToTable(XDocument oldXml);
+            require ToTable("<doc><div id='ch1'><p name='a1'>1st Alinea.</p><p name='a1.1'>Zomaar ertussen.</p><p name='a2'>2nd Alinea.</p><p name='a3'>3rd Alinea.</p></div><div id='ch2'><p name='a1'>First Para.</p><p name='a2'>Second Para.</p><p name='a2.1'>Something added here.</p><p name='a3'>Third Para.</p></div></doc>")
+                 == "<table><tr><td>1st Alinea.</td><td>First Para.</td></tr><tr><td>Zomaar ertussen.</td><td/></tr><tr><td>2nd Alinea.</td><td>Second Para.</td></tr><tr><td/><td>Something added here.</td></tr><tr><td>3rd Alinea.</td><td>Third Para.</td></tr></table>";
+        """,
+        holdout=[
+            (
+                "ToTable",
+                (
+                    "<doc><div><p name='x'>A</p></div>"
+                    "<div><p name='x'>B</p><p name='y'>C</p></div></doc>",
+                ),
+                "<table><tr><td>A</td><td>B</td></tr>"
+                "<tr><td/><td>C</td></tr></table>",
+            )
+        ],
+        hard=True,
+    ),
+    Benchmark(
+        name="add-classes",
+        domain="xml",
+        description="propagate class attributes to following siblings (Fig. 4)",
+        source="""
+            language xml;
+            function XDocument AddClasses(XDocument oldXml);
+            require AddClasses("<doc><p>1</p></doc>") == "<doc><p>1</p></doc>";
+            require AddClasses("<doc><p>1</p><p class='a'>2</p><p>3</p><p>4</p><p class='b'>5</p><p>6</p><p class='c'>7</p></doc>")
+                 == "<doc><p>1</p><p class='a'>2</p><p class='a'>3</p><p class='a'>4</p><p class='b'>5</p><p class='b'>6</p><p class='c'>7</p></doc>";
+        """,
+        holdout=[
+            (
+                "AddClasses",
+                ("<doc><p class='z'>1</p><p>2</p></doc>",),
+                "<doc><p class='z'>1</p><p class='z'>2</p></doc>",
+            )
+        ],
+    ),
+    Benchmark(
+        name="rename-bold",
+        domain="xml",
+        description="rename every <b> to <strong>",
+        source="""
+            language xml;
+            function XDocument Modern(XDocument d);
+            require Modern("<doc><b>hi</b><b>there</b></doc>")
+                 == "<doc><strong>hi</strong><strong>there</strong></doc>";
+        """,
+        holdout=[
+            (
+                "Modern",
+                ("<doc><b>x</b></doc>",),
+                "<doc><strong>x</strong></doc>",
+            )
+        ],
+    ),
+    Benchmark(
+        name="items-to-list",
+        domain="xml",
+        description="rebuild items as an HTML list",
+        source="""
+            language xml;
+            function XElement ToList(XDocument d);
+            require ToList("<items><item>alpha</item><item>beta</item></items>")
+                 == "<ul><li>alpha</li><li>beta</li></ul>";
+        """,
+        holdout=[
+            (
+                "ToList",
+                ("<items><item>one</item></items>",),
+                "<ul><li>one</li></ul>",
+            )
+        ],
+    ),
+    Benchmark(
+        name="links-from-images",
+        domain="xml",
+        description="turn <img src=..> into <a href=..>",
+        source="""
+            language xml;
+            function XDocument Linkify(XDocument d);
+            require Linkify("<g><img src='a.png'/><img src='b.png'/></g>")
+                 == "<g><a href='a.png'/><a href='b.png'/></g>";
+        """,
+        holdout=[
+            (
+                "Linkify",
+                ("<g><img src='z.jpg'/></g>",),
+                "<g><a href='z.jpg'/></g>",
+            )
+        ],
+        hard=True,
+    ),
+    Benchmark(
+        name="strip-style",
+        domain="xml",
+        description="remove style attributes from the paragraphs",
+        source="""
+            language xml;
+            function XDocument Clean(XDocument d);
+            require Clean("<doc><p style='x'>1</p><p style='y'>2</p></doc>")
+                 == "<doc><p>1</p><p>2</p></doc>";
+        """,
+        holdout=[
+            (
+                "Clean",
+                ("<doc><p style='q'>only</p></doc>",),
+                "<doc><p>only</p></doc>",
+            )
+        ],
+    ),
+    Benchmark(
+        name="first-section",
+        domain="xml",
+        description="extract the first section element",
+        source="""
+            language xml;
+            function XElement FirstSection(XDocument d);
+            require FirstSection("<doc><section>a</section><section>b</section></doc>")
+                 == "<section>a</section>";
+            require FirstSection("<doc><intro/><section>z</section></doc>")
+                 == "<section>z</section>";
+        """,
+        holdout=[
+            (
+                "FirstSection",
+                ("<doc><section>only</section></doc>",),
+                "<section>only</section>",
+            )
+        ],
+    ),
+    Benchmark(
+        name="filter-highlights",
+        domain="xml",
+        description="keep only the highlighted paragraphs",
+        source="""
+            language xml;
+            function XDocument Highlights(XDocument d);
+            require Highlights("<doc><p kind='hl'>a</p><p>b</p><p kind='hl'>c</p></doc>")
+                 == "<doc><p kind='hl'>a</p><p kind='hl'>c</p></doc>";
+        """,
+        holdout=[
+            (
+                "Highlights",
+                ("<doc><p>x</p><p kind='hl'>y</p></doc>",),
+                "<doc><p kind='hl'>y</p></doc>",
+            )
+        ],
+        hard=True,
+    ),
+    Benchmark(
+        name="title-from-text",
+        domain="xml",
+        description="wrap the document text into a title element",
+        source="""
+            language xml;
+            function XElement Title(XDocument d);
+            require Title("<doc><h>Hello</h></doc>") == "<title>Hello</title>";
+            require Title("<doc><h>Report 7</h></doc>") == "<title>Report 7</title>";
+        """,
+        holdout=[
+            ("Title", ("<doc><h>Z</h></doc>",), "<title>Z</title>"),
+        ],
+    ),
+    Benchmark(
+        name="bold-via-strings",
+        domain="xml",
+        description="cross-domain: build markup through the string bridge",
+        source="""
+            language xml;
+            function XElement Boldify(XDocument d);
+            require Boldify("<doc><h>win</h></doc>") == "<b>win</b>";
+            require Boldify("<doc><h>go</h></doc>") == "<b>go</b>";
+        """,
+        holdout=[
+            ("Boldify", ("<doc><h>yes</h></doc>",), "<b>yes</b>"),
+        ],
+    ),
+]

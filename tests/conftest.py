@@ -1,0 +1,28 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: benchmark-scale synthesis runs (seconds to minutes each)",
+    )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run slow synthesis tests",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="slow; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

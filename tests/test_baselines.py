@@ -1,0 +1,143 @@
+"""Tests for the comparison baselines."""
+
+import pytest
+
+from repro.baselines.flashfill import (
+    FlashFillError,
+    learn,
+    try_learn,
+)
+from repro.baselines.sketch import sketch_synthesize
+from repro.baselines.tablesynth import synthesize_table_transform
+from repro.core.budget import Budget
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.types import INT, STRING
+from repro.domains.tables import table
+
+
+class TestFlashFill:
+    def test_constant_program(self):
+        program = learn([Example(("a",), "X"), Example(("b",), "X")])
+        assert program("zzz") == "X"
+
+    def test_substring_generalizes(self):
+        program = learn(
+            [
+                Example(("alice@example.com",), "example.com"),
+                Example(("bob@research.org",), "research.org"),
+            ]
+        )
+        assert program("carol@city.edu") == "city.edu"
+
+    def test_concat_of_pieces(self):
+        program = learn(
+            [
+                Example(("Dan Grossman",), "Grossman, D."),
+                Example(("Sumit Gulwani",), "Gulwani, S."),
+            ]
+        )
+        assert program("Peter Provost") == "Provost, P."
+
+    def test_multiple_input_columns(self):
+        program = learn(
+            [
+                Example(("Jane", "Doe"), "Doe, Jane"),
+                Example(("Ann", "Lee"), "Lee, Ann"),
+            ]
+        )
+        assert program("Alan", "Kay") == "Kay, Alan"
+
+    def test_empty_version_space(self):
+        # Same input must map to two different outputs: unsatisfiable.
+        assert try_learn(
+            [Example(("x",), "a"), Example(("x",), "b")]
+        ) is None
+
+    def test_non_string_rejected(self):
+        with pytest.raises(FlashFillError):
+            learn([Example((1,), "a")])
+
+    def test_fast_on_core_tasks(self):
+        import time
+
+        start = time.monotonic()
+        learn(
+            [
+                Example(("01/21/2001",), "21-01-2001"),
+                Example(("12/03/1999",), "03-12-1999"),
+            ]
+        )
+        # "well under a second" on the paper's machine; generous here.
+        assert time.monotonic() - start < 2.0
+
+    def test_describe_mentions_pieces(self):
+        program = learn([Example(("ab cd",), "ab")])
+        assert "SubStr" in program.describe() or "ConstStr" in program.describe()
+
+
+class TestSketchLike:
+    def dsl(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT)
+        b.param("e")
+        b.fn("e", "Add", ["e", "e"], lambda a, c: a + c)
+        b.fn("e", "Mul", ["e", "e"], lambda a, c: a * c)
+        b.constant("e")
+        b.constants_from(lambda ex: {"e": [1, 2]})
+        return b.build()
+
+    def test_solves_trivial_task(self):
+        sig = Signature("f", (("x", INT),), INT)
+        result = sketch_synthesize(
+            sig,
+            [Example((2,), 4), Example((5,), 10)],
+            self.dsl(),
+            budget=Budget(max_seconds=10, max_expressions=50_000),
+        )
+        assert result.solved
+
+    def test_times_out_on_starved_budget(self):
+        sig = Signature("f", (("x", INT),), INT)
+        result = sketch_synthesize(
+            sig,
+            [Example((2,), 4096), Example((3,), 6561)],  # x^12: deep
+            self.dsl(),
+            budget=Budget(max_expressions=2_000),
+        )
+        assert not result.solved
+
+
+class TestTableSynth:
+    def test_transpose_found(self):
+        grid = table([["a", "b"], ["1", "2"]])
+        result = synthesize_table_transform(
+            [Example((grid,), tuple(zip(*grid)))]
+        )
+        assert result.solved
+        assert "Transpose" in result.description
+
+    def test_composition_depth_two(self):
+        grid = table([["h", "h2"], ["a", "1"], ["b", "2"]])
+        expected = tuple(zip(*grid[1:]))  # drop header, then transpose
+        result = synthesize_table_transform([Example((grid,), expected)])
+        assert result.solved
+
+    def test_out_of_scope_unpivot_fails(self):
+        grid = table(
+            [["name", "jan", "feb"], ["ann", "3", "4"], ["bo", "", "7"]]
+        )
+        expected = (
+            ("ann", "jan", "3"),
+            ("ann", "feb", "4"),
+            ("bo", "feb", "7"),
+        )
+        result = synthesize_table_transform([Example((grid,), expected)])
+        assert not result.solved  # the §6.1.2 boundary
+
+    def test_program_is_executable(self):
+        grid = table([["a"], ["b"]])
+        result = synthesize_table_transform(
+            [Example((grid,), grid)]
+        )
+        assert result.solved
+        assert result.program(grid) == grid

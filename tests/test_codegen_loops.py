@@ -1,0 +1,132 @@
+"""Codegen coverage for loop nodes, recursion, and the helper runtime."""
+
+from repro.core.dsl import DslBuilder, Signature
+from repro.core.evaluator import run_program
+from repro.core.expr import (
+    Call,
+    Const,
+    Foreach,
+    ForLoop,
+    Function,
+    If,
+    Lambda,
+    LasyCall,
+    Param,
+    Recurse,
+    Var,
+)
+from repro.core.types import BOOL, INT, STRING, list_of
+from repro.lasy.codegen import compile_python, to_csharp, to_python
+
+ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+MUL = Function("Mul", (INT, INT), INT, lambda a, b: a * b)
+SUB = Function("Sub", (INT, INT), INT, lambda a, b: a - b)
+LE = Function("Le", (INT, INT), BOOL, lambda a, b: a <= b)
+
+
+def dsl():
+    b = DslBuilder("t", start="e")
+    b.nt("e", INT).nt("b", BOOL)
+    b.param("e")
+    b.rule("e", ADD, ["e", "e"])
+    b.rule("e", MUL, ["e", "e"])
+    b.rule("e", SUB, ["e", "e"])
+    b.rule("b", LE, ["e", "e"])
+    return b.build()
+
+
+def _foreach_squares():
+    current = Var("current", INT, "c")
+    body = Lambda(
+        (Var("i", INT, "c"), current, Var("acc", list_of(INT), "a")),
+        Call(MUL, (current, current), "e"),
+        "λ",
+    )
+    return Foreach(Param("xs", list_of(INT), "arr"), body, "P")
+
+
+def _for_triangle():
+    i = Var("i", INT, "c")
+    acc = Var("acc", INT, "e")
+    body = Lambda((i, acc), Call(ADD, (i, acc), "e"), "λ")
+    return ForLoop(Param("n", INT, "e"), Const(0, INT, "e"), body, "P")
+
+
+class TestPythonLoops:
+    def test_foreach_statement_form(self):
+        sig = Signature("sq", (("xs", list_of(INT)),), list_of(INT))
+        code = to_python(sig, _foreach_squares())
+        assert "for i, current in enumerate(xs):" in code
+        namespace = {"Mul": lambda a, b: a * b}
+        exec(code, namespace)
+        assert namespace["sq"]([2, 3]) == (4, 9)
+
+    def test_foreach_reverse_statement_form(self):
+        program = _foreach_squares()
+        reversed_loop = Foreach(
+            program.source, program.body, program.nt, reverse=True
+        )
+        sig = Signature("sq", (("xs", list_of(INT)),), list_of(INT))
+        code = to_python(sig, reversed_loop)
+        assert "reversed(" in code
+
+    def test_forloop_statement_form(self):
+        sig = Signature("tri", (("n", INT),), INT)
+        code = to_python(sig, _for_triangle())
+        assert "for i in range(1, n + 1):" in code
+        namespace = {"Add": lambda a, b: a + b}
+        exec(code, namespace)
+        assert namespace["tri"](4) == 10
+
+    def test_nested_loop_expression_form_uses_helper(self):
+        # A loop nested under a call renders via the runtime helper.
+        wrap = Call(ADD, (Const(0, INT, "e"), _for_triangle()), "e")
+        sig = Signature("f", (("n", INT),), INT)
+        code = to_python(sig, wrap)
+        assert "for_loop(" in code
+        compiled = compile_python(sig, wrap, dsl())
+        assert compiled(3) == 6
+
+    def test_recursion_emits_self_call(self):
+        guard = Call(LE, (Param("n", INT, "e"), Const(1, INT, "e")), "b")
+        body = Call(
+            MUL,
+            (
+                Param("n", INT, "e"),
+                Recurse((Call(SUB, (Param("n", INT, "e"), Const(1, INT, "e")), "e"),), "e"),
+            ),
+            "e",
+        )
+        program = If(((guard, Const(1, INT, "e")),), body, "P")
+        sig = Signature("fact", (("n", INT),), INT)
+        code = to_python(sig, program)
+        assert "fact(Sub(n, 1))" in code
+        compiled = compile_python(sig, program, dsl())
+        assert compiled(5) == 120
+        assert compiled(5) == run_program(program, ("n",), (5,))
+
+    def test_lasycall_by_name(self):
+        sig = Signature("f", (("x", INT),), INT)
+        body = LasyCall("Helper", (Param("x", INT, "e"),), "e")
+        code = to_python(sig, body)
+        assert "Helper(x)" in code
+
+
+class TestCSharpLoops:
+    def test_forloop_statement(self):
+        sig = Signature("tri", (("n", INT),), INT)
+        code = to_csharp(sig, _for_triangle())
+        assert "for (int i = 1; i <= n; i++)" in code
+        assert "int tri(int n)" in code
+
+    def test_array_types(self):
+        sig = Signature("f", (("xs", list_of(STRING)),), list_of(INT))
+        body = Const((1, 2), list_of(INT), "e")
+        code = to_csharp(sig, body)
+        assert "int[] f(string[] xs)" in code
+        assert "new[] {1, 2}" in code
+
+    def test_foreach_expression_helper(self):
+        sig = Signature("sq", (("xs", list_of(INT)),), list_of(INT))
+        code = to_csharp(sig, _foreach_squares())
+        assert "Foreach(xs, (i, current, acc) =>" in code

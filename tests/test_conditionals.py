@@ -1,0 +1,197 @@
+"""Tests for the conditional strategy (repro.core.conditionals, §5.2)."""
+
+from repro.core.conditionals import (
+    ConditionalStore,
+    GuardRecord,
+    ProgramRecord,
+    bucket_programs,
+    solve_cascade,
+    solve_with_buckets,
+)
+from repro.core.dsl import DslBuilder
+from repro.core.expr import Call, Const, Function, If, Param
+from repro.core.types import BOOL, INT
+
+NEG = Function("Neg", (INT,), INT, lambda a: -a)
+LE = Function("Le", (INT, INT), BOOL, lambda a, b: a <= b)
+
+
+def x():
+    return Param("x", INT, "e")
+
+
+def const(v):
+    return Const(v, INT, "e")
+
+
+def guard(v):
+    return Call(LE, (x(), const(v)), "b")
+
+
+def store_with(programs, guards, n):
+    store = ConditionalStore(n)
+    for program, passed in programs:
+        store.record_program(program, frozenset(passed))
+    for g, true_set, errors in guards:
+        store.record_guard(g, frozenset(true_set), frozenset(errors))
+    return store
+
+
+class TestStore:
+    def test_smallest_program_per_set_kept(self):
+        store = ConditionalStore(2)
+        big = Call(NEG, (Call(NEG, (x(),), "e"),), "e")
+        store.record_program(big, frozenset({0}))
+        store.record_program(x(), frozenset({0}))
+        assert store.programs[0].program == x()
+
+    def test_empty_sets_dropped(self):
+        store = ConditionalStore(2)
+        store.record_program(x(), frozenset())
+        assert not store.programs
+
+    def test_degenerate_guards_dropped(self):
+        store = ConditionalStore(2)
+        store.record_guard(guard(0), frozenset({0, 1}))  # true everywhere
+        store.record_guard(guard(1), frozenset())  # false everywhere
+        assert not store.guards
+
+    def test_splitting_guard_kept(self):
+        store = ConditionalStore(2)
+        store.record_guard(guard(0), frozenset({0}))
+        assert len(store.guards) == 1
+
+
+class TestCascade:
+    def test_two_branch_solution(self):
+        store = store_with(
+            programs=[(const(-1), {0}), (const(1), {1, 2})],
+            guards=[(guard(0), {0}, ())],
+            n=3,
+        )
+        result = solve_cascade(store, frozenset({0, 1, 2}), 2, "e")
+        assert isinstance(result, If)
+        assert result.num_branches == 2
+
+    def test_requires_full_cover(self):
+        store = store_with(
+            programs=[(const(-1), {0})],
+            guards=[(guard(0), {0}, ())],
+            n=2,
+        )
+        assert solve_cascade(store, frozenset({0, 1}), 2, "e") is None
+
+    def test_respects_branch_limit(self):
+        # Needs 3 branches; limit 2 must fail.
+        store = store_with(
+            programs=[
+                (const(0), {0}),
+                (const(1), {1}),
+                (const(2), {2}),
+            ],
+            guards=[
+                (guard(0), {0}, ()),
+                (guard(1), {0, 1}, ()),
+            ],
+            n=3,
+        )
+        assert solve_cascade(store, frozenset({0, 1, 2}), 2, "e") is None
+        three = solve_cascade(store, frozenset({0, 1, 2}), 3, "e")
+        assert three is not None and three.num_branches == 3
+
+    def test_fewest_branches_preferred(self):
+        store = store_with(
+            programs=[
+                (const(0), {0}),
+                (const(1), {1, 2}),
+                (const(2), {2}),
+            ],
+            guards=[
+                (guard(0), {0}, ()),
+                (guard(1), {0, 1}, ()),
+            ],
+            n=3,
+        )
+        result = solve_cascade(store, frozenset({0, 1, 2}), 3, "e")
+        assert result is not None
+        assert result.num_branches == 2
+
+    def test_erroring_guard_not_routed(self):
+        store = store_with(
+            programs=[(const(-1), {0}), (const(1), {1})],
+            guards=[(guard(0), {0}, {1})],  # errors on example 1
+            n=2,
+        )
+        # The guard crashes on a remaining example, so no cascade exists.
+        assert solve_cascade(store, frozenset({0, 1}), 2, "e") is None
+
+    def test_single_covering_program_returns_none(self):
+        store = store_with(
+            programs=[(x(), {0, 1})],
+            guards=[(guard(0), {0}, ())],
+            n=2,
+        )
+        assert solve_cascade(store, frozenset({0, 1}), 2, "e") is None
+
+    def test_branch_limit_below_two(self):
+        store = store_with(
+            programs=[(const(0), {0}), (const(1), {1})],
+            guards=[(guard(0), {0}, ())],
+            n=2,
+        )
+        assert solve_cascade(store, frozenset({0, 1}), 1, "e") is None
+
+
+def make_dsl():
+    b = DslBuilder("t", start="P")
+    b.nt("P", INT).nt("e", INT).nt("b", BOOL)
+    b.param("e")
+    b.rule("e", NEG, ["e"])
+    b.rule("b", LE, ["e", "e"])
+    b.conditional("P", guard_nt="b", branch_nt="e")
+    return b.build()
+
+
+class TestBuckets:
+    def test_top_level_bucket_exists(self):
+        dsl = make_dsl()
+        store = store_with(
+            programs=[(const(0), {0}), (const(1), {1})],
+            guards=[],
+            n=2,
+        )
+        buckets = bucket_programs(store, dsl, root_nt="P")
+        assert any(b.context_root is None for b in buckets)
+
+    def test_nested_bucket_shares_context(self):
+        dsl = make_dsl()
+        p1 = Call(NEG, (const(0),), "e")
+        p2 = Call(NEG, (const(1),), "e")
+        store = store_with(
+            programs=[(p1, {0}), (p2, {1})],
+            guards=[],
+            n=2,
+        )
+        buckets = bucket_programs(store, dsl, root_nt="P")
+        nested = [b for b in buckets if b.context_root is not None]
+        # Both programs share the context Neg(•).
+        shared = [
+            b
+            for b in nested
+            if len(buckets[b]) == 2 and str(b.context_root) == "Neg(•)"
+        ]
+        assert shared
+
+    def test_solve_with_buckets_builds_nested_conditional(self):
+        dsl = make_dsl()
+        p1 = Call(NEG, (const(5),), "e")  # -5: right for example 0
+        p2 = Call(NEG, (const(7),), "e")  # -7: right for example 1
+        store = store_with(
+            programs=[(p1, {0}), (p2, {1})],
+            guards=[(guard(0), {0}, ())],
+            n=2,
+        )
+        result = solve_with_buckets(store, dsl, frozenset({0, 1}), 2, "P")
+        assert result is not None
+        # Either a top-level If over the two programs or Neg(If(...)).
+        assert "if" in str(result)

@@ -1,0 +1,223 @@
+"""Tests for the two central algorithms (repro.core.dbs / repro.core.tds)."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.dbs import DbsOptions, dbs
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.evaluator import run_program
+from repro.core.tds import TdsOptions, TdsSession, tds
+from repro.core.types import BOOL, INT, STRING, CHAR, list_of
+
+
+def small_budget():
+    return Budget(max_seconds=10.0, max_expressions=40_000)
+
+
+def walkthrough_dsl():
+    """The paper's Example 1 DSL."""
+    b = DslBuilder("walkthrough", start="C")
+    b.nt("C", CHAR).nt("S", STRING).nt("N", INT)
+    b.fn("C", "CharAt", ["S", "N"], lambda s, n: s[n])
+    b.fn("C", "ToUpper", ["C"], lambda c: c.upper())
+    b.fn("S", "Word", ["S", "N"], lambda s, n: s.split(" ")[n])
+    b.param("S")
+    b.constant("N")
+    b.constants_from(lambda examples: {"N": [0, 1]})
+    return b.build()
+
+
+def arith_cond_dsl():
+    b = DslBuilder("arith", start="P")
+    b.nt("P", INT).nt("e", INT).nt("b", BOOL)
+    b.conditional("P", guard_nt="b", branch_nt="e")
+    b.fn("e", "Neg", ["e"], lambda v: -v)
+    b.fn("e", "Add", ["e", "e"], lambda a, c: a + c)
+    b.fn("b", "Lt", ["e", "e"], lambda a, c: a < c)
+    b.param("e")
+    b.constant("e")
+    b.constants_from(lambda examples: {"e": [0, 1]})
+    return b.build()
+
+
+WALK_SIG = Signature("f", (("a", STRING),), CHAR)
+WALK_EXAMPLES = [
+    Example(("Sam Smith",), "S"),
+    Example(("Amy Smith",), "S"),
+    Example(("jane doe",), "D"),
+]
+
+
+class TestDbs:
+    def test_single_example_smallest_program(self):
+        dsl = walkthrough_dsl()
+        result = dbs(
+            contexts=[],
+            examples=[WALK_EXAMPLES[0]],
+            seeds=[],
+            dsl=dsl,
+            signature=WALK_SIG,
+            budget=small_budget(),
+        )
+        # The smallest program for 'Sam Smith' -> 'S' is CharAt(a, 0).
+        assert result.program is not None
+        assert str(result.program) == "CharAt(a, 0)"
+
+    def test_timeout_reported(self):
+        dsl = walkthrough_dsl()
+        impossible = [Example(("abc",), "Z")]
+        result = dbs(
+            contexts=[],
+            examples=impossible,
+            seeds=[],
+            dsl=dsl,
+            signature=WALK_SIG,
+            budget=Budget(max_expressions=500),
+        )
+        assert result.timed_out
+
+    def test_conditional_needs_branch_budget(self):
+        dsl = arith_cond_dsl()
+        sig = Signature("abs", (("x", INT),), INT)
+        examples = [Example((3,), 3), Example((-4,), 4)]
+        flat = dbs(
+            contexts=[],
+            examples=examples,
+            seeds=[],
+            dsl=dsl,
+            signature=sig,
+            max_branches=1,
+            budget=Budget(max_expressions=4_000),
+        )
+        assert flat.timed_out
+        branching = dbs(
+            contexts=[],
+            examples=examples,
+            seeds=[],
+            dsl=dsl,
+            signature=sig,
+            max_branches=2,
+            budget=small_budget(),
+        )
+        assert branching.program is not None
+        assert run_program(branching.program, ("x",), (-9,)) == 9
+
+    def test_stats_populated(self):
+        dsl = walkthrough_dsl()
+        result = dbs(
+            contexts=[],
+            examples=[WALK_EXAMPLES[0]],
+            seeds=[],
+            dsl=dsl,
+            signature=WALK_SIG,
+            budget=small_budget(),
+        )
+        assert result.stats.programs_tested >= 1
+        assert result.stats.elapsed >= 0
+
+
+class TestTds:
+    def test_walkthrough(self):
+        result = tds(
+            WALK_SIG,
+            WALK_EXAMPLES,
+            walkthrough_dsl(),
+            budget_factory=small_budget,
+        )
+        assert result.success
+        assert str(result.program) == "ToUpper(CharAt(Word(a, 1), 0))"
+
+    def test_invariant_prefix_satisfied(self):
+        session = TdsSession(
+            WALK_SIG, walkthrough_dsl(), budget_factory=small_budget
+        )
+        for i, example in enumerate(WALK_EXAMPLES):
+            session.add_example(example)
+            fn = session.current_function()
+            assert fn is not None
+            for prior in WALK_EXAMPLES[: i + 1]:
+                assert fn(*prior.args) == prior.output
+
+    def test_failure_reported(self):
+        # An unsatisfiable pair of examples (same input, two outputs).
+        examples = [Example(("x y",), "X"), Example(("x y",), "Y")]
+        result = tds(
+            WALK_SIG,
+            examples,
+            walkthrough_dsl(),
+            budget_factory=lambda: Budget(max_expressions=2_000),
+        )
+        assert not result.success
+
+    def test_steps_recorded(self):
+        result = tds(
+            WALK_SIG,
+            WALK_EXAMPLES,
+            walkthrough_dsl(),
+            budget_factory=small_budget,
+        )
+        assert [s.example_index for s in result.steps][:3] == [0, 1, 2]
+        assert all(
+            s.action in ("satisfied", "synthesized", "timeout")
+            for s in result.steps
+        )
+
+    def test_already_satisfied_examples_skip_dbs(self):
+        dsl = walkthrough_dsl()
+        examples = [
+            Example(("Sam Smith",), "S"),
+            Example(("Sara Smith",), "S"),  # same program still works
+        ]
+        result = tds(WALK_SIG, examples, dsl, budget_factory=small_budget)
+        assert result.steps[1].action == "satisfied"
+
+    def test_branch_budget_grows_after_failures(self):
+        dsl = arith_cond_dsl()
+        sig = Signature("abs", (("x", INT),), INT)
+        examples = [
+            Example((3,), 3),
+            Example((5,), 5),
+            Example((-4,), 4),
+            Example((-7,), 7),
+        ]
+        result = tds(sig, examples, dsl, budget_factory=small_budget)
+        assert result.success
+        fn = result.function()
+        assert fn(-123) == 123
+
+    def test_function_wrapper_requires_program(self):
+        result = tds(
+            WALK_SIG,
+            [Example(("x y",), "Z")],
+            walkthrough_dsl(),
+            budget_factory=lambda: Budget(max_expressions=200),
+        )
+        if not result.success and result.program is None:
+            with pytest.raises(ValueError):
+                result.function()
+
+
+class TestAblationsStillSound:
+    """The §6.3 configurations must stay *sound* (only success changes)."""
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            TdsOptions(use_contexts=False),
+            TdsOptions(use_subexpressions=False),
+            TdsOptions(use_contexts=False, use_subexpressions=False),
+            TdsOptions(dbs=DbsOptions(use_dsl=False)),
+        ],
+    )
+    def test_ablated_results_verified(self, options):
+        result = tds(
+            WALK_SIG,
+            WALK_EXAMPLES,
+            walkthrough_dsl(),
+            budget_factory=small_budget,
+            options=options,
+        )
+        if result.success:
+            fn = result.function()
+            for example in WALK_EXAMPLES:
+                assert fn(*example.args) == example.output

@@ -1,0 +1,248 @@
+"""Tests for the domain substrates (strings, tables, xml, pexfun)."""
+
+import pytest
+
+from repro.core.dsl import Example
+from repro.core.evaluator import EvaluationError
+from repro.domains import get_domain, known_domains
+from repro.domains import strings as S
+from repro.domains import tables as T
+from repro.domains import pexfun as P
+from repro.domains.xmldsl import (
+    group_rows_by_attr,
+    propagate_attr,
+    rename_attr,
+)
+from repro.domains.xmltree import parse_xml
+from repro.core.types import STRING, XML
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = set(known_domains())
+        assert {"strings", "tables", "xml", "pexfun"} <= names
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_domain("nope")
+
+    def test_dsl_cached(self):
+        domain = get_domain("strings")
+        assert domain.dsl() is domain.dsl()
+
+    def test_rule_counts_near_paper_limit(self):
+        # §5.1: "around 40-50 grammar rules seems to be the limit".
+        assert 30 <= get_domain("strings").dsl().num_rules <= 55
+        assert 25 <= get_domain("xml").dsl().num_rules <= 55
+
+
+class TestStringPositions:
+    def test_cpos_positive_and_negative(self):
+        assert S.resolve_position(S.cpos(0), "abc") == 0
+        assert S.resolve_position(S.cpos(-1), "abc") == 3
+        assert S.resolve_position(S.cpos(-2), "abc") == 2
+
+    def test_cpos_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            S.resolve_position(S.cpos(9), "abc")
+
+    def test_pos_token_boundary(self):
+        # The boundary after the '@' in an email.
+        position = S.pos(S.token_seq("At"), S.EPSILON, 1)
+        assert S.resolve_position(position, "a@b.com") == 2
+
+    def test_pos_negative_count(self):
+        position = S.pos(S.token_seq("Space"), S.EPSILON, -1)
+        assert S.resolve_position(position, "a b c") == 4
+
+    def test_pos_no_match(self):
+        position = S.pos(S.token_seq("At"), S.EPSILON, 1)
+        with pytest.raises(EvaluationError):
+            S.resolve_position(position, "nope")
+
+    def test_rel_pos(self):
+        # The 2nd space boundary after position 0 in "a b c d".
+        base = S.cpos(0)
+        position = S.rel_pos(base, S.token_seq("Space"), 2)
+        assert S.resolve_position(position, "a b c d") == 3
+
+    def test_rel_pos_before(self):
+        base = S.cpos(-1)
+        position = S.rel_pos(base, S.token_seq("Space"), -1)
+        assert S.resolve_position(position, "a b") == 1
+
+    def test_pos_within_limit(self):
+        # Last space at or before offset 4 in "ab cd ef".
+        position = S.pos_within(S.token_seq("Space"), S.EPSILON, -1, 4)
+        assert S.resolve_position(position, "ab cd ef") == 3
+
+    def test_substr(self):
+        assert S.substr("hello world", S.cpos(0), S.cpos(5)) == "hello"
+
+    def test_substr_inverted_range(self):
+        with pytest.raises(EvaluationError):
+            S.substr("abc", S.cpos(2), S.cpos(1))
+
+
+class TestStringComponents:
+    def test_match_counts_occurrences(self):
+        assert S.match("a b c", S.token_seq("Space"), 2)
+        assert not S.match("a b c", S.token_seq("Space"), 3)
+
+    def test_loop_concatenates_until_error(self):
+        def body(w):
+            if w >= 3:
+                raise EvaluationError("done")
+            return str(w)
+
+        assert S.flash_loop(body) == "012"
+
+    def test_split_and_merge(self):
+        assert (
+            S.split_and_merge("a,b,c", ",", "; ", lambda p: p.upper())
+            == "A; B; C"
+        )
+
+    def test_constant_inference_finds_output_only_chars(self):
+        examples = [Example(("ab",), "a-b")]
+        constants = S.infer_string_constants(examples)
+        assert "-" in constants
+
+    def test_constant_inference_affixes(self):
+        examples = [
+            Example(("x",), "Dr. x"),
+            Example(("y",), "Dr. y"),
+        ]
+        assert "Dr. " in S.infer_string_constants(examples)
+
+    def test_output_infix_filter(self):
+        examples = [Example(("in",), "out")]
+        assert S.output_infix_filter(("ou",), examples)
+        assert not S.output_infix_filter(("zz",), examples)
+        # Error-only vectors are inconclusive and kept.
+        from repro.core.values import ERROR
+
+        assert S.output_infix_filter((ERROR,), examples)
+
+
+class TestTables:
+    def grid(self):
+        return T.table([["h1", "h2"], ["a", "1"], ["b", "2"]])
+
+    def test_rectangularity_enforced(self):
+        with pytest.raises(EvaluationError):
+            T.table([["a"], ["b", "c"]])
+
+    def test_transpose_involution(self):
+        grid = self.grid()
+        assert T.transpose(T.transpose(grid)) == grid
+
+    def test_get_row_col_cell(self):
+        grid = self.grid()
+        assert T.get_row(grid, 1) == ("a", "1")
+        assert T.get_col(grid, 0) == ("h1", "a", "b")
+        assert T.get_cell(grid, 2, 1) == "2"
+
+    def test_drop_and_stack(self):
+        grid = self.grid()
+        body = T.drop_row(grid, 0)
+        assert T.stack(T.take_rows(grid, 1), body) == grid
+
+    def test_stack_width_mismatch(self):
+        with pytest.raises(EvaluationError):
+            T.stack(T.table([["a"]]), T.table([["a", "b"]]))
+
+    def test_unpivot(self):
+        grid = T.table(
+            [["name", "jan", "feb"], ["ann", "3", ""], ["bo", "", "7"]]
+        )
+        assert T.unpivot(grid, 1) == (
+            ("ann", "jan", "3"),
+            ("bo", "feb", "7"),
+        )
+
+    def test_fill_down(self):
+        grid = T.table([["k", "1"], ["", "2"]])
+        assert T.fill_down(grid, 0) == (("k", "1"), ("k", "2"))
+
+    def test_promote_subheaders(self):
+        grid = T.table([["A", ""], ["x", "1"]])
+        assert T.promote_subheaders(grid) == (("A", "x", "1"),)
+
+    def test_map_rows(self):
+        grid = T.table([["a", "b"]])
+        assert T.map_rows(grid, T.row_reverse) == (("b", "a"),)
+
+
+class TestXmlComponents:
+    def test_propagate_attr_matches_fig4(self):
+        doc = parse_xml(
+            "<doc><p>1</p><p class='a'>2</p><p>3</p>"
+            "<p class='b'>5</p><p>6</p></doc>"
+        )
+        result = propagate_attr(doc, "class")
+        classes = [
+            e.attr("class") if e.has_attr("class") else None
+            for e in result.elements()
+        ]
+        assert classes == [None, "a", "a", "b", "b"]
+
+    def test_rename_attr(self):
+        node = parse_xml("<img src='a.png'/>")
+        renamed = rename_attr(node, "src", "href")
+        assert renamed.attr("href") == "a.png"
+        assert not renamed.has_attr("src")
+
+    def test_rename_attr_missing(self):
+        with pytest.raises(EvaluationError):
+            rename_attr(parse_xml("<img/>"), "src", "href")
+
+    def test_group_rows_aligns_by_key(self):
+        doc = parse_xml(
+            "<doc><div><p name='a'>1</p></div>"
+            "<div><p name='a'>2</p><p name='b'>3</p></div></doc>"
+        )
+        rows = group_rows_by_attr(doc.elements(), "p", "name")
+        assert [r.tag for r in rows] == ["tr", "tr"]
+        assert rows[0].elements()[0].text() == "1"
+        assert rows[1].elements()[0].text() == ""  # missing cell empty
+
+    def test_coercion_parses_strings(self):
+        domain = get_domain("xml")
+        node = domain.coerce(XML, "<p>x</p>")
+        assert node.tag == "p"
+        assert domain.coerce(STRING, "plain") == "plain"
+
+
+class TestPexfunComponents:
+    def test_csharp_division_truncates_toward_zero(self):
+        assert P.div(-7, 2) == -3
+        assert P.mod(-7, 2) == -1
+
+    def test_division_by_zero_errors(self):
+        with pytest.raises(EvaluationError):
+            P.div(1, 0)
+
+    def test_substring_csharp_range_check(self):
+        with pytest.raises(EvaluationError):
+            P.substring("abc", 1, 5)
+        assert P.substring("abcdef", 1, 3) == "bcd"
+
+    def test_arr_set(self):
+        assert P.arr_set_i((1, 2, 3), 1, 9) == (1, 9, 3)
+        with pytest.raises(EvaluationError):
+            P.arr_set_i((1,), 5, 0)
+
+    def test_type_guards(self):
+        with pytest.raises(EvaluationError):
+            P.add("1", 2)
+        with pytest.raises(EvaluationError):
+            P.to_upper(3)
+
+    def test_constants_include_output_affixes(self):
+        examples = [
+            Example(("Ann",), "Hello, Ann"),
+            Example(("Bo",), "Hello, Bo"),
+        ]
+        constants = P.pexfun_constants(examples)
+        assert "Hello, " in constants["str"]

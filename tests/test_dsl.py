@@ -1,0 +1,178 @@
+"""Tests for DSL definitions (repro.core.dsl)."""
+
+import pytest
+
+from repro.core.dsl import (
+    DslBuilder,
+    DslError,
+    Example,
+    LambdaSpec,
+    Production,
+    Signature,
+)
+from repro.core.types import BOOL, INT, STRING, fun, list_of
+
+
+def minimal_builder():
+    b = DslBuilder("t", start="e")
+    b.nt("e", INT).nt("b", BOOL)
+    b.param("e")
+    b.fn("e", "Add", ["e", "e"], lambda a, c: a + c)
+    b.fn("b", "Lt", ["e", "e"], lambda a, c: a < c)
+    return b
+
+
+class TestSignature:
+    def test_accessors(self):
+        sig = Signature("f", (("a", STRING), ("n", INT)), STRING)
+        assert sig.param_names == ("a", "n")
+        assert sig.param_types == (STRING, INT)
+        assert str(sig) == "str f(str a, int n)"
+
+
+class TestBuilder:
+    def test_build_minimal(self):
+        dsl = minimal_builder().build()
+        assert dsl.start == "e"
+        assert dsl.num_rules == 3
+
+    def test_start_must_exist(self):
+        b = DslBuilder("t", start="missing")
+        b.nt("e", INT)
+        with pytest.raises(DslError):
+            b.build()
+
+    def test_rule_with_unknown_nt_rejected(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT)
+        with pytest.raises(DslError):
+            b.fn("e", "F", ["nope"], lambda x: x)
+
+    def test_nt_redeclaration_same_type_ok(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT).nt("e", INT)
+
+    def test_nt_redeclaration_new_type_rejected(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT)
+        with pytest.raises(DslError):
+            b.nt("e", STRING)
+
+    def test_conditional_guard_must_be_bool(self):
+        b = minimal_builder()
+        b.conditional("e", guard_nt="e", branch_nt="e")
+        with pytest.raises(DslError):
+            b.build()
+
+    def test_conditional_wellformed(self):
+        b = minimal_builder()
+        b.conditional("e", guard_nt="b", branch_nt="e")
+        dsl = b.build()
+        assert dsl.conditionals[0].guard_nt == "b"
+
+    def test_lambda_spec_infers_function_type(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT)
+        b.param("e")
+        spec = LambdaSpec(("w",), (INT,), "e")
+        b.fn("e", "Loop", [spec], lambda f: f(0))
+        dsl = b.build()
+        loop = next(
+            p for p in dsl.productions if p.kind == "call" and p.func.name == "Loop"
+        )
+        assert loop.func.param_types == (fun(INT, INT),)
+        assert dsl.lambda_vars == {"w": INT}
+
+    def test_lambda_var_type_conflict_rejected(self):
+        b = DslBuilder("t", start="e")
+        b.nt("e", INT).nt("s", STRING)
+        b.param("e")
+        b.fn("e", "L1", [LambdaSpec(("w",), (INT,), "e")], lambda f: f(0))
+        with pytest.raises(DslError):
+            b.fn("e", "L2", [LambdaSpec(("w",), (STRING,), "e")], lambda f: f(""))
+
+
+class TestProduction:
+    def test_call_requires_function(self):
+        with pytest.raises(ValueError):
+            Production("e", "call")
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Production("e", "var")
+
+
+class TestExpansion:
+    def test_self_in_expansion(self):
+        dsl = minimal_builder().build()
+        assert dsl.expansion("e") == ("e",)
+
+    def test_unit_production_expands(self):
+        b = minimal_builder()
+        b.nt("f", INT)
+        b.unit("e", "f")
+        dsl = b.build()
+        assert set(dsl.expansion("e")) == {"e", "f"}
+
+    def test_transitive_units(self):
+        b = minimal_builder()
+        b.nt("f", INT).nt("g", INT)
+        b.unit("e", "f")
+        b.unit("f", "g")
+        dsl = b.build()
+        assert set(dsl.expansion("e")) == {"e", "f", "g"}
+
+    def test_conditional_branch_in_expansion(self):
+        b = DslBuilder("t", start="P")
+        b.nt("P", INT).nt("e", INT).nt("b", BOOL)
+        b.param("e")
+        b.fn("b", "Lt", ["e", "e"], lambda a, c: a < c)
+        b.conditional("P", guard_nt="b", branch_nt="e")
+        dsl = b.build()
+        assert set(dsl.expansion("P")) == {"P", "e"}
+
+
+class TestConstants:
+    def test_provider_invoked_with_examples(self):
+        seen = []
+
+        def provider(examples):
+            seen.append(list(examples))
+            return {"e": [1]}
+
+        b = minimal_builder()
+        b.constant("e")
+        b.constants_from(provider)
+        dsl = b.build()
+        examples = [Example((1,), 2)]
+        assert dsl.constants_for(examples) == {"e": [1]}
+        assert seen == [examples]
+
+    def test_no_provider_empty(self):
+        dsl = minimal_builder().build()
+        assert dsl.constants_for([]) == {}
+
+
+class TestFunctionsQuery:
+    def test_functions_deduped_by_name(self):
+        dsl = minimal_builder().build()
+        names = sorted(f.name for f in dsl.functions())
+        assert names == ["Add", "Lt"]
+
+
+class TestLoopRules:
+    def test_foreach_rule_recorded(self):
+        b = DslBuilder("t", start="P")
+        b.nt("P", list_of(INT)).nt("e", INT)
+        b.param("e")
+        b.foreach("P", body_nt="e", variants=("forward", "reverse"))
+        dsl = b.build()
+        assert dsl.loops[0].kind == "foreach"
+        assert dsl.loops[0].variants == ("forward", "reverse")
+
+    def test_loop_rule_unknown_nt_rejected(self):
+        b = DslBuilder("t", start="P")
+        b.nt("P", list_of(INT))
+        b.foreach("P", body_nt="missing")
+        with pytest.raises(DslError):
+            b.build()

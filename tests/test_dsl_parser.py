@@ -1,0 +1,179 @@
+"""Tests for the textual DSL definition language (repro.core.dsl_parser)."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.dsl import Example, Signature
+from repro.core.dsl_parser import DslParseError, parse_dsl
+from repro.core.tds import tds
+from repro.core.types import BOOL, CHAR, INT, STRING
+
+NAMESPACE = {
+    "CharAt": lambda s, n: s[n],
+    "ToUpper": lambda c: c.upper(),
+    "Word": lambda s, n: s.split(" ")[n],
+    "Add": lambda a, b: a + b,
+    "Neg": lambda a: -a,
+    "Lt": lambda a, b: a < b,
+    "Apply": lambda f: f(2),
+}
+
+WALKTHROUGH = """
+dsl "walkthrough";
+start C;
+nonterminal C : char;
+nonterminal S : str;
+nonterminal N : int;
+C ::= CharAt(S, N) | ToUpper(C);
+S ::= Word(S, N) | _PARAM;
+N ::= _CONSTANT;
+"""
+
+
+class TestParsing:
+    def test_walkthrough_shape(self):
+        dsl = parse_dsl(WALKTHROUGH, NAMESPACE)
+        assert dsl.name == "walkthrough"
+        assert dsl.start == "C"
+        assert dsl.type_of("C") == CHAR
+        assert sorted(f.name for f in dsl.functions()) == [
+            "CharAt",
+            "ToUpper",
+            "Word",
+        ]
+
+    def test_param_and_constant_rules(self):
+        dsl = parse_dsl(WALKTHROUGH, NAMESPACE)
+        kinds = {(p.nt, p.kind) for p in dsl.productions}
+        assert ("S", "param") in kinds
+        assert ("N", "constant") in kinds
+
+    def test_comments_ignored(self):
+        dsl = parse_dsl(
+            "// the demo\ndsl d; start e;\nnonterminal e : int;\n"
+            "e ::= _PARAM; // params only\n",
+            {},
+        )
+        assert dsl.start == "e"
+
+    def test_unit_rule(self):
+        dsl = parse_dsl(
+            "start a; nonterminal a : int; nonterminal b : int;"
+            "a ::= b; b ::= _PARAM;",
+            {},
+        )
+        assert set(dsl.expansion("a")) == {"a", "b"}
+
+    def test_conditional_rule(self):
+        dsl = parse_dsl(
+            "start P; nonterminal P : int; nonterminal e : int;"
+            "nonterminal b : bool;"
+            "P ::= __CONDITIONAL(b, e); e ::= _PARAM;"
+            "b ::= Lt(e, e);",
+            NAMESPACE,
+        )
+        assert dsl.conditionals[0].guard_nt == "b"
+
+    def test_loop_rules(self):
+        dsl = parse_dsl(
+            "start P; nonterminal P : list<int>; nonterminal e : int;"
+            "P ::= __FOREACH(e); e ::= _PARAM;",
+            {},
+        )
+        assert dsl.loops[0].kind == "foreach"
+
+    def test_recurse_and_lasy_fn(self):
+        dsl = parse_dsl(
+            "start e; nonterminal e : int;"
+            "e ::= _PARAM | _RECURSE(e) | _LASY_FN(e);",
+            {},
+        )
+        kinds = {p.kind for p in dsl.productions}
+        assert {"param", "recurse", "lasy_fn"} <= kinds
+
+    def test_lambda_argument(self):
+        dsl = parse_dsl(
+            "start e; nonterminal e : int; lambdavar w : int;"
+            "e ::= Apply(lambda w: e) | w | _PARAM;",
+            NAMESPACE,
+        )
+        assert dsl.lambda_vars == {"w": INT}
+
+    def test_rewrite_rules_attached(self):
+        dsl = parse_dsl(
+            "start e; nonterminal e : int;"
+            "e ::= Add(e, e) | _PARAM;"
+            "rewrite Add(a0, a1) ==> Add(a1, a0);",
+            NAMESPACE,
+        )
+        assert len(dsl.rewrites) == 1
+
+    def test_alternatives_with_nested_parens(self):
+        dsl = parse_dsl(
+            "start e; nonterminal e : int;"
+            "e ::= Add(e, e) | Neg(e) | _PARAM;",
+            NAMESPACE,
+        )
+        assert len([p for p in dsl.productions if p.kind == "call"]) == 2
+
+
+class TestErrors:
+    def test_missing_start(self):
+        with pytest.raises(DslParseError):
+            parse_dsl("nonterminal e : int; e ::= _PARAM;", {})
+
+    def test_undeclared_nonterminal(self):
+        with pytest.raises(DslParseError):
+            parse_dsl("start e; e ::= _PARAM;", {})
+
+    def test_unknown_component(self):
+        with pytest.raises(DslParseError):
+            parse_dsl(
+                "start e; nonterminal e : int; e ::= Mystery(e);", {}
+            )
+
+    def test_bad_nonterminal_declaration(self):
+        with pytest.raises(DslParseError):
+            parse_dsl("start e; nonterminal e;", {})
+
+    def test_unterminated_statement(self):
+        with pytest.raises(DslParseError):
+            parse_dsl("start e; nonterminal e : int", {})
+
+    def test_undeclared_lambda_var(self):
+        with pytest.raises(DslParseError):
+            parse_dsl(
+                "start e; nonterminal e : int;"
+                "e ::= Apply(lambda w: e);",
+                NAMESPACE,
+            )
+
+    def test_unknown_arg_nonterminal(self):
+        with pytest.raises(DslParseError):
+            parse_dsl(
+                "start e; nonterminal e : int; e ::= Add(e, zz);",
+                NAMESPACE,
+            )
+
+
+class TestEndToEnd:
+    def test_textual_dsl_drives_tds(self):
+        dsl = parse_dsl(
+            WALKTHROUGH,
+            NAMESPACE,
+            constant_provider=lambda examples: {"N": [0, 1]},
+        )
+        result = tds(
+            Signature("f", (("a", STRING),), CHAR),
+            [
+                Example(("Sam Smith",), "S"),
+                Example(("Amy Smith",), "S"),
+                Example(("jane doe",), "D"),
+            ],
+            dsl,
+            budget_factory=lambda: Budget(
+                max_seconds=10, max_expressions=40_000
+            ),
+        )
+        assert result.success
+        assert str(result.program) == "ToUpper(CharAt(Word(a, 1), 0))"

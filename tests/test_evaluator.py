@@ -1,0 +1,254 @@
+"""Tests for the fuel-bounded evaluator (repro.core.evaluator)."""
+
+import pytest
+
+from repro.core.evaluator import (
+    Env,
+    EvaluationError,
+    Fuel,
+    check_value_size,
+    evaluate,
+    run_program,
+    try_run,
+)
+from repro.core.expr import (
+    Call,
+    Const,
+    Foreach,
+    ForLoop,
+    Function,
+    Hole,
+    If,
+    Lambda,
+    LasyCall,
+    Param,
+    Recurse,
+    Var,
+)
+from repro.core.types import BOOL, INT, STRING, list_of
+from repro.core.values import ERROR
+
+ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+SUB = Function("Sub", (INT, INT), INT, lambda a, b: a - b)
+MUL = Function("Mul", (INT, INT), INT, lambda a, b: a * b)
+LE = Function("Le", (INT, INT), BOOL, lambda a, b: a <= b)
+BOOM = Function("Boom", (INT,), INT, lambda a: 1 // 0)
+
+
+def x():
+    return Param("x", INT, "e")
+
+
+def const(v, ty=INT):
+    return Const(v, ty, "e")
+
+
+class TestBasics:
+    def test_const(self):
+        assert run_program(const(5), ("x",), (0,)) == 5
+
+    def test_param(self):
+        assert run_program(x(), ("x",), (42,)) == 42
+
+    def test_call(self):
+        expr = Call(ADD, (x(), const(1)), "e")
+        assert run_program(expr, ("x",), (4,)) == 5
+
+    def test_unbound_param_errors(self):
+        with pytest.raises(EvaluationError):
+            run_program(Param("y", INT, "e"), ("x",), (1,))
+
+    def test_component_exception_wrapped(self):
+        with pytest.raises(EvaluationError):
+            run_program(Call(BOOM, (x(),), "e"), ("x",), (1,))
+
+    def test_hole_is_not_evaluable(self):
+        with pytest.raises(EvaluationError):
+            run_program(Hole("e"), ("x",), (1,))
+
+    def test_try_run_returns_error_value(self):
+        assert try_run(Call(BOOM, (x(),), "e"), ("x",), (1,)) is ERROR
+
+
+class TestConditionals:
+    def test_first_true_branch_wins(self):
+        cond = If(
+            ((Call(LE, (x(), const(0)), "b"), const(-1)),),
+            const(1),
+            "e",
+        )
+        assert run_program(cond, ("x",), (-5,)) == -1
+        assert run_program(cond, ("x",), (5,)) == 1
+
+    def test_non_bool_guard_errors(self):
+        cond = If(((x(), const(1)),), const(0), "e")
+        with pytest.raises(EvaluationError):
+            run_program(cond, ("x",), (1,))
+
+
+class TestLambdas:
+    def test_closure_call(self):
+        w = Var("w", INT, "c")
+        lam = Lambda((w,), Call(ADD, (w, const(1)), "e"), "λ")
+        env = Env(params={})
+        closure = evaluate(lam, env)
+        assert closure(4) == 5
+
+    def test_wrong_arity_errors(self):
+        w = Var("w", INT, "c")
+        lam = Lambda((w,), w, "λ")
+        closure = evaluate(lam, Env(params={}))
+        with pytest.raises(EvaluationError):
+            closure(1, 2)
+
+    def test_unbound_var_errors(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Var("w", INT, "c"), Env(params={}))
+
+
+class TestRecursion:
+    def _fact(self):
+        guard = Call(LE, (x(), const(1)), "b")
+        rec = Recurse((Call(SUB, (x(), const(1)), "e"),), "e")
+        body = Call(MUL, (x(), rec), "e")
+        return If(((guard, const(1)),), body, "e")
+
+    def test_factorial(self):
+        assert run_program(self._fact(), ("x",), (5,)) == 120
+
+    def test_unchanged_arguments_rejected(self):
+        looping = Recurse((x(),), "e")
+        with pytest.raises(EvaluationError):
+            run_program(looping, ("x",), (3,))
+
+    def test_depth_limit(self):
+        # f(x) = f(x - 1): no base case, strictly decreasing arguments.
+        looping = Recurse((Call(SUB, (x(), const(1)), "e"),), "e")
+        with pytest.raises(EvaluationError):
+            run_program(looping, ("x",), (10**6,), max_depth=10)
+
+    def test_recursion_oracle_overrides(self):
+        rec = Recurse((Call(SUB, (x(), const(1)), "e"),), "e")
+        value = run_program(
+            rec, ("x",), (5,), recursion_oracle=lambda args: args[0] * 100
+        )
+        assert value == 400
+
+    def test_recursion_without_binding_errors(self):
+        rec = Recurse((Call(SUB, (x(), const(1)), "e"),), "e")
+        env = Env(params={"x": 1}, recursion_params=("x",))
+        with pytest.raises(EvaluationError):
+            evaluate(rec, env)
+
+
+class TestLasyCalls:
+    def test_known_function(self):
+        expr = LasyCall("Twice", (x(),), "e")
+        value = run_program(
+            expr, ("x",), (4,), lasy_fns={"Twice": lambda v: 2 * v}
+        )
+        assert value == 8
+
+    def test_unknown_function_errors(self):
+        with pytest.raises(EvaluationError):
+            run_program(LasyCall("Nope", (x(),), "e"), ("x",), (4,))
+
+
+class TestLoops:
+    def test_foreach_collects(self):
+        xs = Param("xs", list_of(INT), "arr")
+        current = Var("current", INT, "c")
+        body = Lambda(
+            (
+                Var("i", INT, "c"),
+                current,
+                Var("acc", list_of(INT), "arr"),
+            ),
+            Call(MUL, (current, current), "e"),
+            "λ",
+        )
+        loop = Foreach(xs, body, "P")
+        assert run_program(loop, ("xs",), ((3, 5, 4),)) == (9, 25, 16)
+
+    def test_foreach_reverse(self):
+        xs = Param("xs", list_of(INT), "arr")
+        current = Var("current", INT, "c")
+        body = Lambda(
+            (Var("i", INT, "c"), current, Var("acc", list_of(INT), "arr")),
+            current,
+            "λ",
+        )
+        loop = Foreach(xs, body, "P", reverse=True)
+        assert run_program(loop, ("xs",), ((1, 2, 3),)) == (3, 2, 1)
+
+    def test_foreach_on_non_sequence_errors(self):
+        body = Lambda(
+            (
+                Var("i", INT, "c"),
+                Var("current", INT, "c"),
+                Var("acc", list_of(INT), "arr"),
+            ),
+            const(0),
+            "λ",
+        )
+        loop = Foreach(x(), body, "P")
+        with pytest.raises(EvaluationError):
+            run_program(loop, ("x",), (3,))
+
+    def test_forloop_accumulates(self):
+        body = Lambda(
+            (Var("i", INT, "c"), Var("acc", INT, "e")),
+            Call(ADD, (Var("i", INT, "c"), Var("acc", INT, "e")), "e"),
+            "λ",
+        )
+        loop = ForLoop(x(), const(0), body, "P", start=1)
+        assert run_program(loop, ("x",), (4,)) == 10
+
+    def test_forloop_zero_iterations(self):
+        body = Lambda(
+            (Var("i", INT, "c"), Var("acc", INT, "e")),
+            const(99),
+            "λ",
+        )
+        loop = ForLoop(x(), const(7), body, "P", start=1)
+        assert run_program(loop, ("x",), (0,)) == 7
+
+    def test_forloop_non_int_bound_errors(self):
+        body = Lambda(
+            (Var("i", INT, "c"), Var("acc", INT, "e")),
+            const(0),
+            "λ",
+        )
+        loop = ForLoop(Const("s", STRING, "e"), const(0), body, "P")
+        with pytest.raises(EvaluationError):
+            run_program(loop, (), ())
+
+
+class TestBudgets:
+    def test_fuel_exhaustion(self):
+        deep = x()
+        for _ in range(100):
+            deep = Call(ADD, (deep, const(1)), "e")
+        with pytest.raises(EvaluationError):
+            run_program(deep, ("x",), (0,), fuel=10)
+
+    def test_fuel_object(self):
+        fuel = Fuel(2)
+        fuel.spend()
+        fuel.spend()
+        with pytest.raises(EvaluationError):
+            fuel.spend()
+
+    def test_value_size_limit_int(self):
+        with pytest.raises(EvaluationError):
+            check_value_size(1 << 1000)
+
+    def test_value_size_limit_passthrough(self):
+        assert check_value_size(42) == 42
+        assert check_value_size("abc") == "abc"
+
+    def test_huge_int_from_component_rejected(self):
+        # Repeated squaring overflows the value-size limit, not the clock.
+        big = Const(1 << 500, INT, "e")
+        expr = Call(MUL, (big, big), "e")
+        assert try_run(expr, (), ()) is ERROR

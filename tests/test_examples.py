@@ -1,0 +1,52 @@
+"""The runnable examples must actually run (quickstart in the fast pass,
+the domain scenarios under --runslow)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", timeout=120)
+    assert "ToUpper(CharAt(Word(a, 1), 0))" in out
+    assert "f('Alan Turing') = T" in out
+
+
+@pytest.mark.slow
+def test_table_normalization_example():
+    out = run_example("table_normalization.py")
+    assert out.count("success: True") >= 3
+
+
+@pytest.mark.slow
+def test_pexfun_game_example():
+    out = run_example("pexfun_game.py", timeout=600)
+    assert "square" in out
+    assert out.count("solved") >= 3
+
+
+@pytest.mark.slow
+def test_string_transformations_example():
+    out = run_example("string_transformations.py", timeout=600)
+    assert out.count("success: True") >= 2
+
+
+@pytest.mark.slow
+def test_xml_example():
+    out = run_example("xml_to_table.py", timeout=600)
+    assert out.count("success: True") >= 2

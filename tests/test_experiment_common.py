@@ -1,0 +1,79 @@
+"""Tests for the shared experiment machinery (repro.experiments.common)."""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FAST,
+    FULL,
+    format_table,
+    time_buckets,
+)
+from repro.suites.benchmark import Benchmark, BenchmarkOutcome
+
+
+def outcome(name, success, elapsed):
+    benchmark = Benchmark(name=name, source="", domain="pexfun")
+    return BenchmarkOutcome(
+        benchmark=benchmark,
+        success=success,
+        holdout_ok=success,
+        elapsed=elapsed,
+        dbs_times=[elapsed],
+    )
+
+
+class TestTimeBuckets:
+    def test_paper_buckets(self):
+        outcomes = [
+            outcome("a", True, 0.5),
+            outcome("b", True, 2.0),
+            outcome("c", True, 7.0),
+            outcome("d", True, 30.0),
+            outcome("e", False, 60.0),
+        ]
+        rows = dict(time_buckets(outcomes))
+        assert rows["0-1s"] == 1
+        assert rows["1-5s"] == 1
+        assert rows["5-25s"] == 1
+        assert rows[">=25s"] == 1
+        assert rows["unsolved"] == 1
+
+    def test_unsolved_not_bucketed_by_time(self):
+        rows = dict(time_buckets([outcome("a", False, 0.1)]))
+        assert rows["0-1s"] == 0
+        assert rows["unsolved"] == 1
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["longer-name", 1], ["x", 234]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, row1, row2 = lines
+        # The second column starts at a fixed offset on every line.
+        offset = len("longer-name") + 2
+        assert header[offset] == "n"
+        assert rule[offset] == "-"
+        assert row1[offset] == "1"
+        assert row2[offset] == "2"
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestConfig:
+    def test_budget_factory_fresh_budgets(self):
+        config = ExperimentConfig(budget_seconds=1.0, budget_expressions=10)
+        factory = config.budget_factory()
+        assert factory() is not factory()
+
+    def test_hard_multiplier(self):
+        config = ExperimentConfig(
+            budget_seconds=10.0, budget_expressions=100, hard_multiplier=3.0
+        )
+        assert config.budget_factory(hard=True)().max_seconds == 30.0
+        assert config.budget_factory(hard=False)().max_seconds == 10.0
+
+    def test_presets_ordered(self):
+        assert FULL.budget_seconds > FAST.budget_seconds
+        assert FULL.budget_expressions > FAST.budget_expressions

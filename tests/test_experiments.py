@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment drivers (tiny configurations).
+
+Each driver must run end to end, produce the structure its figure/table
+needs, and render a report. Full-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ablation,
+    cdf,
+    dslsize,
+    ordering,
+    pexfun_exp,
+    strings_exp,
+    tables_exp,
+    xml_exp,
+)
+from repro.pex.puzzles import PUZZLES
+
+TINY = ExperimentConfig(budget_seconds=4.0, budget_expressions=40_000)
+
+
+class TestOrderingMetric:
+    def test_identity_is_zero(self):
+        assert ordering.normalized_inversions([0, 1, 2, 3]) == 0.0
+
+    def test_reversal_is_one(self):
+        assert ordering.normalized_inversions([3, 2, 1, 0]) == 1.0
+
+    def test_single_swap(self):
+        assert ordering.normalized_inversions([1, 0, 2]) == pytest.approx(
+            1 / 3
+        )
+
+    def test_short_sequences(self):
+        assert ordering.normalized_inversions([0]) == 0.0
+        assert ordering.normalized_inversions([]) == 0.0
+
+
+class TestCdfResult:
+    def test_percentiles(self):
+        result = cdf.CdfResult(times=[1.0, 2.0, 3.0, 4.0])
+        assert result.percentile(0.5) == 3.0
+        assert result.fraction_under(2.5) == 0.5
+
+    def test_curve_monotone(self):
+        result = cdf.CdfResult(times=[5.0, 1.0, 3.0, 2.0, 4.0])
+        curve = result.curve(points=5)
+        xs = [t for t, _ in curve]
+        ys = [f for _, f in curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_empty(self):
+        result = cdf.CdfResult()
+        assert result.percentile(0.5) == 0.0
+        assert result.curve() == []
+
+
+class TestDslSize:
+    def test_synthetic_dsl_sizes(self):
+        assert dslsize.make_arith_dsl(6).num_rules == 6
+        assert dslsize.make_arith_dsl(30).num_rules == 30
+
+    def test_small_sweep_shape(self):
+        result = dslsize.run(TINY, sizes=(6, 12))
+        assert len(result.points) == 2
+        assert result.points[0].optimized_solved  # 6 rules is easy
+        report = dslsize.report(result)
+        assert "optimized" in report
+
+    def test_optimizations_dominate(self):
+        result = dslsize.run(TINY, sizes=(6, 20))
+        assert result.limit(True) >= result.limit(False)
+
+
+class TestPexfunDriver:
+    def test_subset_run(self):
+        subset = [p for p in PUZZLES if p.name in ("square", "identity-str")]
+        rows = pexfun_exp.run(TINY, puzzles=subset, try_manual=False)
+        assert len(rows) == 2
+        assert all(r.solved for r in rows)
+        assert "E4" in pexfun_exp.report(rows)
+
+    def test_manual_sequences_are_valid(self):
+        by_name = {p.name: p for p in PUZZLES}
+        for name, examples in pexfun_exp.MANUAL_SEQUENCES.items():
+            puzzle = by_name[name]
+            for example in examples:
+                assert puzzle.reference(*example.args) == example.output, (
+                    f"manual sequence for {name} disagrees with reference"
+                )
+
+
+@pytest.mark.slow
+class TestDriversEndToEnd:
+    def test_strings_driver(self):
+        rows = strings_exp.run(TINY, include_sketch=True, sketch_seconds=2)
+        assert len(rows) == 15
+        solved = sum(r.tds_solved for r in rows)
+        ff = sum(r.flashfill_solved for r in rows)
+        assert solved > ff  # TDS covers strictly more than FlashFill
+        assert "E1" in strings_exp.report(rows)
+
+    def test_tables_driver(self):
+        rows = tables_exp.run(TINY)
+        assert len(rows) == 8
+        assert sum(r.tds_solved for r in rows) >= sum(
+            r.specialized_solved for r in rows
+        )
+        assert "E2" in tables_exp.report(rows)
+
+    def test_xml_driver(self):
+        rows = xml_exp.run(TINY, include_sketch=True, sketch_seconds=2)
+        assert len(rows) == 10
+        assert sum(r.tds_solved for r in rows) > sum(
+            r.sketch_solved for r in rows
+        )
+        assert "E3" in xml_exp.report(rows)
+
+    def test_ablation_driver_full_dominates(self):
+        result = ablation.run(TINY, suites=["tables"])
+        counts = result.counts["tables"]
+        assert counts["full"] >= counts["neither"]
+        assert "F9" in ablation.report(result)
+
+    def test_ordering_driver(self):
+        result = ordering.run(TINY, reorderings_per_sequence=2)
+        assert result.samples
+        assert "F7" in ordering.report(result)
+
+    def test_cdf_driver(self):
+        result = cdf.run(TINY, suites=["tables"])
+        assert result.times
+        assert "F10" in cdf.report(result)

@@ -1,0 +1,190 @@
+"""Tests for the expression IR (repro.core.expr)."""
+
+import pytest
+
+from repro.core.expr import (
+    Call,
+    Const,
+    Foreach,
+    ForLoop,
+    Function,
+    Hole,
+    If,
+    Lambda,
+    LasyCall,
+    Param,
+    Recurse,
+    Var,
+    count_branches,
+    free_vars,
+    get_at,
+    is_recursive,
+    replace_at,
+    top_level_bodies,
+)
+from repro.core.types import INT, STRING, list_of
+
+ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+NEG = Function("Neg", (INT,), INT, lambda a: -a)
+
+
+def x():
+    return Param("x", INT, "e")
+
+
+def const(v):
+    return Const(v, INT, "e")
+
+
+class TestConstruction:
+    def test_sizes(self):
+        assert x().size == 1
+        assert Call(ADD, (x(), const(1)), "e").size == 3
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Call(ADD, (x(),), "e")
+
+    def test_if_requires_branch(self):
+        with pytest.raises(ValueError):
+            If((), const(1), "e")
+
+    def test_str_rendering(self):
+        expr = Call(ADD, (x(), const(1)), "e")
+        assert str(expr) == "Add(x, 1)"
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        a = Call(ADD, (x(), const(1)), "e")
+        b = Call(ADD, (x(), const(1)), "e")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_nt_is_part_of_identity(self):
+        assert Param("x", INT, "e") != Param("x", INT, "f")
+
+    def test_different_args_unequal(self):
+        assert Call(ADD, (x(), const(1)), "e") != Call(
+            ADD, (x(), const(2)), "e"
+        )
+
+    def test_different_node_kinds_unequal(self):
+        assert x() != const(1)
+
+    def test_usable_in_sets(self):
+        exprs = {Call(ADD, (x(), const(1)), "e") for _ in range(5)}
+        assert len(exprs) == 1
+
+
+class TestTraversal:
+    def test_walk_counts_nodes(self):
+        expr = Call(ADD, (Call(NEG, (x(),), "e"), const(1)), "e")
+        assert len(list(expr.walk())) == 4
+
+    def test_walk_with_paths_roundtrip(self):
+        expr = Call(ADD, (Call(NEG, (x(),), "e"), const(1)), "e")
+        for path, node in expr.walk_with_paths():
+            assert get_at(expr, path) == node
+
+    def test_replace_at_root(self):
+        assert replace_at(x(), (), const(7)) == const(7)
+
+    def test_replace_at_leaf(self):
+        expr = Call(ADD, (x(), const(1)), "e")
+        replaced = replace_at(expr, (1,), const(9))
+        assert str(replaced) == "Add(x, 9)"
+
+    def test_replace_preserves_original(self):
+        expr = Call(ADD, (x(), const(1)), "e")
+        replace_at(expr, (0,), const(5))
+        assert str(expr) == "Add(x, 1)"
+
+    def test_with_children_if_shape_checked(self):
+        cond = If(((x(), const(1)),), const(0), "e")
+        with pytest.raises(ValueError):
+            cond.with_children((x(),))
+
+
+class TestBranches:
+    def test_count_branches_plain(self):
+        assert count_branches(x()) == 1
+
+    def test_count_branches_none(self):
+        assert count_branches(None) == 1
+
+    def test_count_branches_if(self):
+        cond = If(((x(), const(1)), (x(), const(2))), const(0), "e")
+        assert count_branches(cond) == 3
+
+    def test_top_level_bodies(self):
+        cond = If(((x(), const(1)),), const(0), "e")
+        assert top_level_bodies(cond) == (const(1), const(0))
+        assert top_level_bodies(x()) == (x(),)
+
+
+class TestRecursionAndVars:
+    def test_is_recursive(self):
+        assert is_recursive(Recurse((x(),), "e"))
+        assert not is_recursive(x())
+
+    def test_free_vars_of_var(self):
+        assert free_vars(Var("w", INT, "c")) == frozenset({"w"})
+
+    def test_lambda_binds(self):
+        w = Var("w", INT, "c")
+        lam = Lambda((w,), Call(NEG, (w,), "e"), "λ")
+        assert free_vars(lam) == frozenset()
+
+    def test_lambda_leaves_outer_free(self):
+        w = Var("w", INT, "c")
+        u = Var("u", INT, "c")
+        lam = Lambda((w,), Call(ADD, (w, u), "e"), "λ")
+        assert free_vars(lam) == frozenset({"u"})
+
+
+class TestLoopNodes:
+    def test_foreach_children_roundtrip(self):
+        src = Param("xs", list_of(INT), "arr")
+        body = Lambda(
+            (
+                Var("i", INT, "c"),
+                Var("current", INT, "c"),
+                Var("acc", list_of(INT), "arr"),
+            ),
+            Var("current", INT, "c"),
+            "λ",
+        )
+        loop = Foreach(src, body, "P")
+        rebuilt = loop.with_children(loop.children())
+        assert rebuilt == loop
+
+    def test_foreach_rejects_non_lambda_body(self):
+        src = Param("xs", list_of(INT), "arr")
+        loop = Foreach(
+            src,
+            Lambda((Var("i", INT, "c"),), Var("i", INT, "c"), "λ"),
+            "P",
+        )
+        with pytest.raises(ValueError):
+            loop.with_children((src, src))
+
+    def test_forloop_children(self):
+        body = Lambda(
+            (Var("i", INT, "c"), Var("acc", INT, "e")),
+            Var("acc", INT, "e"),
+            "λ",
+        )
+        loop = ForLoop(x(), const(0), body, "P", start=1)
+        assert len(loop.children()) == 3
+        assert loop.with_children(loop.children()) == loop
+
+
+class TestOtherNodes:
+    def test_lasycall(self):
+        call = LasyCall("Helper", (x(),), "f")
+        assert str(call) == "Helper(x)"
+        assert call.with_children((const(3),)).args == (const(3),)
+
+    def test_hole_str(self):
+        assert str(Hole("e")) == "•"

@@ -1,0 +1,243 @@
+"""Tests for the paper's §7/§8 extensions: angelic pruning, incremental
+re-synthesis, Pex4Fun feedback, executable codegen, and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.angelic import angelic_prune, probe_values
+from repro.core.budget import Budget
+from repro.core.contexts import contexts_of
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.expr import Call, Const, Function, Param
+from repro.core.incremental import repair, resynthesize
+from repro.core.tds import TdsOptions, tds
+from repro.core.types import BOOL, INT, STRING
+from repro.lasy.codegen import compile_python, runtime_namespace, to_python
+from repro.pex import PUZZLES, generate_feedback
+
+ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+MUL = Function("Mul", (INT, INT), INT, lambda a, b: a * b)
+FST = Function("Fst", (INT, INT), INT, lambda a, b: a)
+
+
+def arith_dsl():
+    b = DslBuilder("arith", start="e")
+    b.nt("e", INT)
+    b.param("e")
+    b.constant("e")
+    b.rule("e", ADD, ["e", "e"])
+    b.rule("e", MUL, ["e", "e"])
+    b.rule("e", FST, ["e", "e"])
+    b.constants_from(lambda ex: {"e": [0, 1, 2]})
+    return b.build()
+
+
+SIG = Signature("f", (("x", INT),), INT)
+
+
+def small_budget():
+    return Budget(max_seconds=10, max_expressions=60_000)
+
+
+class TestAngelicPruning:
+    def test_probe_values_cover_examples(self):
+        values = probe_values([Example((42,), 7)], INT)
+        assert 42 in values and 7 in values
+
+    def test_ignored_hole_pruned(self):
+        # Fst(x, •): the hole never influences the output, so the context
+        # cannot repair any failing example.
+        program = Call(FST, (Param("x", INT, "e"), Const(0, INT, "e")), "e")
+        contexts = contexts_of(program, arith_dsl())
+        failing = [Example((3,), 99)]
+        kept = angelic_prune(contexts, SIG, failing, failing)
+        pruned = [c for c in contexts if c not in kept]
+        assert any(c.path == (1,) for c in pruned)
+
+    def test_influential_hole_kept(self):
+        # Add(x, •): the right value (96) fixes the failing example.
+        program = Call(ADD, (Param("x", INT, "e"), Const(0, INT, "e")), "e")
+        contexts = contexts_of(program, arith_dsl())
+        failing = [Example((3,), 99)]
+        kept = angelic_prune(contexts, SIG, failing, failing)
+        assert any(c.path == (1,) for c in kept)
+
+    def test_trivial_context_never_pruned(self):
+        program = Const(0, INT, "e")
+        contexts = contexts_of(program, arith_dsl())
+        kept = angelic_prune(contexts, SIG, [Example((1,), 5)], [])
+        assert any(c.is_trivial for c in kept)
+
+    def test_tds_option_preserves_results(self):
+        examples = [Example((2,), 4), Example((5,), 10)]
+        plain = tds(SIG, examples, arith_dsl(), budget_factory=small_budget)
+        angelic = tds(
+            SIG,
+            examples,
+            arith_dsl(),
+            budget_factory=small_budget,
+            options=TdsOptions(angelic_pruning=True),
+        )
+        assert plain.success and angelic.success
+
+
+class TestIncremental:
+    def test_unchanged_spec_is_free(self):
+        examples = [Example((2,), 4), Example((5,), 10)]
+        first = tds(SIG, examples, arith_dsl(), budget_factory=small_budget)
+        assert first.success
+        again = resynthesize(
+            SIG,
+            first.program,
+            examples,
+            arith_dsl(),
+            budget_factory=small_budget,
+        )
+        assert again.success
+        assert all(s.action == "satisfied" for s in again.steps)
+        assert again.program == first.program
+
+    def test_spec_change_repairs_locally(self):
+        # Old spec: f(x) = 2x. New spec: f(x) = 2x + 1.
+        examples = [Example((2,), 4), Example((5,), 10)]
+        first = tds(SIG, examples, arith_dsl(), budget_factory=small_budget)
+        new_examples = [Example((2,), 5), Example((5,), 11)]
+        updated = resynthesize(
+            SIG,
+            first.program,
+            new_examples,
+            arith_dsl(),
+            budget_factory=small_budget,
+        )
+        assert updated.success
+        assert updated.function()(10) == 21
+
+    def test_repair_of_approximate_program(self):
+        # Another synthesizer produced x + x + 2 but the spec is x + x.
+        approx = Call(
+            ADD,
+            (
+                Call(ADD, (Param("x", INT, "e"), Param("x", INT, "e")), "e"),
+                Const(2, INT, "e"),
+            ),
+            "e",
+        )
+        examples = [Example((1,), 2), Example((4,), 8)]
+        fixed = repair(
+            SIG, approx, examples, arith_dsl(), budget_factory=small_budget
+        )
+        assert fixed.success
+        assert fixed.function()(9) == 18
+
+    def test_from_empty_program_equals_plain_tds(self):
+        examples = [Example((2,), 4)]
+        result = resynthesize(
+            SIG, None, examples, arith_dsl(), budget_factory=small_budget
+        )
+        assert result.success
+
+
+class TestFeedback:
+    def _puzzle(self, name):
+        return next(p for p in PUZZLES if p.name == name)
+
+    def test_correct_submission(self):
+        puzzle = self._puzzle("square")
+        program = Call(
+            MUL, (Param("x", INT, "int"), Param("x", INT, "int")), "int"
+        )
+        feedback = generate_feedback(puzzle, program)
+        assert feedback.correct
+        assert "correct" in feedback.render()
+
+    def test_wrong_submission_gets_counterexample_and_repair(self):
+        puzzle = self._puzzle("square")
+        # The player confused square with double.
+        program = Call(
+            ADD, (Param("x", INT, "int"), Param("x", INT, "int")), "int"
+        )
+        feedback = generate_feedback(
+            puzzle,
+            program,
+            budget_factory=lambda: Budget(
+                max_seconds=10, max_expressions=100_000
+            ),
+        )
+        assert not feedback.correct
+        assert feedback.counterexamples
+        example = feedback.counterexamples[0]
+        assert example.output == example.args[0] ** 2
+        if feedback.suggestion is not None:
+            assert "def P" in feedback.suggestion
+
+    def test_empty_submission(self):
+        puzzle = self._puzzle("identity-int")
+        feedback = generate_feedback(puzzle, None)
+        assert not feedback.correct or feedback.correct is True
+
+
+class TestExecutableCodegen:
+    def test_runtime_namespace_has_components_and_helpers(self):
+        namespace = runtime_namespace(arith_dsl())
+        assert namespace["Add"](1, 2) == 3
+        assert namespace["for_loop"](3, 0, lambda i, acc: acc + i) == 6
+        assert namespace["foreach"]((5,), lambda i, c, acc: c * 2) == (10,)
+
+    def test_compiled_matches_interpreter(self):
+        from repro.core.evaluator import run_program
+
+        body = Call(
+            MUL,
+            (Call(ADD, (Param("x", INT, "e"), Const(1, INT, "e")), "e"),
+             Param("x", INT, "e")),
+            "e",
+        )
+        compiled = compile_python(SIG, body, arith_dsl())
+        for x in (-3, 0, 7):
+            assert compiled(x) == run_program(body, ("x",), (x,))
+
+    def test_compiled_strings_positions_run(self):
+        from repro.domains.registry import get_domain
+        from repro.lasy import synthesize
+
+        result = synthesize(
+            """
+            language strings;
+            function string Domain(string email);
+            require Domain("alice@example.com") == "example.com";
+            require Domain("bob@research.org") == "research.org";
+            """,
+            budget_factory=small_budget,
+        )
+        assert result.success
+        fn = result.functions["Domain"]
+        compiled = compile_python(
+            fn.signature, fn.body, get_domain("strings").dsl()
+        )
+        assert compiled("carol@city.edu") == "city.edu"
+
+
+class TestCli:
+    def test_domains_command(self, capsys):
+        assert cli_main(["domains"]) == 0
+        out = capsys.readouterr().out
+        assert "strings" in out and "pexfun" in out
+
+    def test_puzzles_command(self, capsys):
+        assert cli_main(["puzzles"]) == 0
+        assert "factorial" in capsys.readouterr().out
+
+    def test_synthesize_command(self, tmp_path, capsys):
+        source = tmp_path / "demo.lasy"
+        source.write_text(
+            "language pexfun;\n"
+            "function int Double(int x);\n"
+            "require Double(2) == 4;\n"
+            "require Double(5) == 10;\n"
+        )
+        assert cli_main(["--timeout", "10", "synthesize", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "Double" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert cli_main(["experiment", "nope"]) == 2

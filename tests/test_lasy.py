@@ -1,0 +1,263 @@
+"""Tests for the LaSy front end (parser, runner, codegen)."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.dsl import Signature
+from repro.core.expr import Call, Const, Function, If, Param
+from repro.core.types import BOOL, INT, STRING, XML, list_of
+from repro.lasy.codegen import to_csharp, to_python
+from repro.lasy.parser import (
+    LasyParseError,
+    parse_lasy,
+    parse_lasy_type,
+    tokenize,
+    unescape,
+)
+from repro.lasy.program import RequireStmt
+from repro.lasy.runner import run_lasy, synthesize
+
+
+class TestTypeNames:
+    def test_basic_types(self):
+        assert parse_lasy_type("string") == STRING
+        assert parse_lasy_type("int") == INT
+        assert parse_lasy_type("bool") == BOOL
+
+    def test_arrays(self):
+        assert parse_lasy_type("string[]") == list_of(STRING)
+        assert parse_lasy_type("int[]") == list_of(INT)
+
+    def test_xml_types(self):
+        assert parse_lasy_type("XDocument") == XML
+        assert parse_lasy_type("XElement") == XML
+
+    def test_unknown_rejected(self):
+        with pytest.raises(LasyParseError):
+            parse_lasy_type("Widget")
+
+
+class TestLexer:
+    def test_comments_skipped(self):
+        tokens = tokenize("language x; // a comment\n")
+        assert [t.text for t in tokens] == ["language", "x", ";"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_unescape(self):
+        assert unescape(r"a\nb\t\"") == 'a\nb\t"'
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(LasyParseError):
+            unescape(r"\q")
+
+
+class TestParser:
+    SOURCE = """
+        language strings;
+        // Word wrap, abbreviated.
+        function string WordWrap(string text, int length);
+        lookup string Venue(string abbr);
+        require WordWrap("Word", 4) == "Word";
+        require Venue("PLDI") == "conference";
+        require WordWrap("How are you?", 9) == "How are\\nyou?";
+    """
+
+    def test_structure(self):
+        program = parse_lasy(self.SOURCE)
+        assert program.language == "strings"
+        assert [d.name for d in program.declarations] == ["WordWrap", "Venue"]
+        assert program.declarations[1].is_lookup
+        assert len(program.examples) == 3
+
+    def test_signature_types(self):
+        program = parse_lasy(self.SOURCE)
+        sig = program.declarations[0].signature
+        assert sig.params == (("text", STRING), ("length", INT))
+        assert sig.return_type == STRING
+
+    def test_escapes_decoded(self):
+        program = parse_lasy(self.SOURCE)
+        assert program.examples[2].output == "How are\nyou?"
+
+    def test_example_order_preserved(self):
+        program = parse_lasy(self.SOURCE)
+        assert [e.func_name for e in program.examples] == [
+            "WordWrap",
+            "Venue",
+            "WordWrap",
+        ]
+
+    def test_array_literals(self):
+        program = parse_lasy(
+            """
+            language tables;
+            function Table F(Table t);
+            require F({{"a", "b"}, {"c", "d"}}) == {{"a"}};
+            """
+        )
+        assert program.examples[0].args == ((("a", "b"), ("c", "d")),)
+
+    def test_empty_array(self):
+        program = parse_lasy(
+            """
+            language pexfun;
+            function int F(int[] a);
+            require F({}) == 0;
+            """
+        )
+        assert program.examples[0].args == ((),)
+
+    def test_booleans_and_negatives(self):
+        program = parse_lasy(
+            """
+            language pexfun;
+            function bool F(int x);
+            require F(-3) == true;
+            """
+        )
+        assert program.examples[0].args == (-3,)
+        assert program.examples[0].output is True
+
+    def test_undeclared_function_rejected(self):
+        with pytest.raises(ValueError):
+            parse_lasy(
+                """
+                language strings;
+                function string F(string s);
+                require G("x") == "y";
+                """
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parse_lasy(
+                """
+                language strings;
+                function string F(string s);
+                require F("x", "y") == "z";
+                """
+            )
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(LasyParseError):
+            parse_lasy("language strings")
+
+    def test_duplicate_declarations_rejected(self):
+        with pytest.raises(ValueError):
+            parse_lasy(
+                """
+                language strings;
+                function string F(string s);
+                function string F(string s);
+                """
+            )
+
+
+class TestRunner:
+    def test_pexfun_single_function(self):
+        result = synthesize(
+            """
+            language pexfun;
+            function int Double(int x);
+            require Double(2) == 4;
+            require Double(5) == 10;
+            """,
+            budget_factory=lambda: Budget(
+                max_seconds=10, max_expressions=50_000
+            ),
+        )
+        assert result.success
+        assert result.functions["Double"](21) == 42
+
+    def test_lookup_only_program(self):
+        result = synthesize(
+            """
+            language pexfun;
+            lookup string Name(int code);
+            require Name(1) == "one";
+            require Name(2) == "two";
+            """
+        )
+        assert result.success
+        assert result.functions["Name"](2) == "two"
+        with pytest.raises(Exception):
+            result.functions["Name"](3)
+
+    def test_helper_function_via_lasy_fn(self):
+        result = synthesize(
+            """
+            language strings;
+            lookup string Expand(string s);
+            function string Greet(string s);
+            require Expand("hi") == "hello";
+            require Expand("yo") == "greetings";
+            require Greet("hi x") == "hello!";
+            require Greet("yo y") == "greetings!";
+            """,
+            budget_factory=lambda: Budget(
+                max_seconds=25, max_expressions=250_000
+            ),
+        )
+        assert result.success
+        assert result.functions["Greet"]("hi z") == "hello!"
+
+    def test_dbs_times_collected(self):
+        result = synthesize(
+            """
+            language pexfun;
+            function int Inc(int x);
+            require Inc(1) == 2;
+            require Inc(7) == 8;
+            """
+        )
+        assert result.success
+        assert result.dbs_times  # at least the first synthesis step
+
+
+class TestCodegen:
+    ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+    LT = Function("Lt", (INT, INT), BOOL, lambda a, b: a < b)
+
+    def test_python_plain(self):
+        sig = Signature("f", (("x", INT),), INT)
+        body = Call(self.ADD, (Param("x", INT, "e"), Const(1, INT, "e")), "e")
+        code = to_python(sig, body)
+        assert code == "def f(x):\n    return Add(x, 1)"
+
+    def test_python_conditional_statements(self):
+        sig = Signature("f", (("x", INT),), INT)
+        guard = Call(self.LT, (Param("x", INT, "e"), Const(0, INT, "e")), "b")
+        body = If(((guard, Const(-1, INT, "e")),), Const(1, INT, "e"), "P")
+        code = to_python(sig, body)
+        assert "if Lt(x, 0):" in code
+        assert "else:" in code
+
+    def test_python_executes_against_library(self):
+        sig = Signature("f", (("x", INT),), INT)
+        body = Call(self.ADD, (Param("x", INT, "e"), Const(1, INT, "e")), "e")
+        namespace = {"Add": lambda a, b: a + b}
+        exec(to_python(sig, body), namespace)
+        assert namespace["f"](4) == 5
+
+    def test_csharp_signature_types(self):
+        sig = Signature("f", (("s", STRING), ("n", INT)), STRING)
+        body = Param("s", STRING, "e")
+        code = to_csharp(sig, body)
+        assert code.startswith("string f(string s, int n)")
+        assert "return s;" in code
+
+    def test_csharp_conditional(self):
+        sig = Signature("f", (("x", INT),), INT)
+        guard = Call(self.LT, (Param("x", INT, "e"), Const(0, INT, "e")), "b")
+        body = If(((guard, Const(-1, INT, "e")),), Const(1, INT, "e"), "P")
+        code = to_csharp(sig, body)
+        assert "if (Lt(x, 0))" in code
+
+    def test_csharp_string_escaping(self):
+        sig = Signature("f", (), STRING)
+        body = Const('a"b\n', STRING, "e")
+        assert '\\"' in to_csharp(sig, body)
+        assert "\\n" in to_csharp(sig, body)

@@ -1,0 +1,167 @@
+"""Tests for the rewrite engine (repro.core.rewrite)."""
+
+import pytest
+
+from repro.core.dsl import DslBuilder, DslError
+from repro.core.expr import Call, Const, Function, Param
+from repro.core.rewrite import (
+    PCall,
+    PConst,
+    PVar,
+    RewriteRule,
+    Rewriter,
+    RuleParseError,
+    classify_rule,
+    match,
+    order_key,
+    parse_rule,
+)
+from repro.core.types import INT
+
+ADD = Function("Add", (INT, INT), INT, lambda a, b: a + b)
+MUL = Function("Mul", (INT, INT), INT, lambda a, b: a * b)
+TRIM = Function("Trim", (INT,), INT, lambda a: a)
+
+
+def build_dsl(rules):
+    b = DslBuilder("t", start="e")
+    b.nt("e", INT)
+    b.param("e")
+    b.constant("e")
+    b.rule("e", ADD, ["e", "e"])
+    b.rule("e", MUL, ["e", "e"])
+    b.rule("e", TRIM, ["e"])
+    b.constants_from(lambda ex: {"e": [0, 1, 2]})
+    for rule in rules:
+        b.rewrite(rule)
+    return b.build()
+
+
+def x():
+    return Param("x", INT, "e")
+
+
+def y():
+    return Param("y", INT, "e")
+
+
+def const(v):
+    return Const(v, INT, "e")
+
+
+class TestMatching:
+    def test_var_matches_anything(self):
+        assert match(PVar("a"), x()) == {"a": x()}
+
+    def test_repeated_var_must_agree(self):
+        pattern = PCall("Add", (PVar("a"), PVar("a")))
+        assert match(pattern, Call(ADD, (x(), x()), "e")) is not None
+        assert match(pattern, Call(ADD, (x(), y()), "e")) is None
+
+    def test_const_pattern(self):
+        assert match(PConst(0), const(0)) is not None
+        assert match(PConst(0), const(1)) is None
+
+    def test_function_name_must_match(self):
+        pattern = PCall("Mul", (PVar("a"), PVar("b")))
+        assert match(pattern, Call(ADD, (x(), y()), "e")) is None
+
+
+class TestClassification:
+    def test_shrinking(self):
+        rule = parse_rule("Trim(Trim(f0)) ==> f0", ["Trim"])
+        assert classify_rule(rule) == "shrinking"
+
+    def test_commutative_is_guarded(self):
+        rule = parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])
+        assert classify_rule(rule) == "guarded"
+
+    def test_growing_rejected(self):
+        rule = RewriteRule(
+            PVar("a"), PCall("Add", (PVar("a"), PVar("a")))
+        )
+        with pytest.raises(DslError):
+            classify_rule(rule)
+
+    def test_unbound_rhs_var_rejected(self):
+        rule = RewriteRule(PVar("a"), PVar("b"))
+        with pytest.raises(DslError):
+            classify_rule(rule)
+
+
+class TestCanonicalization:
+    def test_shrinking_rule_applies(self):
+        dsl = build_dsl([parse_rule("Trim(Trim(f0)) ==> f0", ["Trim"])])
+        rewriter = Rewriter(dsl)
+        expr = Call(TRIM, (Call(TRIM, (x(),), "e"),), "e")
+        assert rewriter.canonicalize(expr) == x()
+
+    def test_commutativity_orders_consistently(self):
+        dsl = build_dsl([parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])])
+        rewriter = Rewriter(dsl)
+        ab = Call(ADD, (x(), y()), "e")
+        ba = Call(ADD, (y(), x()), "e")
+        assert rewriter.canonicalize(ab) == rewriter.canonicalize(ba)
+
+    def test_canonicalization_idempotent(self):
+        dsl = build_dsl([parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])])
+        rewriter = Rewriter(dsl)
+        expr = Call(ADD, (Call(ADD, (y(), x()), "e"), x()), "e")
+        once = rewriter.canonicalize(expr)
+        assert rewriter.canonicalize(once) == once
+
+    def test_constant_folding(self):
+        dsl = build_dsl([])
+        rewriter = Rewriter(dsl)
+        expr = Call(ADD, (const(2), const(3)), "e")
+        folded = rewriter.canonicalize(expr)
+        assert folded == const(5)
+
+    def test_constant_folding_nested(self):
+        dsl = build_dsl([])
+        rewriter = Rewriter(dsl)
+        expr = Call(MUL, (Call(ADD, (const(2), const(3)), "e"), const(2)), "e")
+        assert rewriter.canonicalize(expr) == const(10)
+
+    def test_folding_preserves_params(self):
+        dsl = build_dsl([])
+        rewriter = Rewriter(dsl)
+        expr = Call(ADD, (x(), const(3)), "e")
+        assert rewriter.canonicalize(expr) == expr
+
+    def test_canonicalize_root_matches_full_on_pool_exprs(self):
+        # Children built from canonical parts: root-only == full rewrite.
+        dsl = build_dsl([parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])])
+        rewriter = Rewriter(dsl)
+        inner = rewriter.canonicalize(Call(ADD, (y(), x()), "e"))
+        expr = Call(ADD, (inner, x()), "e")
+        assert rewriter.canonicalize_root(expr) == rewriter.canonicalize(expr)
+
+
+class TestOrderKey:
+    def test_smaller_first(self):
+        assert order_key(x()) < order_key(Call(TRIM, (x(),), "e"))
+
+
+class TestRuleParsing:
+    def test_simple(self):
+        rule = parse_rule("Trim(f0) ==> f0", ["Trim"])
+        assert rule.lhs == PCall("Trim", (PVar("f0"),))
+        assert rule.rhs == PVar("f0")
+
+    def test_int_constant(self):
+        rule = parse_rule("Mul(0, a0) ==> 0", ["Mul"])
+        assert rule.lhs == PCall("Mul", (PConst(0), PVar("a0")))
+        assert rule.rhs == PConst(0)
+
+    def test_string_constant(self):
+        rule = parse_rule('Trim("") ==> ""', ["Trim"])
+        assert rule.lhs == PCall("Trim", (PConst(""),))
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("Trim(f0)", ["Trim"])
+
+    def test_unterminated_call_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("Trim(f0 ==> f0", ["Trim"])

@@ -1,0 +1,112 @@
+"""Edge-case tests for the LaSy runner and the benchmark plumbing."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.lasy.parser import parse_lasy
+from repro.lasy.runner import run_lasy
+from repro.suites.benchmark import Benchmark
+
+
+def small_budget():
+    return Budget(max_seconds=8, max_expressions=80_000)
+
+
+class TestRunnerEdges:
+    def test_interleaved_examples_across_functions(self):
+        # Lookup and synthesized-function examples interleave; order of
+        # arrival must not matter for the lookup table's completeness.
+        source = """
+            language pexfun;
+            lookup int Code(string s);
+            function int Inc(int x);
+            require Code("a") == 1;
+            require Inc(1) == 2;
+            require Code("b") == 2;
+            require Inc(5) == 6;
+        """
+        result = run_lasy(parse_lasy(source), budget_factory=small_budget)
+        assert result.success
+        assert result.functions["Code"]("b") == 2
+        assert result.functions["Inc"](9) == 10
+
+    def test_function_with_no_examples_is_absent(self):
+        source = """
+            language pexfun;
+            function int Used(int x);
+            function int Unused(int x);
+            require Used(2) == 4;
+            require Used(3) == 6;
+        """
+        result = run_lasy(parse_lasy(source), budget_factory=small_budget)
+        assert "Used" in result.functions
+        # Unused never saw an example: nothing to synthesize from.
+        assert "Unused" not in result.functions
+
+    def test_failure_propagates_to_success_flag(self):
+        source = """
+            language pexfun;
+            function int Weird(int x);
+            require Weird(1) == 10;
+            require Weird(1) == 20;
+        """
+        result = run_lasy(
+            parse_lasy(source),
+            budget_factory=lambda: Budget(max_expressions=2_000),
+        )
+        assert not result.success
+
+    def test_unknown_language_raises(self):
+        source = """
+            language klingon;
+            function int F(int x);
+            require F(1) == 1;
+        """
+        with pytest.raises(KeyError):
+            run_lasy(parse_lasy(source))
+
+    def test_steps_record_function_names(self):
+        source = """
+            language pexfun;
+            function int Id(int x);
+            require Id(4) == 4;
+        """
+        result = run_lasy(parse_lasy(source), budget_factory=small_budget)
+        assert result.steps[0][0] == "Id"
+
+
+class TestBenchmarkPlumbing:
+    def make(self):
+        return Benchmark(
+            name="toy",
+            domain="pexfun",
+            source="""
+                language pexfun;
+                function int Twice(int x);
+                require Twice(2) == 4;
+                require Twice(5) == 10;
+            """,
+            holdout=[("Twice", (9,), 18)],
+        )
+
+    def test_n_examples(self):
+        assert self.make().n_examples() == 2
+
+    def test_run_and_holdout(self):
+        benchmark = self.make()
+        result = benchmark.run(budget_factory=small_budget)
+        assert result.success
+        assert benchmark.check_holdout(result)
+
+    def test_wrong_holdout_detected(self):
+        benchmark = self.make()
+        benchmark.holdout = [("Twice", (9,), 99)]
+        result = benchmark.run(budget_factory=small_budget)
+        assert result.success
+        assert not benchmark.check_holdout(result)
+
+    def test_missing_function_holdout_fails(self):
+        benchmark = self.make()
+        benchmark.holdout = [("Nope", (1,), 1)]
+        result = benchmark.run(budget_factory=small_budget)
+        assert not benchmark.check_holdout(result)

@@ -1,0 +1,121 @@
+"""Tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import (
+    ANY,
+    BOOL,
+    INT,
+    STRING,
+    Type,
+    TypeParseError,
+    fun,
+    fun_n,
+    list_of,
+    parse_type,
+    types_compatible,
+)
+
+
+class TestTypeBasics:
+    def test_atomic_str(self):
+        assert str(STRING) == "str"
+        assert str(INT) == "int"
+
+    def test_list_str(self):
+        assert str(list_of(STRING)) == "list<str>"
+
+    def test_nested_list_str(self):
+        assert str(list_of(list_of(INT))) == "list<list<int>>"
+
+    def test_fun_type_str(self):
+        assert str(fun(INT, STRING)) == "fun<int, str>"
+
+    def test_structural_equality(self):
+        assert list_of(INT) == list_of(INT)
+        assert list_of(INT) != list_of(STRING)
+
+    def test_types_are_hashable(self):
+        assert len({list_of(INT), list_of(INT), STRING}) == 2
+
+    def test_is_list(self):
+        assert list_of(INT).is_list
+        assert not INT.is_list
+
+    def test_element_type(self):
+        assert list_of(STRING).element_type() == STRING
+
+    def test_element_type_on_non_list_raises(self):
+        with pytest.raises(TypeError):
+            INT.element_type()
+
+    def test_is_function(self):
+        assert fun(INT, INT).is_function
+        assert not INT.is_function
+
+
+class TestFunN:
+    def test_single_arg(self):
+        assert fun_n((INT,), STRING) == fun(INT, STRING)
+
+    def test_curried_two_args(self):
+        assert fun_n((INT, BOOL), STRING) == fun(INT, fun(BOOL, STRING))
+
+    def test_zero_args_is_result(self):
+        assert fun_n((), STRING) == STRING
+
+
+class TestParseType:
+    def test_atoms(self):
+        assert parse_type("str") == STRING
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+
+    def test_list(self):
+        assert parse_type("list<str>") == list_of(STRING)
+
+    def test_nested(self):
+        assert parse_type("list<list<int>>") == list_of(list_of(INT))
+
+    def test_fun(self):
+        assert parse_type("fun<int, str>") == fun(INT, STRING)
+
+    def test_whitespace_tolerated(self):
+        assert parse_type(" list< str > ") == list_of(STRING)
+
+    def test_unknown_name_becomes_nominal(self):
+        assert parse_type("widget") == Type("widget")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(TypeParseError):
+            parse_type("int>")
+
+    def test_unterminated_args_rejected(self):
+        with pytest.raises(TypeParseError):
+            parse_type("list<int")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeParseError):
+            parse_type("")
+
+    def test_roundtrip(self):
+        for ty in (STRING, list_of(INT), fun(INT, list_of(STRING))):
+            assert parse_type(str(ty)) == ty
+
+
+class TestCompatibility:
+    def test_same_type(self):
+        assert types_compatible(INT, INT)
+
+    def test_different_atoms(self):
+        assert not types_compatible(INT, STRING)
+
+    def test_any_accepts_everything(self):
+        assert types_compatible(ANY, INT)
+        assert types_compatible(list_of(INT), ANY)
+
+    def test_any_inside_lists(self):
+        assert types_compatible(list_of(ANY), list_of(INT))
+
+    def test_list_mismatch(self):
+        assert not types_compatible(list_of(INT), list_of(STRING))

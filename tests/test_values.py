@@ -1,0 +1,95 @@
+"""Tests for repro.core.values."""
+
+from repro.core.values import (
+    ERROR,
+    ErrorValue,
+    freeze,
+    signature_key,
+    structurally_equal,
+    value_repr,
+)
+
+
+class TestErrorValue:
+    def test_singleton(self):
+        assert ErrorValue() is ERROR
+
+    def test_equal_only_to_itself(self):
+        assert ERROR == ERROR
+        assert ERROR != 0
+        assert ERROR != "error"
+
+    def test_hashable(self):
+        assert len({ERROR, ERROR}) == 1
+
+    def test_repr(self):
+        assert repr(ERROR) == "<error>"
+
+
+class TestFreeze:
+    def test_list_becomes_tuple(self):
+        assert freeze([1, 2]) == (1, 2)
+
+    def test_nested(self):
+        assert freeze([[1], [2, 3]]) == ((1,), (2, 3))
+
+    def test_dict_sorted_items(self):
+        assert freeze({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_scalars_pass_through(self):
+        assert freeze(5) == 5
+        assert freeze("x") == "x"
+
+
+class TestStructuralEquality:
+    def test_scalars(self):
+        assert structurally_equal(3, 3)
+        assert not structurally_equal(3, 4)
+
+    def test_bool_is_not_int(self):
+        assert not structurally_equal(True, 1)
+        assert not structurally_equal(0, False)
+
+    def test_bool_vs_bool(self):
+        assert structurally_equal(True, True)
+
+    def test_list_vs_tuple(self):
+        assert structurally_equal([1, 2], (1, 2))
+
+    def test_nested_sequences(self):
+        assert structurally_equal([[1], [2]], ((1,), (2,)))
+
+    def test_str_vs_int(self):
+        assert not structurally_equal("1", 1)
+
+    def test_length_mismatch(self):
+        assert not structurally_equal((1, 2), (1, 2, 3))
+
+
+class TestSignatureKey:
+    def test_key_is_hashable(self):
+        hash(signature_key([1, "a", (2, 3)]))
+
+    def test_bools_disambiguated(self):
+        assert signature_key([True]) != signature_key([1])
+
+    def test_error_participates(self):
+        assert signature_key([ERROR]) != signature_key([None])
+
+    def test_equal_vectors_equal_keys(self):
+        assert signature_key([1, [2]]) == signature_key([1, (2,)])
+
+
+class TestValueRepr:
+    def test_bool(self):
+        assert value_repr(True) == "true"
+        assert value_repr(False) == "false"
+
+    def test_string(self):
+        assert value_repr("hi") == "'hi'"
+
+    def test_tuple_renders_braces(self):
+        assert value_repr((1, 2)) == "{1, 2}"
+
+    def test_error(self):
+        assert value_repr(ERROR) == "<error>"

@@ -1,0 +1,113 @@
+"""Tests for the XML tree substrate (repro.domains.xmltree)."""
+
+import pytest
+
+from repro.domains.xmltree import XmlNode, XmlParseError, parse_xml, serialize
+
+
+class TestNode:
+    def test_attrs_canonicalized(self):
+        a = XmlNode("p", (("b", "2"), ("a", "1")))
+        b = XmlNode("p", (("a", "1"), ("b", "2")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_attr_access(self):
+        node = XmlNode("p", (("class", "x"),))
+        assert node.attr("class") == "x"
+        assert node.has_attr("class")
+        assert not node.has_attr("id")
+        with pytest.raises(KeyError):
+            node.attr("id")
+
+    def test_text_concatenates_subtree(self):
+        node = parse_xml("<d><p>a<b>b</b></p><p>c</p></d>")
+        assert node.text() == "abc"
+
+    def test_elements_skips_text(self):
+        node = parse_xml("<d>text<p/>more<q/></d>")
+        assert [e.tag for e in node.elements()] == ["p", "q"]
+
+    def test_descendants_preorder(self):
+        node = parse_xml("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in node.descendants()] == ["b", "c", "d"]
+
+    def test_find_all(self):
+        node = parse_xml("<d><p/><q><p/></q></d>")
+        assert len(node.find_all("p")) == 2
+
+    def test_functional_updates(self):
+        node = XmlNode("p")
+        updated = node.with_attr("class", "x")
+        assert updated.attr("class") == "x"
+        assert not node.has_attr("class")  # original untouched
+        assert updated.without_attr("class") == node
+        assert node.with_tag("q").tag == "q"
+        assert node.append(XmlNode("i")).elements()[0].tag == "i"
+
+
+class TestSerialize:
+    def test_self_closing_empty(self):
+        assert serialize(XmlNode("br")) == "<br/>"
+
+    def test_attributes_sorted(self):
+        node = XmlNode("p", (("z", "1"), ("a", "2")))
+        assert serialize(node) == '<p a="2" z="1"/>'
+
+    def test_text_escaped(self):
+        node = XmlNode("p", (), ("a<b&c",))
+        assert serialize(node) == "<p>a&lt;b&amp;c</p>"
+
+    def test_attr_quotes_escaped(self):
+        node = XmlNode("p", (("t", 'say "hi"'),))
+        assert '&quot;' in serialize(node)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        source = '<doc><div id="ch1"><p name="a1">1st.</p></div></doc>'
+        assert serialize(parse_xml(source)) == source
+
+    def test_single_quoted_attrs(self):
+        node = parse_xml("<p class='a'>x</p>")
+        assert node.attr("class") == "a"
+
+    def test_whitespace_between_elements_dropped(self):
+        node = parse_xml("<d>\n  <p>x</p>\n  <p>y</p>\n</d>")
+        assert len(node.elements()) == 2
+        assert node.text() == "xy"
+
+    def test_significant_text_kept(self):
+        node = parse_xml("<p>hello world</p>")
+        assert node.text() == "hello world"
+
+    def test_declaration_and_comments_skipped(self):
+        node = parse_xml("<?xml version='1.0'?><!-- hi --><d><!-- x --><p/></d>")
+        assert node.tag == "d"
+        assert len(node.elements()) == 1
+
+    def test_entities_unescaped(self):
+        node = parse_xml("<p>a&lt;b&amp;c</p>")
+        assert node.text() == "a<b&c"
+
+    def test_mismatched_close_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b/>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a/><b/>")
+
+    def test_nested_depth(self):
+        source = "<a>" * 20 + "x" + "</a>" * 20
+        node = parse_xml(source)
+        assert node.text() == "x"
+
+    def test_parse_serialize_fixpoint(self):
+        source = "<doc><p class='a'>1</p><p>2</p><br/></doc>"
+        once = serialize(parse_xml(source))
+        assert serialize(parse_xml(once)) == once
