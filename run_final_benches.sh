@@ -1,5 +1,8 @@
 #!/bin/sh
 # Final benchmark sweep: regenerates every table/figure and records the
-# output EXPERIMENTS.md references.
+# output EXPERIMENTS.md references. Also runs the trace smoke job: the
+# trace_smoke-marked tests assert end-to-end that a traced run's
+# per-phase report agrees with its DbsStats totals.
 cd /root/repo
+python -m pytest tests/ -m trace_smoke -q 2>&1 | tee /root/repo/trace_smoke_output.txt
 python -m pytest benchmarks/ --benchmark-only -s -q 2>&1 | tee /root/repo/bench_output.txt

@@ -2,18 +2,28 @@
 
 Subcommands:
 
-* ``synthesize FILE.lasy`` — parse and synthesize a LaSy program, print
-  the synthesized functions (and optionally generated source);
+* ``synthesize FILE.lasy`` (alias ``synth``) — parse and synthesize a
+  LaSy program, print the synthesized functions (and optionally
+  generated source);
 * ``experiment NAME`` — run one of the paper's experiment drivers
   (e1 strings, e2 tables, e3 xml, e4 pexfun, f7f8 ordering, f9 ablation,
   f10 cdf, a1 dslsize) and print its table/series;
+* ``report-trace FILE.jsonl`` — render the per-phase attribution report
+  for a trace captured with the global ``--trace`` option;
 * ``domains`` — list the registered LaSy domains;
 * ``puzzles`` — list the Pex4Fun puzzle suite.
+
+The global ``--trace OUT.jsonl`` option streams span/metric events from
+the whole run to a JSONL file (see docs/observability.md):
+
+    python -m repro --trace out.jsonl synth task.lasy
+    python -m repro report-trace out.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -26,13 +36,32 @@ def _budget_factory(args):
     )
 
 
+class CliError(Exception):
+    """A user-facing CLI failure (bad path, bad input)."""
+
+
+def _maybe_tracing(args):
+    """Context manager installing a JsonlTracer when --trace was given."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return contextlib.nullcontext()
+    from .obs import JsonlTracer, tracing
+
+    try:
+        tracer = JsonlTracer(trace_path)
+    except OSError as exc:
+        raise CliError(f"cannot open trace file {trace_path!r}: {exc}")
+    return tracing(tracer)
+
+
 def cmd_synthesize(args) -> int:
     from .lasy import parse_lasy, run_lasy, to_csharp, to_python
 
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     program = parse_lasy(source)
-    result = run_lasy(program, budget_factory=_budget_factory(args))
+    with _maybe_tracing(args):
+        result = run_lasy(program, budget_factory=_budget_factory(args))
     status = "ok" if result.success else "FAILED"
     print(f"{status}  ({result.elapsed:.1f}s, language={program.language})")
     for name, fn in result.functions.items():
@@ -43,6 +72,9 @@ def cmd_synthesize(args) -> int:
             print(to_python(fn.signature, body))
         if body is not None and args.emit in ("csharp", "both"):
             print(to_csharp(fn.signature, body))
+    if args.trace:
+        print(f"\ntrace written to {args.trace}; inspect with:")
+        print(f"  python -m repro report-trace {args.trace}")
     return 0 if result.success else 1
 
 
@@ -69,12 +101,38 @@ def cmd_experiment(args) -> int:
         return 2
     module_name, _ = _EXPERIMENTS[args.name]
     module = importlib.import_module(f".experiments.{module_name}", "repro")
+    if args.trace:
+        # Fail before hours of benchmarks, not after: the tracer itself
+        # only opens the file once the first suite starts.
+        try:
+            open(args.trace, "w", encoding="utf-8").close()
+        except OSError as exc:
+            raise CliError(f"cannot open trace file {args.trace!r}: {exc}")
     config = ExperimentConfig(
         budget_seconds=args.timeout,
         budget_expressions=args.max_expressions,
+        trace_path=args.trace,
     )
     result = module.run(config)
     print(module.report(result))
+    return 0
+
+
+def cmd_report_trace(args) -> int:
+    from .obs import TraceParseError, render_json, render_text, report_from_file
+
+    try:
+        report = report_from_file(args.file)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.file}", file=sys.stderr)
+        return 2
+    except TraceParseError as exc:
+        print(f"bad trace file: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report, top_productions=args.top))
     return 0
 
 
@@ -114,9 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=300_000,
         help="per-DBS expression budget (default 300000)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        default=None,
+        help="stream span/metric events to a JSONL trace file "
+        "(read back with the report-trace subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("synthesize", help="synthesize a .lasy file")
+    p = sub.add_parser(
+        "synthesize", aliases=["synth"], help="synthesize a .lasy file"
+    )
     p.add_argument("file")
     p.add_argument(
         "--emit",
@@ -130,6 +197,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
     p.set_defaults(fn=cmd_experiment)
 
+    p = sub.add_parser(
+        "report-trace", help="render a per-phase report from a trace file"
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="number of productions to show (default 12)",
+    )
+    p.set_defaults(fn=cmd_report_trace)
+
     p = sub.add_parser("domains", help="list registered domains")
     p.set_defaults(fn=cmd_domains)
 
@@ -140,7 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,6 +39,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import Registry
+from ..obs.trace import get_tracer
 from .budget import Budget
 from .dsl import Dsl, Example, LambdaSpec, NtRef, Production, Signature
 from .evaluator import (
@@ -70,6 +72,16 @@ _SIGNATURE_FUEL = 30_000
 # Expressions larger than this are never pooled; a safety valve against
 # pathological growth (the paper's programs top out ~20 lines).
 _MAX_EXPR_SIZE = 60
+
+
+def _production_label(prod: Production) -> str:
+    """Stable human-readable production tag for spans and reports."""
+    if prod.kind == "lasy_fn":
+        return f"{prod.nt}<-_LASY_FN"
+    if prod.kind == "recurse":
+        return f"{prod.nt}<-_RECURSE"
+    name = prod.func.name if prod.func is not None else prod.kind
+    return f"{prod.nt}<-{name}"
 
 
 def lambda_nt(spec: LambdaSpec) -> str:
@@ -117,6 +129,7 @@ class ComponentPool:
         lasy_signatures: Optional[Mapping[str, Signature]] = None,
         options: Optional[PoolOptions] = None,
         budget: Optional[Budget] = None,
+        metrics: Optional[Registry] = None,
     ):
         self.dsl = dsl
         self.signature = signature
@@ -128,6 +141,20 @@ class ComponentPool:
         self.rewriter = Rewriter(dsl)
         self.generation = 0
         self.exhausted = False
+
+        # Pool metrics (see docs/observability.md). Scalar totals are
+        # always live (plain attribute bumps); labeled per-nonterminal /
+        # per-size breakdowns only when the registry runs detailed.
+        self.metrics = metrics if metrics is not None else Registry()
+        self._detailed = self.metrics.detailed
+        self._c_offered = self.metrics.counter("dbs.pool.offered")
+        self._c_added = self.metrics.counter("dbs.pool.added")
+        self._c_syntactic = self.metrics.counter("dbs.pool.dedup.syntactic")
+        self._c_semantic = self.metrics.counter("dbs.pool.dedup.semantic")
+        self._c_rejected = self.metrics.counter("dbs.pool.rejected")
+        self._c_rewrites = self.metrics.counter("dbs.rewrite.canonicalized")
+        self._c_vector_evals = self.metrics.counter("dbs.eval.vector_evals")
+        self._c_applies = self.metrics.counter("dbs.eval.component_applies")
 
         self._entries: Dict[str, List[PoolEntry]] = {}
         self._by_type: Dict[Type, List[PoolEntry]] = {}
@@ -269,6 +296,7 @@ class ComponentPool:
             self.exhausted = True
             return
         self.exhausted = False
+        tracer = get_tracer()
         try:
             if self.options.use_dsl:
                 # Cheapest productions first: a huge production must not
@@ -286,10 +314,10 @@ class ComponentPool:
                     key=self._production_cost,
                 )
                 for prod in ordered:
-                    if prod.kind == "lasy_fn":
-                        batch = self._expand_lasy(prod)
+                    if tracer.enabled:
+                        batch = self._expand_traced(prod, tracer)
                     else:
-                        batch = self._expand_production(prod)
+                        batch = self._expand(prod)
                     if batch:
                         yield batch
             else:
@@ -298,6 +326,31 @@ class ComponentPool:
                     yield batch
         except BudgetExhausted:
             self.exhausted = True
+
+    def _expand(self, prod: Production) -> List[Expr]:
+        if prod.kind == "lasy_fn":
+            return self._expand_lasy(prod)
+        return self._expand_production(prod)
+
+    def _expand_traced(self, prod: Production, tracer) -> List[Expr]:
+        """One production under a ``dbs.enumerate`` span. The ``offered``
+        count is attached even when the budget dies mid-expansion, so the
+        report's expression attribution stays complete."""
+        with tracer.span(
+            "dbs.enumerate",
+            generation=self.generation,
+            production=_production_label(prod),
+        ) as span:
+            before = self.budget.expressions
+            batch: List[Expr] = []
+            try:
+                batch = self._expand(prod)
+            finally:
+                span.set(
+                    offered=self.budget.expressions - before,
+                    added=len(batch),
+                )
+            return batch
 
     def _production_cost(self, prod: Production) -> int:
         """Estimated combination count for this production this
@@ -359,6 +412,7 @@ class ComponentPool:
                 return None
             child_vectors.append(entry.values)
         out: List[Any] = []
+        self._c_applies.value += len(self.examples)
         for i in range(len(self.examples)):
             args = [vec[i] for vec in child_vectors]
             if any(a is ERROR for a in args):
@@ -523,6 +577,7 @@ class ComponentPool:
         self, fn, combo: Sequence[PoolEntry]
     ) -> Tuple[Any, ...]:
         out: List[Any] = []
+        self._c_applies.value += len(self.examples)
         for i in range(len(self.examples)):
             args = [e.values[i] for e in combo]  # type: ignore[index]
             if any(a is ERROR for a in args):
@@ -550,25 +605,46 @@ class ComponentPool:
         """Canonicalize, deduplicate, and admit an expression. Returns the
         admitted (canonical) expression, or None if it was a duplicate."""
         self.budget.charge_expression()
+        self._c_offered.value += 1
         if expr.size > self.options.max_expr_size:
+            self._c_rejected.value += 1
+            if self._detailed:
+                self._c_rejected.label(reason="size", nt=expr.nt)
             return None
         if not _recursion_shape_ok(expr):
+            self._c_rejected.value += 1
+            if self._detailed:
+                self._c_rejected.label(reason="recursion_shape", nt=expr.nt)
             return None
         expr_vars = free_vars(expr)
         if expr_vars:
             if expr.size > self.options.max_var_expr_size:
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="var_size", nt=expr.nt)
                 return None
             if (
                 self._var_counts.get(expr.nt, 0)
                 >= self.options.max_var_exprs_per_nt
             ):
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="var_cap", nt=expr.nt)
                 return None
         # Children come from the pool and are already canonical, so only
         # the root needs rewriting; rewrites are semantics-preserving, so
         # any computed value vector remains valid.
-        expr = self.rewriter.canonicalize_root(expr)
+        canonical = self.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            self._c_rewrites.value += 1
+            if self._detailed:
+                self._c_rewrites.label(nt=expr.nt)
+            expr = canonical
         key = (expr.nt, expr)
         if key in self._seen_syntactic:
+            self._c_syntactic.value += 1
+            if self._detailed:
+                self._c_syntactic.label(nt=expr.nt)
             return None
         self._seen_syntactic.add(key)
         if values is None and self._closed_evaluable(expr):
@@ -576,17 +652,26 @@ class ComponentPool:
         if values is not None:
             predicate = self.dsl.admission_filters.get(expr.nt)
             if predicate is not None and not predicate(values, self.examples):
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="filter", nt=expr.nt)
                 return None
         if self.options.semantic_dedup:
             sig = self._semantic_signature(expr, values)
             if sig is not None:
                 seen = self._seen_semantic.setdefault(expr.nt, set())
                 if sig in seen:
+                    self._c_semantic.value += 1
+                    if self._detailed:
+                        self._c_semantic.label(nt=expr.nt)
                     return None
                 seen.add(sig)
         entry = PoolEntry(expr, self.generation, values)
         if expr_vars:
             self._var_counts[expr.nt] = self._var_counts.get(expr.nt, 0) + 1
+        self._c_added.value += 1
+        if self._detailed:
+            self._c_added.label(nt=expr.nt, size=expr.size)
         self._entries.setdefault(expr.nt, []).append(entry)
         if not isinstance(expr, Lambda):
             ty = self._expr_type(expr)
@@ -606,6 +691,7 @@ class ComponentPool:
         """Full-evaluation fallback for seeds and lambda-bearing calls."""
         names = self.signature.param_names
         out: List[Any] = []
+        self._c_vector_evals.value += len(self.examples)
         for example in self.examples:
             env = Env(
                 params=dict(zip(names, example.args)),

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..obs.trace import get_tracer
 from .dsl import ConditionalRule, Dsl
 from .expr import Expr, Hole, If, Path, replace_at
 
@@ -260,6 +261,27 @@ def solve_with_buckets(
 ) -> Optional[Expr]:
     """Try the cascade search at the top level and inside every context
     bucket; returns a complete program or None."""
+    with get_tracer().span(
+        "dbs.conditionals",
+        max_branches=max_branches,
+        programs=len(store.programs),
+        guards=len(store.guards),
+    ) as span:
+        result = _solve_with_buckets(
+            store, dsl, all_examples, max_branches, root_nt, budget
+        )
+        span.set(solved=result is not None)
+        return result
+
+
+def _solve_with_buckets(
+    store: ConditionalStore,
+    dsl: Dsl,
+    all_examples: ExampleSet,
+    max_branches: int,
+    root_nt: Optional[str] = None,
+    budget=None,
+) -> Optional[Expr]:
     buckets = bucket_programs(store, dsl, root_nt)
     # Top-level bucket first (path () sorts first), then small contexts.
     ordered = sorted(

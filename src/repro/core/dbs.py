@@ -23,11 +23,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import Registry
+from ..obs.trace import get_tracer
 from .budget import Budget, BudgetExhausted, default_budget
 from .components import ComponentPool, PoolOptions
 from .conditionals import ConditionalStore, solve_with_buckets
 from .contexts import Context, trivial_context
 from .dsl import Dsl, Example, Signature
+from .evaluator import METRICS as EVAL_METRICS
 from .evaluator import EvaluationError, run_program
 from .expr import Expr, free_vars, is_recursive
 from .loops import run_loop_strategies
@@ -48,14 +51,108 @@ class DbsOptions:
     max_recursion_depth: int = 40
 
 
-@dataclass
 class DbsStats:
-    elapsed: float = 0.0
-    expressions: int = 0
-    programs_tested: int = 0
-    generations: int = 0
-    loop_candidates: int = 0
-    conditional_attempts: int = 0
+    """Counters for one DBS run — a backward-compatible property view
+    over the run's :class:`~repro.obs.metrics.Registry`.
+
+    The historical fields (``elapsed``, ``expressions``, ...) read and
+    write the registry, so existing consumers (TDS steps, experiment
+    drivers, baselines) keep working while everything new — labeled
+    pool/dedup/evaluator breakdowns, per-production counts — lives in
+    ``stats.registry`` and flows into trace reports.
+    """
+
+    __slots__ = ("registry",)
+
+    # field name -> metric name (counters unless noted)
+    ELAPSED = "dbs.elapsed_seconds"  # gauge
+    EXPRESSIONS = "dbs.expressions"
+    PROGRAMS_TESTED = "dbs.programs_tested"
+    GENERATIONS = "dbs.generations"
+    LOOP_CANDIDATES = "dbs.loop.candidates"
+    CONDITIONAL_ATTEMPTS = "dbs.conditional.attempts"
+
+    def __init__(
+        self,
+        elapsed: float = 0.0,
+        expressions: int = 0,
+        programs_tested: int = 0,
+        generations: int = 0,
+        loop_candidates: int = 0,
+        conditional_attempts: int = 0,
+        registry: Optional[Registry] = None,
+    ):
+        self.registry = registry if registry is not None else Registry()
+        if elapsed:
+            self.elapsed = elapsed
+        if expressions:
+            self.expressions = expressions
+        if programs_tested:
+            self.programs_tested = programs_tested
+        if generations:
+            self.generations = generations
+        if loop_candidates:
+            self.loop_candidates = loop_candidates
+        if conditional_attempts:
+            self.conditional_attempts = conditional_attempts
+
+    @property
+    def elapsed(self) -> float:
+        return self.registry.value(self.ELAPSED, 0.0)
+
+    @elapsed.setter
+    def elapsed(self, value: float) -> None:
+        self.registry.gauge(self.ELAPSED).set(value)
+
+    @property
+    def expressions(self) -> int:
+        return int(self.registry.value(self.EXPRESSIONS))
+
+    @expressions.setter
+    def expressions(self, value: int) -> None:
+        self.registry.counter(self.EXPRESSIONS).value = value
+
+    @property
+    def programs_tested(self) -> int:
+        return int(self.registry.value(self.PROGRAMS_TESTED))
+
+    @programs_tested.setter
+    def programs_tested(self, value: int) -> None:
+        self.registry.counter(self.PROGRAMS_TESTED).value = value
+
+    @property
+    def generations(self) -> int:
+        return int(self.registry.value(self.GENERATIONS))
+
+    @generations.setter
+    def generations(self, value: int) -> None:
+        self.registry.counter(self.GENERATIONS).value = value
+
+    @property
+    def loop_candidates(self) -> int:
+        return int(self.registry.value(self.LOOP_CANDIDATES))
+
+    @loop_candidates.setter
+    def loop_candidates(self, value: int) -> None:
+        self.registry.counter(self.LOOP_CANDIDATES).value = value
+
+    @property
+    def conditional_attempts(self) -> int:
+        return int(self.registry.value(self.CONDITIONAL_ATTEMPTS))
+
+    @conditional_attempts.setter
+    def conditional_attempts(self, value: int) -> None:
+        self.registry.counter(self.CONDITIONAL_ATTEMPTS).value = value
+
+    def __repr__(self) -> str:
+        return (
+            f"DbsStats(elapsed={self.elapsed!r}, "
+            f"expressions={self.expressions!r}, "
+            f"programs_tested={self.programs_tested!r}, "
+            f"generations={self.generations!r}, "
+            f"loop_candidates={self.loop_candidates!r}, "
+            f"conditional_attempts={self.conditional_attempts!r})"
+        )
 
 
 @dataclass
@@ -91,10 +188,65 @@ def dbs(
     branch body without its base case diverges under true self-recursion,
     so its recursive calls are bound to the previous program instead; the
     assembled conditional is always re-verified with true recursion."""
+    global _ACTIVE_RUNS
     options = options or DbsOptions()
     budget = budget or default_budget()
     budget.restart_clock()
-    stats = DbsStats()
+    tracer = get_tracer()
+    stats = DbsStats(registry=Registry(detailed=tracer.enabled))
+    nested = _ACTIVE_RUNS > 0
+    eval_runs_before = EVAL_METRICS.value("eval.run_program")
+    _ACTIVE_RUNS += 1
+    try:
+        with tracer.span(
+            "dbs",
+            examples=len(examples),
+            contexts=len(contexts),
+            nested=nested,
+        ) as root_span:
+            result = _run_dbs(
+                contexts, examples, seeds, dsl, signature, max_branches,
+                budget, lasy_fns, lasy_signatures, options,
+                previous_program, stats, tracer,
+            )
+            if tracer.enabled:
+                registry = stats.registry
+                registry.counter("eval.run_program").value = int(
+                    EVAL_METRICS.value("eval.run_program") - eval_runs_before
+                )
+                root_span.set(
+                    outcome="timeout" if result.timed_out else "solved"
+                )
+                tracer.event(
+                    "dbs.metrics",
+                    nested=nested,
+                    metrics=registry.snapshot(),
+                )
+            return result
+    finally:
+        _ACTIVE_RUNS -= 1
+
+
+# Depth of dbs() calls on this thread's stack; loop-body sub-syntheses
+# run nested (their spawned budgets are excluded from report totals).
+_ACTIVE_RUNS = 0
+
+
+def _run_dbs(
+    contexts: Sequence[Context],
+    examples: Sequence[Example],
+    seeds: Sequence[Expr],
+    dsl: Dsl,
+    signature: Signature,
+    max_branches: int,
+    budget: Budget,
+    lasy_fns: Optional[Mapping],
+    lasy_signatures: Optional[Mapping[str, Signature]],
+    options: DbsOptions,
+    previous_program: Optional[Expr],
+    stats: DbsStats,
+    tracer,
+) -> DbsResult:
     start_time = time.monotonic()
     lasy_fns = dict(lasy_fns or {})
     lasy_signatures = dict(lasy_signatures or {})
@@ -107,30 +259,45 @@ def dbs(
         previous_program=previous_program,
     )
 
+    def finish(program: Optional[Expr]) -> DbsResult:
+        stats.elapsed = time.monotonic() - start_time
+        stats.expressions = budget.expressions
+        return DbsResult(program, stats)
+
     try:
         # 1. Loop strategies (Algorithm 2, line 1).
         if options.enable_loops and dsl.loops:
-            program = _try_loop_strategies(
-                dsl, signature, examples, tester, budget,
-                lasy_fns, lasy_signatures, options, stats,
-            )
+            with tracer.span("dbs.loops") as loops_span:
+                program = _try_loop_strategies(
+                    dsl, signature, examples, tester, budget,
+                    lasy_fns, lasy_signatures, options, stats,
+                )
+                loops_span.set(
+                    candidates=stats.loop_candidates,
+                    solved=program is not None,
+                )
             if program is not None:
-                stats.elapsed = time.monotonic() - start_time
-                return DbsResult(program, stats)
+                return finish(program)
 
-        pool = ComponentPool(
-            dsl,
-            signature,
-            examples,
-            seeds=seeds,
-            lasy_fns=lasy_fns,
-            lasy_signatures=lasy_signatures,
-            options=PoolOptions(
-                use_dsl=options.use_dsl,
-                semantic_dedup=options.semantic_dedup,
-            ),
-            budget=budget,
-        )
+        # Generation 0: the atoms (params, constants, seeds, ...).
+        with tracer.span(
+            "dbs.enumerate", generation=0, production="<atoms>"
+        ) as atoms_span:
+            pool = ComponentPool(
+                dsl,
+                signature,
+                examples,
+                seeds=seeds,
+                lasy_fns=lasy_fns,
+                lasy_signatures=lasy_signatures,
+                options=PoolOptions(
+                    use_dsl=options.use_dsl,
+                    semantic_dedup=options.semantic_dedup,
+                ),
+                budget=budget,
+                metrics=stats.registry,
+            )
+            atoms_span.set(offered=budget.expressions, added=pool.total())
         # Composition strategies may value recursive pieces angelically
         # against the previous program (see strategies._string_pieces).
         pool.previous_program = previous_program
@@ -142,43 +309,65 @@ def dbs(
             (ctx.hole_nt for ctx in contexts if ctx.is_trivial), dsl.start
         )
 
-        # Generation 0: the atoms (params, constants, seeds, ...).
+        def run_strategies() -> Optional[Expr]:
+            """§5.4 composition strategies: goal-directed candidates
+            assembled from the pool, tested through the same contexts."""
+            pool.guard_sets = [g.true_set for g in store.guards]
+            with tracer.span("dbs.strategies") as span:
+                offered_before = budget.expressions
+                tried = 0
+                try:
+                    for strategy in dsl.composition_strategies:
+                        candidates = strategy(pool, examples, signature, dsl)
+                        if not candidates:
+                            continue
+                        tried += len(candidates)
+                        program = _test_batch(
+                            candidates, contexts, acceptable, tester, store,
+                            guard_nts, dsl, options,
+                        )
+                        if program is not None:
+                            span.set(solved=True)
+                            return program
+                        for candidate in candidates:
+                            pool.offer_external(candidate)
+                finally:
+                    span.set(
+                        candidates=tried,
+                        offered=budget.expressions - offered_before,
+                    )
+            return None
+
         last_store_size = (-1, -1)
         size_before = -1
         batches = iter([_all_pool_exprs(pool)])
         while True:
             program = None
             for pending in batches:
-                program = _test_batch(
-                    pending, contexts, acceptable, tester, store, guard_nts,
-                    dsl, options,
-                )
+                with tracer.span("dbs.test", batch=len(pending)):
+                    program = _test_batch(
+                        pending, contexts, acceptable, tester, store,
+                        guard_nts, dsl, options,
+                    )
                 if program is not None:
                     break
             if program is not None:
-                stats.elapsed = time.monotonic() - start_time
-                stats.expressions = budget.expressions
-                return DbsResult(program, stats)
-            # Composition strategies (§5.4): goal-directed candidates
-            # assembled from the pool, tested through the same contexts.
-            # (Skipped once the budget is dead: only the already-built
-            # partial batch gets its grace-window test.)
+                return finish(program)
             if budget.exhausted():
+                # The budget died mid-generation, but the pool still
+                # holds everything the search built. Give the
+                # goal-directed composition strategies one final pass
+                # over it (under the tester's grace window) before
+                # reporting TIMEOUT: a solution assembled from
+                # already-enumerated pieces should not be lost to the
+                # enumeration cutoff.
+                program = run_strategies()
+                if program is not None:
+                    return finish(program)
                 break
-            pool.guard_sets = [g.true_set for g in store.guards]
-            for strategy in dsl.composition_strategies:
-                candidates = strategy(pool, examples, signature, dsl)
-                if candidates:
-                    program = _test_batch(
-                        candidates, contexts, acceptable, tester, store,
-                        guard_nts, dsl, options,
-                    )
-                    if program is not None:
-                        stats.elapsed = time.monotonic() - start_time
-                        stats.expressions = budget.expressions
-                        return DbsResult(program, stats)
-                    for candidate in candidates:
-                        pool.offer_external(candidate)
+            program = run_strategies()
+            if program is not None:
+                return finish(program)
             # Conditional pass (Algorithm 2, line 7).
             store_size = (len(store.programs), len(store.guards))
             if (
@@ -193,9 +382,7 @@ def dbs(
                     store, dsl, all_set, max_branches, root_nt, budget
                 )
                 if candidate is not None and tester.passes_all(candidate):
-                    stats.elapsed = time.monotonic() - start_time
-                    stats.expressions = budget.expressions
-                    return DbsResult(candidate, stats)
+                    return finish(candidate)
             if stats.generations >= options.max_generations:
                 break
             if pool.exhausted:
@@ -209,9 +396,7 @@ def dbs(
             batches = pool.advance_batches()
     except BudgetExhausted:
         pass
-    stats.elapsed = time.monotonic() - start_time
-    stats.expressions = budget.expressions
-    return DbsResult(None, stats)
+    return finish(None)
 
 
 # ---------------------------------------------------------------------
@@ -237,6 +422,13 @@ class _Tester:
         self.stats = stats
         self.budget = budget
         self.previous_program = previous_program
+        self._tested = stats.registry.counter(DbsStats.PROGRAMS_TESTED)
+        self._guard_records = stats.registry.counter(
+            "dbs.cond.guards_recorded"
+        )
+        self._program_records = stats.registry.counter(
+            "dbs.cond.programs_recorded"
+        )
         # Once the generation budget is exhausted we still want to test
         # whatever the pool already built (the partial last generation);
         # the grace counter bounds that final sweep.
@@ -245,7 +437,7 @@ class _Tester:
     def _charge(self) -> None:
         from .budget import BudgetExhausted
 
-        self.stats.programs_tested += 1
+        self._tested.value += 1
         try:
             self.budget.charge_program()
         except BudgetExhausted:
@@ -388,6 +580,7 @@ def _test_batch(
         if is_guard and not expr_free:
             true_set, errors = tester.guard_sets(expr)
             store.record_guard(expr, true_set, errors)
+            tester._guard_records.value += 1
         for i, ctx in enumerate(contexts):
             if options.use_dsl:
                 if expr.nt not in acceptable[i]:
@@ -405,6 +598,7 @@ def _test_batch(
             if len(passed) == len(tester.examples) and tester.examples:
                 return program
             store.record_program(program, passed)
+            tester._program_records.value += 1
             angelic = tester.angelic_passed_set(program)
             if angelic and angelic != passed:
                 store.record_program(program, angelic)

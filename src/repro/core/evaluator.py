@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import Registry
 from .expr import (
     Call,
     Const,
@@ -29,6 +30,14 @@ from .expr import (
     Var,
 )
 from .values import ERROR, freeze
+
+# Process-global evaluator metrics. The evaluator is called from every
+# layer (candidate testing, dedup sampling, strategies), so it keeps one
+# registry; attribution to a single DBS run reads deltas around the run
+# (see core/dbs.py). Hot paths bump ``.value`` directly.
+METRICS = Registry()
+_RUNS = METRICS.counter("eval.run_program")
+_ERRORS = METRICS.counter("eval.run_program_errors")
 
 
 class EvaluationError(Exception):
@@ -283,6 +292,7 @@ def run_program(
     evaluate recursive branch candidates angelically (from the example
     table, falling back to the previous program) while recording T(p).
     """
+    _RUNS.value += 1
     params = dict(zip(param_names, (freeze(a) for a in args)))
     env = Env(
         params=params,
@@ -293,7 +303,11 @@ def run_program(
         max_depth=max_depth,
         fuel=Fuel(fuel),
     )
-    return freeze(evaluate(program, env))
+    try:
+        return freeze(evaluate(program, env))
+    except EvaluationError:
+        _ERRORS.value += 1
+        raise
 
 
 def try_run(

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import get_tracer
 from .dsl import Dsl, Example, LoopRule, Signature
 from .expr import (
     Const,
@@ -94,15 +95,25 @@ def run_loop_strategies(
     candidates: List[LoopCandidate] = []
     if not examples:
         return candidates
+    tracer = get_tracer()
     for rule in dsl.loops:
-        if rule.kind == "foreach":
-            candidates.extend(
-                _foreach_candidates(dsl, signature, examples, rule, synthesize_body)
-            )
-        elif rule.kind == "for":
-            candidates.extend(
-                _for_candidates(dsl, signature, examples, rule, synthesize_body)
-            )
+        with tracer.span(
+            "dbs.loops.rule", kind=rule.kind, nt=rule.nt
+        ) as span:
+            before = len(candidates)
+            if rule.kind == "foreach":
+                candidates.extend(
+                    _foreach_candidates(
+                        dsl, signature, examples, rule, synthesize_body
+                    )
+                )
+            elif rule.kind == "for":
+                candidates.extend(
+                    _for_candidates(
+                        dsl, signature, examples, rule, synthesize_body
+                    )
+                )
+            span.set(candidates=len(candidates) - before)
     return candidates
 
 

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Mapping, MutableMapping, Optional, Sequence
 
+from ..obs.trace import get_tracer
 from .budget import Budget, default_budget
 from .contexts import contexts_of, prune_contexts, subexpressions_of, trivial_context
 from .dbs import DbsOptions, DbsResult, dbs
@@ -125,30 +126,44 @@ class TdsSession:
         """Consume the next example (one iteration of Algorithm 1)."""
         index = len(self.examples)
         self.examples.append(example)
-        if self.program is not None and self._satisfies(self.program, example):
-            step = TdsStep(index, "satisfied")
-            self.failures_in_a_row = 0
+        with get_tracer().span(
+            "tds.example", index=index, function=self.signature.name
+        ) as span:
+            if self.program is not None and self._satisfies(
+                self.program, example
+            ):
+                step = TdsStep(index, "satisfied")
+                self.failures_in_a_row = 0
+                self.steps.append(step)
+                span.set(action="satisfied")
+                return step
+            result = self._dbs_step(self.examples)
+            branch_budget = (
+                count_branches(self.program) + self.failures_in_a_row
+            )
+            if result.program is not None:
+                self.program = result.program
+                self.failures_in_a_row = 0
+                action = "synthesized"
+            else:
+                self.failures_in_a_row += 1
+                action = "timeout"
+            step = TdsStep(
+                index,
+                action,
+                dbs_time=result.stats.elapsed,
+                expressions=result.stats.expressions,
+                programs_tested=result.stats.programs_tested,
+                branch_budget=branch_budget,
+            )
             self.steps.append(step)
+            span.set(
+                action=action,
+                dbs_seconds=round(step.dbs_time, 6),
+                expressions=step.expressions,
+                branch_budget=branch_budget,
+            )
             return step
-        result = self._dbs_step(self.examples)
-        branch_budget = count_branches(self.program) + self.failures_in_a_row
-        if result.program is not None:
-            self.program = result.program
-            self.failures_in_a_row = 0
-            action = "synthesized"
-        else:
-            self.failures_in_a_row += 1
-            action = "timeout"
-        step = TdsStep(
-            index,
-            action,
-            dbs_time=result.stats.elapsed,
-            expressions=result.stats.expressions,
-            programs_tested=result.stats.programs_tested,
-            branch_budget=branch_budget,
-        )
-        self.steps.append(step)
-        return step
 
     def finalize(self) -> TdsResult:
         """Trailing-failure recovery and the final all-examples check.
@@ -164,24 +179,31 @@ class TdsSession:
             and not self.satisfies_all()
         ):
             retries -= 1
-            result = self._dbs_step(self.examples)
             index = len(self.examples) - 1
-            if result.program is not None:
-                self.program = result.program
-                self.failures_in_a_row = 0
-                action = "synthesized"
-            else:
-                self.failures_in_a_row += 1
-                action = "timeout"
-            self.steps.append(
-                TdsStep(
-                    index,
-                    action,
-                    dbs_time=result.stats.elapsed,
-                    expressions=result.stats.expressions,
-                    programs_tested=result.stats.programs_tested,
+            with get_tracer().span(
+                "tds.retry", index=index, function=self.signature.name
+            ) as span:
+                result = self._dbs_step(self.examples)
+                if result.program is not None:
+                    self.program = result.program
+                    self.failures_in_a_row = 0
+                    action = "synthesized"
+                else:
+                    self.failures_in_a_row += 1
+                    action = "timeout"
+                span.set(
+                    action=action,
+                    dbs_seconds=round(result.stats.elapsed, 6),
                 )
-            )
+                self.steps.append(
+                    TdsStep(
+                        index,
+                        action,
+                        dbs_time=result.stats.elapsed,
+                        expressions=result.stats.expressions,
+                        programs_tested=result.stats.programs_tested,
+                    )
+                )
         return TdsResult(
             program=self.program,
             success=self.satisfies_all(),

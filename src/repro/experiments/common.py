@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -20,11 +21,16 @@ class ExperimentConfig:
     host. Shapes (who wins, buckets, crossovers) are stable across the
     two; absolute times are not comparable with the paper's 2009 hardware
     (see EXPERIMENTS.md).
+
+    ``trace_path``, when set, streams span/metric events for the whole
+    suite to that JSONL file (``repro report-trace`` reads it back).
     """
 
     budget_seconds: float = 20.0
     budget_expressions: int = 250_000
     hard_multiplier: float = 2.0
+    trace_path: Optional[str] = None
+    _trace_started: bool = field(default=False, repr=False, compare=False)
 
     def budget_factory(self, hard: bool = False) -> Callable[[], Budget]:
         scale = self.hard_multiplier if hard else 1.0
@@ -32,6 +38,20 @@ class ExperimentConfig:
             max_seconds=self.budget_seconds * scale,
             max_expressions=int(self.budget_expressions * scale),
         )
+
+    def tracing(self):
+        """Context manager: installs a JsonlTracer when configured.
+
+        Drivers that run several suites in one process (ablation, cdf)
+        append to the same trace file after the first suite truncates it.
+        """
+        if not self.trace_path:
+            return contextlib.nullcontext()
+        from ..obs import JsonlTracer, tracing
+
+        mode = "a" if self._trace_started else "w"
+        self._trace_started = True
+        return tracing(JsonlTracer(self.trace_path, mode=mode))
 
 
 FAST = ExperimentConfig(
@@ -45,19 +65,23 @@ def run_benchmark(
     config: ExperimentConfig,
     options: Optional[TdsOptions] = None,
 ) -> BenchmarkOutcome:
+    from ..obs import get_tracer
+
     start = time.monotonic()
-    try:
-        result = benchmark.run(
-            budget_factory=config.budget_factory(benchmark.hard),
-            options=options,
-        )
-        success = result.success
-        holdout = success and benchmark.check_holdout(result)
-        dbs_times = result.dbs_times
-    except Exception:
-        success = False
-        holdout = False
-        dbs_times = []
+    with get_tracer().span("benchmark", benchmark=benchmark.name) as span:
+        try:
+            result = benchmark.run(
+                budget_factory=config.budget_factory(benchmark.hard),
+                options=options,
+            )
+            success = result.success
+            holdout = success and benchmark.check_holdout(result)
+            dbs_times = result.dbs_times
+        except Exception:
+            success = False
+            holdout = False
+            dbs_times = []
+        span.set(success=success)
     return BenchmarkOutcome(
         benchmark=benchmark,
         success=success,
@@ -72,7 +96,8 @@ def run_suite(
     config: ExperimentConfig,
     options: Optional[TdsOptions] = None,
 ) -> List[BenchmarkOutcome]:
-    return [run_benchmark(b, config, options) for b in benchmarks]
+    with config.tracing():
+        return [run_benchmark(b, config, options) for b in benchmarks]
 
 
 def time_buckets(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..core.budget import Budget
+from ..obs.trace import get_tracer
 from ..core.dsl import Example, Signature
 from ..core.program import LookupFunction, SynthesizedFunction
 from ..core.tds import TdsOptions, TdsResult, TdsSession
@@ -85,6 +86,7 @@ def run_lasy(
                 options=options,
             )
 
+    tracer = get_tracer()
     steps = []
     for stmt in program.examples:
         example = _coerce_example(domain, signatures[stmt.func_name], stmt)
@@ -92,7 +94,9 @@ def run_lasy(
             lookups[stmt.func_name].add(example)
             continue
         session = sessions[stmt.func_name]
-        step = session.add_example(example)
+        with tracer.span("lasy.require", function=stmt.func_name) as span:
+            step = session.add_example(example)
+            span.set(action=step.action)
         steps.append((stmt.func_name, step))
         if session.program is not None:
             lasy_fns[stmt.func_name] = session.current_function()
@@ -100,7 +104,9 @@ def run_lasy(
     results: Dict[str, TdsResult] = {}
     success = True
     for name, session in sessions.items():
-        result = session.finalize()
+        with tracer.span("lasy.finalize", function=name) as span:
+            result = session.finalize()
+            span.set(success=result.success)
         results[name] = result
         if result.program is not None:
             lasy_fns[name] = session.current_function()

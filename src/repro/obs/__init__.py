@@ -1,0 +1,59 @@
+"""Observability for the synthesis stack: tracing, metrics, reports.
+
+Zero-dependency. See docs/observability.md for the event schema and a
+worked profiling example.
+
+    from repro.obs import JsonlTracer, tracing
+
+    with tracing(JsonlTracer("out.jsonl")):
+        synthesize(source)
+
+    from repro.obs import report_from_file, render_text
+    print(render_text(report_from_file("out.jsonl")))
+"""
+
+from .metrics import Counter, Gauge, Histogram, Registry, format_label_key
+from .report import (
+    TraceParseError,
+    TraceReport,
+    build_report,
+    load_events,
+    render_json,
+    render_text,
+    report_from_file,
+    to_json,
+)
+from .trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Registry",
+    "Span",
+    "TraceParseError",
+    "TraceReport",
+    "Tracer",
+    "build_report",
+    "format_label_key",
+    "get_tracer",
+    "load_events",
+    "render_json",
+    "render_text",
+    "report_from_file",
+    "set_tracer",
+    "to_json",
+    "tracing",
+]

@@ -1,0 +1,214 @@
+"""Typed counters, gauges and histograms for the synthesis stack.
+
+A :class:`Registry` owns a flat namespace of named instruments. The
+conventions mirror what search-heavy synthesizers need:
+
+* **counters** — monotone totals (expressions offered, dedup hits,
+  evaluator calls). The scalar total lives in ``counter.value`` — a
+  plain attribute so hot loops can do ``counter.value += 1`` with no
+  call overhead. Labeled breakdowns (``counter.label(nt="e", size=5)``)
+  bucket the same total by dimension; they cost a dict update per call,
+  so they are recorded only when the registry runs *detailed* (tracing
+  on), and call sites guard with ``registry.detailed``.
+* **gauges** — last-written values (elapsed seconds, pool size).
+* **histograms** — count/total/min/max summaries of a sample stream
+  (batch sizes, per-generation times).
+
+Each DBS invocation owns a fresh registry (reachable as
+``DbsResult.stats.registry``); :class:`~repro.core.dbs.DbsStats` is a
+backward-compatible property view over it. Module-level registries
+(e.g. the evaluator's) are process-global; consumers snapshot deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def format_label_key(key: LabelKey) -> str:
+    """Render a label key as ``k1=v1,k2=v2`` (stable order)."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class Counter:
+    """A monotone counter with optional labeled breakdown."""
+
+    __slots__ = ("name", "value", "labeled")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.labeled: Dict[LabelKey, int] = {}
+
+    def inc(self, n: int = 1, **labels: Any) -> None:
+        """Add ``n`` to the total (and to the labeled bucket if labels
+        are given). Hot paths skip the call: ``counter.value += 1``."""
+        self.value += n
+        if labels:
+            key = _label_key(labels)
+            self.labeled[key] = self.labeled.get(key, 0) + n
+
+    def label(self, n: int = 1, **labels: Any) -> None:
+        """Record only the labeled bucket (total already counted)."""
+        key = _label_key(labels)
+        self.labeled[key] = self.labeled.get(key, 0) + n
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": "counter", "value": self.value}
+        if self.labeled:
+            out["labels"] = {
+                format_label_key(k): v for k, v in sorted(self.labeled.items())
+            }
+        return out
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value", "labeled")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self.labeled: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if labels:
+            self.labeled[_label_key(labels)] = value
+        else:
+            self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": "gauge", "value": self.value}
+        if self.labeled:
+            out["labels"] = {
+                format_label_key(k): v for k, v in sorted(self.labeled.items())
+            }
+        return out
+
+
+class Histogram:
+    """Count/total/min/max summary of an observed sample stream."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "labeled")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.labeled: Dict[LabelKey, "Histogram"] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if labels:
+            key = _label_key(labels)
+            child = self.labeled.get(key)
+            if child is None:
+                child = Histogram(self.name)
+                self.labeled[key] = child
+            child.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self.labeled:
+            out["labels"] = {
+                format_label_key(k): {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for k, h in sorted(self.labeled.items())
+            }
+        return out
+
+
+class Registry:
+    """A namespace of instruments.
+
+    ``detailed`` gates labeled (per-grammar-symbol, per-size) recording;
+    scalar totals are always live. One registry per DBS run keeps the
+    counters attributable to a single search.
+    """
+
+    def __init__(self, detailed: bool = False):
+        self.detailed = detailed
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def value(self, name: str, default: float = 0) -> float:
+        """The scalar value of a counter/gauge (histograms: total)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.total
+        return metric.value
+
+    def names(self) -> Iterable[str]:
+        return self._metrics.keys()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Full nested snapshot (labels included), JSON-serializable."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def snapshot_flat(self) -> Dict[str, float]:
+        """Scalar totals only — the cheap form embedded in trace events."""
+        out: Dict[str, float] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.total
+            else:
+                out[name] = metric.value
+        return out
+
+
+# A process-global registry for code with no per-run registry in reach
+# (the evaluator). Consumers read deltas around a region of interest.
+GLOBAL = Registry()

@@ -1,0 +1,318 @@
+"""Turn a JSONL trace into a per-phase attribution report.
+
+The report answers the two questions a timed-out synthesis raises:
+*where did the time go* and *where did the expression budget go*. Time
+is attributed by **self-time** — each span's duration minus its direct
+children's — so the rows sum to the traced total even with nested
+spans (a loop sub-synthesis's enumeration counts as enumeration, not as
+"loops"). Expressions are attributed from the ``offered`` attribute the
+enumeration and strategy spans carry.
+
+Totals are reconciled against the ``dbs.metrics`` events each DBS run
+emits on exit: ``total_seconds``/``total_expressions`` must agree with
+the sum of ``DbsStats.elapsed``/``DbsStats.expressions`` over the
+top-level runs (nested loop-body sub-syntheses run on their own spawned
+budgets and are excluded from the totals, though their time still
+attributes to phases).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+
+class TraceParseError(ValueError):
+    """A trace line was not a valid event record."""
+
+
+# span name -> phase label in the attribution table
+_PHASES = {
+    "dbs": "dbs dispatch/other",
+    "dbs.enumerate": "enumerate",
+    "dbs.test": "test",
+    "dbs.strategies": "strategies",
+    "dbs.conditionals": "conditionals",
+    "dbs.loops": "loops",
+    "dbs.loops.rule": "loops",
+}
+
+
+def load_events(source: Union[str, IO[str], Iterable[str]]) -> List[dict]:
+    """Parse a JSONL trace (path, file object, or iterable of lines)."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            return load_events(handle)
+    events: List[dict] = []
+    for lineno, line in enumerate(source, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceParseError(f"line {lineno}: not JSON: {exc}") from exc
+        if not isinstance(record, dict) or "kind" not in record or "name" not in record:
+            raise TraceParseError(
+                f"line {lineno}: not a trace record: {line[:80]!r}"
+            )
+        events.append(record)
+    return events
+
+
+@dataclass
+class PhaseRow:
+    """One row of the attribution table."""
+
+    phase: str
+    calls: int = 0
+    seconds: float = 0.0  # self-time
+    expressions: int = 0  # budget charged inside this phase's spans
+
+
+@dataclass
+class ProductionRow:
+    """Enumeration cost of one grammar production."""
+
+    production: str
+    calls: int = 0
+    seconds: float = 0.0
+    offered: int = 0
+    added: int = 0
+
+
+@dataclass
+class TraceReport:
+    phases: List[PhaseRow] = field(default_factory=list)
+    productions: List[ProductionRow] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    labels: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    actions: Dict[str, int] = field(default_factory=dict)  # tds outcomes
+    dbs_runs: int = 0
+    nested_runs: int = 0
+    total_seconds: float = 0.0  # top-level dbs spans
+    total_expressions: int = 0  # top-level dbs budgets
+    wall_seconds: float = 0.0
+    n_spans: int = 0
+    n_events: int = 0
+
+
+def build_report(events: Sequence[dict]) -> TraceReport:
+    report = TraceReport()
+    phases: Dict[str, PhaseRow] = {}
+    productions: Dict[str, ProductionRow] = {}
+    # Children are written before their parent closes, so one forward
+    # pass can pay each span's child time back to it.
+    child_time: Dict[Optional[int], float] = {}
+
+    for record in events:
+        kind = record.get("kind")
+        name = record.get("name", "")
+        attrs = record.get("attrs") or {}
+        if kind == "event":
+            report.n_events += 1
+            if name == "dbs.metrics":
+                _merge_metrics(report, attrs)
+            continue
+        if kind != "span":
+            continue
+        report.n_spans += 1
+        span_id = record.get("id")
+        dur = float(record.get("dur", 0.0))
+        ts = float(record.get("ts", 0.0))
+        report.wall_seconds = max(report.wall_seconds, ts + dur)
+        self_time = dur - child_time.pop(span_id, 0.0)
+        parent = record.get("parent")
+        child_time[parent] = child_time.get(parent, 0.0) + dur
+
+        if name.startswith("dbs"):
+            phase = _PHASES.get(name, name)
+            row = phases.get(phase)
+            if row is None:
+                row = phases[phase] = PhaseRow(phase)
+            row.calls += 1
+            row.seconds += max(self_time, 0.0)
+            row.expressions += int(attrs.get("offered", 0) or 0)
+        if name == "dbs":
+            if attrs.get("nested"):
+                report.nested_runs += 1
+            else:
+                report.dbs_runs += 1
+                report.total_seconds += dur
+        if name == "dbs.enumerate":
+            label = str(attrs.get("production", "?"))
+            prow = productions.get(label)
+            if prow is None:
+                prow = productions[label] = ProductionRow(label)
+            prow.calls += 1
+            prow.seconds += dur
+            prow.offered += int(attrs.get("offered", 0) or 0)
+            prow.added += int(attrs.get("added", 0) or 0)
+        if name in ("tds.example", "tds.retry"):
+            action = str(attrs.get("action", "?"))
+            report.actions[action] = report.actions.get(action, 0) + 1
+
+    report.phases = sorted(
+        phases.values(), key=lambda r: r.seconds, reverse=True
+    )
+    report.productions = sorted(
+        productions.values(), key=lambda r: r.seconds, reverse=True
+    )
+    return report
+
+
+def _merge_metrics(report: TraceReport, attrs: Dict[str, Any]) -> None:
+    metrics = attrs.get("metrics") or {}
+    nested = bool(attrs.get("nested"))
+    if not nested:
+        expressions = metrics.get("dbs.expressions", {})
+        if isinstance(expressions, dict):
+            report.total_expressions += int(expressions.get("value", 0))
+    for name, snap in metrics.items():
+        if not isinstance(snap, dict):
+            continue
+        value = snap.get("value")
+        if value is None:
+            value = snap.get("total", 0.0)
+        if isinstance(value, (int, float)):
+            report.counters[name] = report.counters.get(name, 0) + value
+        for label, lvalue in (snap.get("labels") or {}).items():
+            if isinstance(lvalue, dict):  # histogram bucket
+                lvalue = lvalue.get("total", 0.0)
+            if isinstance(lvalue, (int, float)):
+                bucket = report.labels.setdefault(name, {})
+                bucket[label] = bucket.get(label, 0) + lvalue
+
+
+# ---------------------------------------------------------------------
+# Rendering
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def render_text(report: TraceReport, top_productions: int = 12) -> str:
+    """The human-readable per-phase attribution report."""
+    out: List[str] = []
+    total = report.total_seconds or report.wall_seconds or 1.0
+    out.append(
+        f"trace: {report.n_spans} spans, {report.n_events} events, "
+        f"{report.wall_seconds:.2f}s wall"
+    )
+    out.append(
+        f"dbs runs: {report.dbs_runs} top-level"
+        + (f" (+{report.nested_runs} nested)" if report.nested_runs else "")
+        + f", {report.total_seconds:.2f}s, "
+        f"{report.total_expressions} expressions"
+    )
+    if report.actions:
+        summary = ", ".join(
+            f"{action}={count}"
+            for action, count in sorted(report.actions.items())
+        )
+        out.append(f"tds steps: {summary}")
+    out.append("")
+    out.append("Per-phase attribution (self-time):")
+    out.append(
+        _table(
+            ("phase", "calls", "seconds", "%", "expressions"),
+            [
+                (
+                    row.phase,
+                    row.calls,
+                    f"{row.seconds:.3f}",
+                    f"{100.0 * row.seconds / total:.1f}",
+                    row.expressions or "",
+                )
+                for row in report.phases
+            ],
+        )
+    )
+    if report.productions:
+        out.append("")
+        out.append(f"Top productions by enumeration time:")
+        out.append(
+            _table(
+                ("production", "calls", "seconds", "offered", "added"),
+                [
+                    (
+                        row.production,
+                        row.calls,
+                        f"{row.seconds:.3f}",
+                        row.offered,
+                        row.added,
+                    )
+                    for row in report.productions[:top_productions]
+                ],
+            )
+        )
+    if report.counters:
+        out.append("")
+        out.append("Counters (all runs):")
+        out.append(
+            _table(
+                ("counter", "value"),
+                [
+                    (name, f"{value:g}")
+                    for name, value in sorted(report.counters.items())
+                ],
+            )
+        )
+    return "\n".join(out)
+
+
+def to_json(report: TraceReport) -> Dict[str, Any]:
+    """JSON-serializable form of the report (round-trips the numbers)."""
+    return {
+        "dbs_runs": report.dbs_runs,
+        "nested_runs": report.nested_runs,
+        "total_seconds": report.total_seconds,
+        "total_expressions": report.total_expressions,
+        "wall_seconds": report.wall_seconds,
+        "n_spans": report.n_spans,
+        "n_events": report.n_events,
+        "actions": report.actions,
+        "phases": [
+            {
+                "phase": row.phase,
+                "calls": row.calls,
+                "seconds": row.seconds,
+                "expressions": row.expressions,
+            }
+            for row in report.phases
+        ],
+        "productions": [
+            {
+                "production": row.production,
+                "calls": row.calls,
+                "seconds": row.seconds,
+                "offered": row.offered,
+                "added": row.added,
+            }
+            for row in report.productions
+        ],
+        "counters": report.counters,
+        "labels": report.labels,
+    }
+
+
+def render_json(report: TraceReport) -> str:
+    return json.dumps(to_json(report), indent=2, sort_keys=True)
+
+
+def report_from_file(path: str) -> TraceReport:
+    """Convenience: load + build in one step (the CLI entry point)."""
+    return build_report(load_events(path))

@@ -1,0 +1,236 @@
+"""Structured tracing for the synthesis stack.
+
+The synthesizer is a search: almost every interesting performance
+question ("where did the 234k expressions go?") is a question about how
+wall-clock time and expression budget distribute over *phases* —
+enumeration per grammar production, candidate testing, conditional
+cover search, loop sub-syntheses. This module provides the spans those
+questions are answered with:
+
+* :class:`NullTracer` — the default. Tracing off costs one attribute
+  check (``tracer.enabled``) per guarded site plus a no-op span object
+  shared across all ``span()`` calls; nothing is allocated per event.
+* :class:`JsonlTracer` — streams one JSON object per line to a file as
+  each span *closes* (children before parents, so a crashed run still
+  has every finished span on disk). :mod:`repro.obs.report` turns the
+  stream into a per-phase attribution table.
+
+Instrumented code never imports a concrete tracer; it calls
+:func:`get_tracer` and uses whatever is installed::
+
+    from repro.obs.trace import get_tracer
+
+    with get_tracer().span("dbs.enumerate", production="Concatenate") as sp:
+        batch = expand()
+        sp.set(added=len(batch))
+
+Span nesting is tracked by the tracer itself (a stack), so spans must be
+closed in LIFO order — guaranteed by ``with``. The tracers are not
+thread-safe; one tracer per worker is the intended sharding model.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, IO, Iterator, List, Optional, Protocol, Union
+
+
+class Span(Protocol):
+    """A timed, attributed region of work (context manager)."""
+
+    def __enter__(self) -> "Span": ...
+
+    def __exit__(self, exc_type, exc, tb) -> bool: ...
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. an outcome)."""
+        ...
+
+
+class Tracer(Protocol):
+    """The tracing interface instrumentation codes against.
+
+    ``enabled`` is the hot-path guard: expensive attribute computation
+    should hide behind ``if tracer.enabled``.
+    """
+
+    enabled: bool
+
+    def span(self, name: str, **attrs: Any) -> Span: ...
+
+    def event(self, name: str, **attrs: Any) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class _NullSpan:
+    """Shared, stateless no-op span (safe to reenter/nest)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a near-zero no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _JsonlSpan:
+    """One open span of a :class:`JsonlTracer`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent", "start")
+
+    def __init__(
+        self,
+        tracer: "JsonlTracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent: Optional[int],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent = parent
+        self.start = 0.0
+
+    def __enter__(self) -> "_JsonlSpan":
+        self.tracer._stack.append(self.span_id)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = perf_counter()
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._write(
+            {
+                "kind": "span",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent,
+                "ts": self.start - self.tracer._epoch,
+                "dur": end - self.start,
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+
+class JsonlTracer:
+    """Streams span/event records as JSON lines.
+
+    Record schema (one object per line; see docs/observability.md):
+
+    * spans — ``{"kind": "span", "name", "id", "parent", "ts", "dur",
+      "attrs": {...}}``; ``ts`` is seconds since the tracer was created,
+      ``dur`` the span's duration, ``parent`` the enclosing span's id
+      (``null`` at top level). Written when the span closes.
+    * events — ``{"kind": "event", "name", "parent", "ts",
+      "attrs": {...}}``; instantaneous, written immediately.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Union[str, IO[str]], mode: str = "w"):
+        if isinstance(sink, str):
+            self._file: IO[str] = open(sink, mode, encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._epoch = perf_counter()
+        self._stack: List[int] = []
+        self._next_id = 0
+
+    def span(self, name: str, **attrs: Any) -> _JsonlSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return _JsonlSpan(self, name, attrs, span_id, parent)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self._write(
+            {
+                "kind": "event",
+                "name": name,
+                "parent": self._stack[-1] if self._stack else None,
+                "ts": perf_counter() - self._epoch,
+                "attrs": attrs,
+            }
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._file.closed:
+            return
+        self._file.write(json.dumps(record, default=str) + "\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+
+# ---------------------------------------------------------------------
+# The installed tracer
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (default: :data:`NULL_TRACER`)."""
+    return _current
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally; ``None`` restores the null tracer."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return _current
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the block, then restore
+    the previous tracer and close ``tracer``."""
+    previous = _current
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()

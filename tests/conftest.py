@@ -8,6 +8,11 @@ def pytest_configure(config):
         "markers",
         "slow: benchmark-scale synthesis runs (seconds to minutes each)",
     )
+    config.addinivalue_line(
+        "markers",
+        "trace_smoke: end-to-end traced synthesis checks "
+        "(run_final_benches.sh runs these as a separate job)",
+    )
 
 
 def pytest_addoption(parser):

@@ -187,6 +187,11 @@ class TestRunner:
             result.functions["Name"](3)
 
     def test_helper_function_via_lasy_fn(self):
+        # Greet needs Concatenate(Expand(SubStr(...)), ConstStr("!")) —
+        # the pieces enter the pool long before plain enumeration could
+        # reach the composed program, so this relies on the composition
+        # strategies getting a final pass over the pool when the
+        # expression budget dies mid-generation (see _run_dbs).
         result = synthesize(
             """
             language strings;
@@ -198,11 +203,32 @@ class TestRunner:
             require Greet("yo y") == "greetings!";
             """,
             budget_factory=lambda: Budget(
-                max_seconds=25, max_expressions=250_000
+                max_seconds=25, max_expressions=60_000
             ),
         )
         assert result.success
         assert result.functions["Greet"]("hi z") == "hello!"
+
+    def test_strategy_pass_on_budget_exhaustion(self):
+        # Fast regression for the exhaustion-time strategy pass: with a
+        # budget this small, enumeration alone cannot reach the answer
+        # (the run reported timeout before the pass existed), but the
+        # concat inverse-strategy can assemble it from pooled pieces.
+        result = synthesize(
+            """
+            language strings;
+            lookup string Expand(string s);
+            function string Greet(string s);
+            require Expand("hi") == "hello";
+            require Expand("yo") == "greetings";
+            require Greet("hi x") == "hello!";
+            require Greet("yo y") == "greetings!";
+            """,
+            budget_factory=lambda: Budget(
+                max_seconds=25, max_expressions=30_000
+            ),
+        )
+        assert result.success
 
     def test_dbs_times_collected(self):
         result = synthesize(
