@@ -1,0 +1,190 @@
+"""Evaluator-engine microbenchmark: compiled closures vs. the
+tree-walking interpreter, and parallel suite execution vs. serial.
+
+Run directly (writes ``BENCH_eval.json`` at the repo root, which
+docs/performance.md and EXPERIMENTS.md reference)::
+
+    PYTHONPATH=src python benchmarks/bench_eval.py
+
+Two sections:
+
+* ``eval_engine`` — ops/sec evaluating fixed expressions of several
+  sizes through ``expression_runner`` in both modes. The shapes mirror
+  what candidate testing evaluates all day: nested arithmetic over
+  parameters and constants, and string pipelines. Compilation is
+  memoized per expression identity, so the compiled numbers amortize it
+  exactly the way the component pool does.
+* ``parallel_suite`` — wall-clock for a timeout-dominated slice of the
+  Pex4Fun suite at ``--jobs 1`` vs ``--jobs 4``. The tasks are puzzles
+  the paper's own failure taxonomy marks unsolvable, so every one runs
+  its full wall-clock budget; with N workers those budgets expire
+  concurrently instead of back to back, which is why the speedup holds
+  even on a single-core host (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from time import perf_counter
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not os.environ.get("PYTHONPATH") or "repro" not in sys.modules:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+BATCH_SECONDS = 0.3  # calibration target per timing batch
+REPS = 5  # batches per mode; best batch wins (cancels scheduler noise)
+PARALLEL_BUDGET_SECONDS = 3.0
+PARALLEL_JOBS = 4
+# Unsolvable by construction (paper §6.1.4 failure categories), so each
+# synthesis reliably runs its whole budget: a pure timeout workload.
+TIMEOUT_PUZZLES = ["bitwise-or", "bitwise-xor", "cubic-poly", "popcount"]
+
+
+def _functions():
+    from repro.domains.registry import get_domain
+
+    dsl = get_domain("pexfun").dsl()
+    return {f.name: f for f in dsl.functions()}, dsl
+
+
+def _exprs():
+    """Fixed expressions spanning the sizes candidate testing sees."""
+    from repro.core.expr import Call, Const, Param
+    from repro.core.types import INT, STRING
+
+    fns, dsl = _functions()
+    int_nt = "I"  # nt labels only matter for enumeration, not evaluation
+    x = Param("x", INT, int_nt)
+    s = Param("s", STRING, "S")
+
+    def chain(depth):
+        expr = x
+        for i in range(depth):
+            fn = (fns["Add"], fns["Mul"], fns["Max"], fns["Sub"])[i % 4]
+            expr = Call(fn, (expr, Const(1 + i % 7, INT, int_nt)), int_nt)
+        return expr
+
+    def string_pipe(depth):
+        expr = s
+        for i in range(depth):
+            if i % 3 == 0:
+                expr = Call(fns["Concat"], (expr, Const("-", STRING, "S")), "S")
+            elif i % 3 == 1:
+                expr = Call(fns["ToUpper"], (expr,), "S")
+            else:
+                expr = Call(fns["Trim"], (expr,), "S")
+        return expr
+
+    return [
+        ("int-chain-12", chain(12), {"x": 7}),
+        ("int-chain-30", chain(30), {"x": 7}),
+        ("int-chain-60", chain(60), {"x": 7}),
+        ("str-pipe-30", string_pipe(30), {"s": " a b c "}),
+    ]
+
+
+def _ops_per_sec(expr, params, mode):
+    from repro.core import evaluator
+    from repro.core.evaluator import Env, Fuel
+
+    previous = evaluator.set_eval_mode(mode)
+    try:
+        runner = evaluator.expression_runner(expr)
+        # Warm up (first compiled call pays memoized compilation) and
+        # calibrate a batch size worth ~BATCH_SECONDS.
+        start = perf_counter()
+        runner(Env(params=params, fuel=Fuel(1_000_000)))
+        once = max(perf_counter() - start, 1e-7)
+        batch = max(1, int(BATCH_SECONDS / once))
+        best = 0.0
+        for _ in range(REPS):
+            start = perf_counter()
+            for _ in range(batch):
+                runner(Env(params=params, fuel=Fuel(1_000_000)))
+            rate = batch / (perf_counter() - start)
+            if rate > best:
+                best = rate
+        return best
+    finally:
+        evaluator.set_eval_mode(previous)
+
+
+def bench_eval_engine():
+    rows = []
+    for name, expr, params in _exprs():
+        interp = _ops_per_sec(expr, params, "interp")
+        compiled = _ops_per_sec(expr, params, "compiled")
+        rows.append(
+            {
+                "expr": name,
+                "nodes": expr.size,
+                "interp_ops_per_sec": round(interp, 1),
+                "compiled_ops_per_sec": round(compiled, 1),
+                "speedup": round(compiled / interp, 2),
+            }
+        )
+        print(
+            f"  {name:14s} {expr.size:4d} nodes  "
+            f"interp {interp:9.0f}/s  compiled {compiled:9.0f}/s  "
+            f"{compiled / interp:.2f}x"
+        )
+    speedups = [r["speedup"] for r in rows]
+    return {"exprs": rows, "max_speedup": max(speedups), "min_speedup": min(speedups)}
+
+
+def _suite_seconds(jobs):
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments import pexfun_exp
+    from repro.pex.puzzles import PUZZLES
+
+    config = ExperimentConfig(
+        budget_seconds=PARALLEL_BUDGET_SECONDS,
+        budget_expressions=100_000_000,  # wall-clock is the binding budget
+        jobs=jobs,
+    )
+    puzzles = [p for p in PUZZLES if p.name in TIMEOUT_PUZZLES]
+    start = perf_counter()
+    rows = pexfun_exp.run(config, puzzles=puzzles, try_manual=False)
+    elapsed = perf_counter() - start
+    assert not any(r.solved for r in rows), "timeout workload got solved?"
+    return elapsed
+
+
+def bench_parallel_suite():
+    serial = _suite_seconds(1)
+    print(f"  jobs=1: {serial:.1f}s")
+    parallel = _suite_seconds(PARALLEL_JOBS)
+    print(f"  jobs={PARALLEL_JOBS}: {parallel:.1f}s")
+    return {
+        "tasks": TIMEOUT_PUZZLES,
+        "budget_seconds": PARALLEL_BUDGET_SECONDS,
+        "jobs1_seconds": round(serial, 2),
+        f"jobs{PARALLEL_JOBS}_seconds": round(parallel, 2),
+        "speedup": round(serial / parallel, 2),
+    }
+
+
+def main():
+    print("eval engine (compiled vs interpreter):")
+    eval_engine = bench_eval_engine()
+    print(f"parallel suite ({len(TIMEOUT_PUZZLES)} timeout-bound tasks):")
+    parallel_suite = bench_parallel_suite()
+    payload = {
+        "eval_engine": eval_engine,
+        "parallel_suite": parallel_suite,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+    }
+    out = os.path.join(_ROOT, "BENCH_eval.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,8 +60,19 @@ def cmd_synthesize(args) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     program = parse_lasy(source)
+    options = None
+    if args.jobs > 1:
+        # One synthesis can't fan out over benchmarks; what it can do is
+        # run loop strategies on a thread beside enumeration (§5.3's
+        # "concurrently with the DBS algorithm").
+        from .core.dbs import DbsOptions
+        from .core.tds import TdsOptions
+
+        options = TdsOptions(dbs=DbsOptions(concurrent_loops=True))
     with _maybe_tracing(args):
-        result = run_lasy(program, budget_factory=_budget_factory(args))
+        result = run_lasy(
+            program, budget_factory=_budget_factory(args), options=options
+        )
     status = "ok" if result.success else "FAILED"
     print(f"{status}  ({result.elapsed:.1f}s, language={program.language})")
     for name, fn in result.functions.items():
@@ -112,6 +123,7 @@ def cmd_experiment(args) -> int:
         budget_seconds=args.timeout,
         budget_expressions=args.max_expressions,
         trace_path=args.trace,
+        jobs=max(1, args.jobs),
     )
     result = module.run(config)
     print(module.report(result))
@@ -178,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream span/metric events to a JSONL trace file "
         "(read back with the report-trace subcommand)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment suites (traces and "
+        "metrics are merged back); for synthesize, N>1 runs loop "
+        "strategies concurrently with enumeration (default 1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -48,7 +48,7 @@ from .evaluator import (
     EvaluationError,
     Fuel,
     check_value_size,
-    evaluate,
+    expression_runner,
 )
 from .expr import (
     Call,
@@ -688,10 +688,15 @@ class ComponentPool:
         )
 
     def _evaluate_vector(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
-        """Full-evaluation fallback for seeds and lambda-bearing calls."""
+        """Full-evaluation fallback for seeds and lambda-bearing calls.
+
+        The expression is compiled once and the closure run per example
+        (see repro.core.compile); on the interpreter mode this degrades
+        to plain ``evaluate`` calls."""
         names = self.signature.param_names
         out: List[Any] = []
         self._c_vector_evals.value += len(self.examples)
+        runner = expression_runner(expr)
         for example in self.examples:
             env = Env(
                 params=dict(zip(names, example.args)),
@@ -699,7 +704,7 @@ class ComponentPool:
                 fuel=Fuel(self.options.signature_fuel),
             )
             try:
-                value = evaluate(expr, env)
+                value = runner(env)
             except EvaluationError:
                 value = ERROR
             if callable(value):
@@ -839,6 +844,7 @@ class ComponentPool:
         bindings = self._sample_bindings(var_types)
         values = []
         names = self.signature.param_names
+        runner = expression_runner(target)
         for example in self.examples:
             for binding in bindings:
                 env = Env(
@@ -848,7 +854,7 @@ class ComponentPool:
                     fuel=Fuel(self.options.signature_fuel),
                 )
                 try:
-                    value = evaluate(target, env)
+                    value = runner(env)
                     if adapter is not None:
                         value = adapter(value, example)
                 except EvaluationError:

@@ -4,9 +4,12 @@ One DBS invocation searches for a program satisfying *all* given examples
 by plugging grammar-generated expressions into the supplied contexts.
 The search interleaves, per Algorithm 2:
 
-1. loop strategies (tried up front; the paper runs them concurrently in
-   a separate thread, we run them first since they are cheap relative to
-   enumeration);
+1. loop strategies — tried up front by default (cheap relative to
+   enumeration), or, with ``DbsOptions.concurrent_loops`` (what the CLI's
+   ``--jobs > 1`` selects for single syntheses), on a helper thread that
+   runs alongside enumeration exactly as the paper describes; the
+   concurrent variant is traced under a dedicated
+   ``dbs.loops.concurrent`` span;
 2. plugging every (context, expression) pair and testing the result;
 3. a conditional-synthesis pass after each expression generation, using
    the recorded T(p) and B(g) sets (§5.2);
@@ -19,6 +22,8 @@ exhausted.
 
 from __future__ import annotations
 
+import io
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -46,6 +51,9 @@ class DbsOptions:
     semantic_dedup: bool = True
     enable_conditionals: bool = True
     enable_loops: bool = True
+    # Run loop strategies on a helper thread beside enumeration (the
+    # paper's concurrent-thread model) instead of serially up front.
+    concurrent_loops: bool = False
     max_generations: int = 24
     evaluation_fuel: int = 60_000
     max_recursion_depth: int = 40
@@ -188,15 +196,18 @@ def dbs(
     branch body without its base case diverges under true self-recursion,
     so its recursive calls are bound to the previous program instead; the
     assembled conditional is always re-verified with true recursion."""
-    global _ACTIVE_RUNS
     options = options or DbsOptions()
     budget = budget or default_budget()
     budget.restart_clock()
     tracer = get_tracer()
     stats = DbsStats(registry=Registry(detailed=tracer.enabled))
-    nested = _ACTIVE_RUNS > 0
-    eval_runs_before = EVAL_METRICS.value("eval.run_program")
-    _ACTIVE_RUNS += 1
+    depth = getattr(_RUN_DEPTH, "value", 0)
+    nested = depth > 0
+    # local_value: a worker-snapshot merge into the process-global
+    # evaluator registry landing inside this region must not be
+    # attributed to (double-counted against) this run.
+    eval_runs_before = EVAL_METRICS.local_value("eval.run_program")
+    _RUN_DEPTH.value = depth + 1
     try:
         with tracer.span(
             "dbs",
@@ -212,7 +223,8 @@ def dbs(
             if tracer.enabled:
                 registry = stats.registry
                 registry.counter("eval.run_program").value = int(
-                    EVAL_METRICS.value("eval.run_program") - eval_runs_before
+                    EVAL_METRICS.local_value("eval.run_program")
+                    - eval_runs_before
                 )
                 root_span.set(
                     outcome="timeout" if result.timed_out else "solved"
@@ -224,12 +236,16 @@ def dbs(
                 )
             return result
     finally:
-        _ACTIVE_RUNS -= 1
+        _RUN_DEPTH.value = depth
 
 
-# Depth of dbs() calls on this thread's stack; loop-body sub-syntheses
-# run nested (their spawned budgets are excluded from report totals).
-_ACTIVE_RUNS = 0
+# Depth of dbs() calls on the current thread's stack; loop-body
+# sub-syntheses run nested (their spawned budgets are excluded from
+# report totals). Thread-local so a concurrent loop-strategy thread
+# can't corrupt the main thread's depth — the thread seeds its own
+# depth at 1, since its sub-syntheses are logically nested in the run
+# that spawned it.
+_RUN_DEPTH = threading.local()
 
 
 def _run_dbs(
@@ -258,26 +274,44 @@ def _run_dbs(
         signature, examples, lasy_fns, options, stats, budget,
         previous_program=previous_program,
     )
+    loop_state: Optional[_ConcurrentLoops] = None
 
     def finish(program: Optional[Expr]) -> DbsResult:
+        if loop_state is not None:
+            program = loop_state.finish(program, tracer)
         stats.elapsed = time.monotonic() - start_time
         stats.expressions = budget.expressions
         return DbsResult(program, stats)
 
     try:
-        # 1. Loop strategies (Algorithm 2, line 1).
+        # 1. Loop strategies (Algorithm 2, line 1): serially up front,
+        # or on a helper thread racing enumeration (§5.3's concurrent
+        # model) when options.concurrent_loops.
         if options.enable_loops and dsl.loops:
-            with tracer.span("dbs.loops") as loops_span:
-                program = _try_loop_strategies(
-                    dsl, signature, examples, tester, budget,
-                    lasy_fns, lasy_signatures, options, stats,
-                )
-                loops_span.set(
-                    candidates=stats.loop_candidates,
-                    solved=program is not None,
-                )
-            if program is not None:
-                return finish(program)
+            if options.concurrent_loops:
+
+                def run_loops(cancel) -> Optional[Expr]:
+                    return _try_loop_strategies(
+                        dsl, signature, examples, tester, budget,
+                        lasy_fns, lasy_signatures, options, stats,
+                        cancel=cancel,
+                    )
+
+                loop_state = _ConcurrentLoops(
+                    parent_traced=tracer.enabled, runner=run_loops
+                ).start()
+            else:
+                with tracer.span("dbs.loops") as loops_span:
+                    program = _try_loop_strategies(
+                        dsl, signature, examples, tester, budget,
+                        lasy_fns, lasy_signatures, options, stats,
+                    )
+                    loops_span.set(
+                        candidates=stats.loop_candidates,
+                        solved=program is not None,
+                    )
+                if program is not None:
+                    return finish(program)
 
         # Generation 0: the atoms (params, constants, seeds, ...).
         with tracer.span(
@@ -342,6 +376,10 @@ def _run_dbs(
         size_before = -1
         batches = iter([_all_pool_exprs(pool)])
         while True:
+            if loop_state is not None and loop_state.program is not None:
+                # The loop-strategy thread won the race; finish() joins
+                # it and returns its program.
+                return finish(None)
             program = None
             for pending in batches:
                 with tracer.span("dbs.test", batch=len(pending)):
@@ -611,6 +649,86 @@ def _expr_type_for_hole(expr: Expr, dsl: Dsl):
     return _hole_type(dsl, expr)
 
 
+class _ConcurrentLoops:
+    """Loop strategies on a helper thread beside enumeration (§5.3).
+
+    The paper runs loop strategies "concurrently with the DBS
+    algorithm"; this is that thread. Isolation model:
+
+    * the thread installs its own tracer via ``set_thread_tracer`` —
+      an in-memory ``JsonlTracer`` when the parent traces, else the
+      null tracer — because tracer span stacks are not thread-safe;
+      the buffered records are spliced into the parent's stream on
+      join (``absorb_shard``), re-parented under the open ``dbs`` span;
+    * the thread seeds its ``_RUN_DEPTH`` at 1, so its sub-syntheses
+      report as nested runs just like the serial path;
+    * the shared ``Budget`` and registry counters take concurrent plain
+      ``+=`` increments — benign under the GIL (worst case a slightly
+      stale read), and the budget's exhaustion check is conservative.
+
+    Cancellation is cooperative: enumeration finding a program first
+    sets ``cancel``, which loop strategies check between candidate
+    sub-syntheses, so the join in :meth:`finish` is bounded by one
+    sub-DBS budget.
+    """
+
+    def __init__(self, parent_traced: bool, runner) -> None:
+        self.cancel = threading.Event()
+        self.program: Optional[Expr] = None
+        self.error: Optional[BaseException] = None
+        self.seconds = 0.0
+        self._buffer = io.StringIO() if parent_traced else None
+        self._runner = runner
+        self._thread = threading.Thread(
+            target=self._run, name="dbs-loop-strategies", daemon=True
+        )
+
+    def start(self) -> "_ConcurrentLoops":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        from ..obs.trace import (
+            NULL_TRACER,
+            JsonlTracer,
+            set_thread_tracer,
+        )
+
+        tracer = (
+            JsonlTracer(self._buffer)
+            if self._buffer is not None
+            else NULL_TRACER
+        )
+        set_thread_tracer(tracer)
+        _RUN_DEPTH.value = 1
+        start = time.monotonic()
+        try:
+            with tracer.span("dbs.loops.concurrent") as span:
+                program = self._runner(self.cancel)
+                span.set(solved=program is not None)
+                self.program = program
+        except BudgetExhausted:
+            pass
+        except BaseException as exc:  # re-raised on the main thread
+            self.error = exc
+        finally:
+            self.seconds = time.monotonic() - start
+            set_thread_tracer(None)
+
+    def finish(self, program: Optional[Expr], tracer) -> Optional[Expr]:
+        """Join the thread, splice its trace, and pick the winner:
+        enumeration's program when it found one, else the thread's."""
+        self.cancel.set()
+        self._thread.join()
+        if self._buffer is not None:
+            absorb = getattr(tracer, "absorb_shard", None)
+            if absorb is not None:
+                absorb(self._buffer.getvalue().splitlines())
+        if self.error is not None:
+            raise self.error
+        return program if program is not None else self.program
+
+
 def _try_loop_strategies(
     dsl: Dsl,
     signature: Signature,
@@ -621,6 +739,7 @@ def _try_loop_strategies(
     lasy_signatures: Mapping[str, Signature],
     options: DbsOptions,
     stats: DbsStats,
+    cancel: Optional[threading.Event] = None,
 ) -> Optional[Expr]:
     """Assemble loop candidates (§5.3) and test them on all examples."""
 
@@ -630,6 +749,8 @@ def _try_loop_strategies(
         from .contexts import Context as _Context
         from .expr import Hole
 
+        if cancel is not None and cancel.is_set():
+            return None
         sub_context = _Context(
             root=Hole(start_nt),
             path=(),
@@ -661,6 +782,8 @@ def _try_loop_strategies(
     candidates = run_loop_strategies(dsl, signature, examples, synthesize_body)
     stats.loop_candidates += len(candidates)
     for candidate in candidates:
+        if cancel is not None and cancel.is_set():
+            return None
         if tester.passes_all(candidate.program):
             return candidate.program
     return None

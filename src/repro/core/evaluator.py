@@ -7,10 +7,17 @@ contain unbounded recursion (``_RECURSE``) or runaway loops, every
 evaluation carries a *fuel* budget and a recursion-depth limit; exhausting
 either raises :class:`EvaluationError`, which the search observes as the
 distinguished :data:`~repro.core.values.ERROR` value.
+
+Two execution engines share these semantics: the tree-walking
+interpreter in this module (:func:`evaluate`, the reference), and the
+closure compiler in :mod:`repro.core.compile` (the default hot path —
+see :func:`expression_runner` / :func:`set_eval_mode`, and
+docs/performance.md for the strategy and measured speedups).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -42,6 +49,46 @@ _ERRORS = METRICS.counter("eval.run_program_errors")
 
 class EvaluationError(Exception):
     """A candidate program crashed, diverged, or exhausted its budget."""
+
+
+# ---------------------------------------------------------------------
+# Evaluation mode: "compiled" (default) runs expressions through
+# repro.core.compile's closure trees; "interp" forces the tree-walking
+# interpreter below, which remains the reference semantics (the
+# differential test asserts the two agree). Selected at import time by
+# the REPRO_EVAL environment variable, switchable at runtime for
+# benchmarks and differential tests.
+
+_EVAL_MODE = "interp" if os.environ.get("REPRO_EVAL") == "interp" else "compiled"
+_compile_expr: Optional[Callable] = None
+
+
+def set_eval_mode(mode: str) -> str:
+    """Select ``"compiled"`` or ``"interp"``; returns the previous mode."""
+    global _EVAL_MODE
+    if mode not in ("compiled", "interp"):
+        raise ValueError(f"unknown eval mode {mode!r}")
+    previous = _EVAL_MODE
+    _EVAL_MODE = mode
+    return previous
+
+
+def get_eval_mode() -> str:
+    return _EVAL_MODE
+
+
+def expression_runner(expr: "Expr") -> Callable[["Env"], Any]:
+    """A callable evaluating ``expr`` in an :class:`Env` under the
+    current mode. In compiled mode this is the memoized closure tree —
+    the caller pays compilation once and runs it per example/binding."""
+    global _compile_expr
+    if _EVAL_MODE == "compiled":
+        if _compile_expr is None:
+            from .compile import compile_expr as _ce
+
+            _compile_expr = _ce
+        return _compile_expr(expr)
+    return lambda env: evaluate(expr, env)
 
 
 DEFAULT_FUEL = 200_000
@@ -304,7 +351,7 @@ def run_program(
         fuel=Fuel(fuel),
     )
     try:
-        return freeze(evaluate(program, env))
+        return freeze(expression_runner(program)(env))
     except EvaluationError:
         _ERRORS.value += 1
         raise

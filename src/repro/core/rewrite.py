@@ -171,6 +171,10 @@ class RewriteCycleError(RuntimeError):
 
 _MAX_PASSES = 50
 
+# canonicalize_root memo bound; cleared wholesale on overflow (entries
+# are cheap to recompute, eviction bookkeeping is not).
+_ROOT_CACHE_LIMIT = 100_000
+
 
 class Rewriter:
     """Applies a DSL's rewrite rules and constant folding to fixpoint."""
@@ -187,6 +191,11 @@ class Rewriter:
         for prod in dsl.productions:
             if prod.kind == "call" and prod.func is not None:
                 self._nt_of_function.setdefault(prod.func.name, prod.nt)
+        # canonicalize_root memo. Keying on the Expr itself is safe:
+        # hash-consed nodes cache their hash, and the cache lives on a
+        # per-DSL Rewriter, so same-named functions from another DSL
+        # can never alias in here.
+        self._root_cache: Dict[Expr, Expr] = {}
 
     # -- public --------------------------------------------------------
 
@@ -210,12 +219,21 @@ class Rewriter:
         constant folding at the root suffice; the root may need several
         rounds when one rewrite exposes another redex. A root rewrite
         that replaces the node by a (still canonical) child is covered by
-        the loop. This is the hot path of §5.1's syntactic dedup.
+        the loop. This is the hot path of §5.1's syntactic dedup, so
+        results are memoized: composition re-offers structurally
+        identical candidates every generation, and the hash-consed node
+        hash makes the lookup O(1).
         """
+        cached = self._root_cache.get(expr)
+        if cached is not None:
+            return cached
         current = expr
         for _ in range(_MAX_PASSES):
             rewritten = self._fold_constants(self._apply_rules(current))
             if rewritten == current:
+                if len(self._root_cache) >= _ROOT_CACHE_LIMIT:
+                    self._root_cache.clear()
+                self._root_cache[expr] = current
                 return current
             current = rewritten
         raise RewriteCycleError(

@@ -1,0 +1,11 @@
+"""Parallel execution for independent synthesis tasks.
+
+The paper runs suite tasks (and loop strategies) concurrently; this
+package provides the process-pool fan-out the experiment drivers use,
+including the observability plumbing — per-worker ``JsonlTracer``
+shards and evaluator-metrics merge-back. See docs/performance.md.
+"""
+
+from .parallel import ParallelOutcome, parallel_map
+
+__all__ = ["ParallelOutcome", "parallel_map"]

@@ -1,0 +1,179 @@
+"""A process-pool ``parallel_map`` with observability merge-back.
+
+Suite tasks are embarrassingly parallel — each benchmark is an
+independent synthesis — but the stack's observability is process-local:
+the evaluator counts runs in a process-global registry and tracers are
+single-threaded streams. This module makes fan-out safe on both fronts:
+
+* **metrics** — each worker zeroes the process-global registries before
+  a task (a forked child inherits the parent's totals) and ships the
+  task's own snapshot back with the result; the parent absorbs them via
+  :meth:`~repro.obs.metrics.Registry.merge`, which keeps merged counts
+  out of the parent's local delta-attribution.
+* **traces** — each worker process opens its own ``JsonlTracer`` shard
+  (``{base}.worker-{pid}.jsonl``, the sharding model ``obs/trace.py``
+  anticipates) and flushes it after every task; the parent splices the
+  shards into its own stream with
+  :meth:`~repro.obs.trace.JsonlTracer.absorb_shard`.
+
+Fallback is graceful: ``jobs <= 1``, a single item, or an infrastructure
+failure (unpicklable work, a broken pool) degrades to a plain serial
+loop with identical results and in-process metrics/tracing.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core import evaluator
+from ..obs import metrics as obs_metrics
+from ..obs.trace import JsonlTracer, get_tracer, set_tracer
+
+TaskFn = Callable[[Any], Any]
+
+
+@dataclass
+class ParallelOutcome:
+    """What a :func:`parallel_map` produced.
+
+    ``results`` is ordered like the input items. ``jobs_used`` is the
+    actual degree of parallelism (1 after a serial fallback).
+    ``shards`` lists the worker trace-shard paths (kept only when
+    ``keep_shards``); ``task_metrics`` the per-task registry snapshots
+    that were merged back (empty on the serial path, where metrics
+    accumulate in-process as usual).
+    """
+
+    results: List[Any]
+    jobs_used: int
+    shards: List[str] = field(default_factory=list)
+    task_metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+
+# -- worker side ------------------------------------------------------
+
+_WORKER_TRACER: Optional[JsonlTracer] = None
+
+
+def _worker_init(trace_base: Optional[str], eval_mode: str) -> None:
+    """Per-worker-process setup: eval engine + trace shard."""
+    global _WORKER_TRACER
+    evaluator.set_eval_mode(eval_mode)
+    if trace_base:
+        path = f"{trace_base}.worker-{os.getpid()}.jsonl"
+        _WORKER_TRACER = JsonlTracer(path)
+        set_tracer(_WORKER_TRACER)
+
+
+def _run_task(payload: Any) -> Any:
+    """Run one task; return ``(result, registry snapshots)``.
+
+    The process-global registries are zeroed first so the snapshot holds
+    exactly this task's work — a forked worker starts with the parent's
+    totals already in them, and a long-lived worker accumulates across
+    tasks.
+    """
+    fn, item = payload
+    evaluator.METRICS.reset()
+    obs_metrics.GLOBAL.reset()
+    try:
+        result = fn(item)
+    finally:
+        tracer = get_tracer()
+        if isinstance(tracer, JsonlTracer):
+            tracer.flush()
+    snapshots = {
+        "evaluator": evaluator.METRICS.snapshot(),
+        "global": obs_metrics.GLOBAL.snapshot(),
+    }
+    return result, snapshots
+
+
+# -- parent side ------------------------------------------------------
+
+
+def _serial(fn: TaskFn, items: Sequence[Any]) -> ParallelOutcome:
+    return ParallelOutcome(results=[fn(item) for item in items], jobs_used=1)
+
+
+def parallel_map(
+    fn: TaskFn,
+    items: Iterable[Any],
+    jobs: int = 1,
+    *,
+    trace_base: Optional[str] = None,
+    keep_shards: bool = False,
+) -> ParallelOutcome:
+    """Apply ``fn`` to every item across ``jobs`` worker processes.
+
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` over one) and so must the items and results.
+    When that fails — or the pool itself does — the whole map silently
+    degrades to a serial loop, so callers can pass ``--jobs`` through
+    unconditionally.
+
+    ``trace_base`` (typically the experiment's ``--trace`` path) enables
+    per-worker trace shards; they are spliced into the parent's
+    currently installed ``JsonlTracer`` and deleted unless
+    ``keep_shards``. Worker evaluator metrics are merged into this
+    process's registries either way.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return _serial(fn, items)
+
+    try:
+        # Local functions/lambdas raise AttributeError (not
+        # PicklingError) from the pool's feeder thread, which can leave
+        # the pool wedged — probe up front instead.
+        pickle.dumps((fn, items[0]))
+    except Exception:
+        return _serial(fn, items)
+
+    payloads = [(fn, item) for item in items]
+    jobs_used = min(jobs, len(items))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs_used,
+            initializer=_worker_init,
+            initargs=(trace_base, evaluator.get_eval_mode()),
+        ) as pool:
+            # list() drains inside the with-block; shutdown(wait=True)
+            # then guarantees worker exit (and shard flush) before the
+            # parent reads the shard files.
+            outcomes = list(pool.map(_run_task, payloads))
+    except (pickle.PicklingError, BrokenProcessPool, OSError):
+        return _serial(fn, items)
+
+    results = []
+    task_metrics = []
+    for result, snapshots in outcomes:
+        results.append(result)
+        task_metrics.append(snapshots)
+        evaluator.METRICS.merge(snapshots["evaluator"])
+        obs_metrics.GLOBAL.merge(snapshots["global"])
+
+    shards: List[str] = []
+    if trace_base:
+        shards = sorted(glob.glob(f"{trace_base}.worker-*.jsonl"))
+        tracer = get_tracer()
+        if isinstance(tracer, JsonlTracer):
+            for shard in shards:
+                worker = os.path.basename(shard)
+                tracer.absorb_shard(shard, worker=worker)
+        if not keep_shards:
+            for shard in shards:
+                os.remove(shard)
+            shards = []
+    return ParallelOutcome(
+        results=results,
+        jobs_used=jobs_used,
+        shards=shards,
+        task_metrics=task_metrics,
+    )

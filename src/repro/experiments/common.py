@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -24,12 +25,18 @@ class ExperimentConfig:
 
     ``trace_path``, when set, streams span/metric events for the whole
     suite to that JSONL file (``repro report-trace`` reads it back).
+
+    ``jobs`` fans independent suite tasks out over that many worker
+    processes (``repro.exec.parallel_map``); 1 keeps everything
+    in-process. Worker traces and evaluator metrics are merged back, so
+    reports look the same either way (see docs/performance.md).
     """
 
     budget_seconds: float = 20.0
     budget_expressions: int = 250_000
     hard_multiplier: float = 2.0
     trace_path: Optional[str] = None
+    jobs: int = 1
     _trace_started: bool = field(default=False, repr=False, compare=False)
 
     def budget_factory(self, hard: bool = False) -> Callable[[], Budget]:
@@ -96,6 +103,21 @@ def run_suite(
     config: ExperimentConfig,
     options: Optional[TdsOptions] = None,
 ) -> List[BenchmarkOutcome]:
+    benchmarks = list(benchmarks)
+    if config.jobs > 1:
+        from ..exec import parallel_map
+
+        task = functools.partial(
+            run_benchmark, config=config, options=options
+        )
+        with config.tracing():
+            outcome = parallel_map(
+                task,
+                benchmarks,
+                jobs=config.jobs,
+                trace_base=config.trace_path,
+            )
+        return outcome.results
     with config.tracing():
         return [run_benchmark(b, config, options) for b in benchmarks]
 

@@ -13,6 +13,7 @@ the long string sequences.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -99,6 +100,70 @@ def _sequences() -> List[Tuple[str, Signature, List[Example]]]:
     return out
 
 
+def _run_sequence(
+    name: str,
+    config: ExperimentConfig,
+    reorderings_per_sequence: int,
+    seed: int,
+    options: Optional[TdsOptions],
+) -> List[OrderingSample]:
+    """Baseline + reorderings for one sequence (the parallel unit: the
+    baseline each ratio normalizes against must run in the same task).
+
+    The RNG is derived from ``(seed, name)`` so the sampled reorderings
+    are the same whichever task order — or worker process — runs them.
+    """
+    entry = next((s for s in _sequences() if s[0] == name), None)
+    if entry is None:
+        return []
+    _, signature, examples = entry
+    rng = random.Random(f"{seed}:{name}")
+    dsl = get_domain("pexfun").dsl()
+    samples: List[OrderingSample] = []
+    baseline = tds(
+        signature,
+        examples,
+        dsl,
+        budget_factory=config.budget_factory(),
+        options=options,
+    )
+    if not baseline.success or baseline.elapsed <= 0:
+        return []  # can't normalize against a failing curated order
+    samples.append(OrderingSample(name, 0.0, True, 1.0))
+    indexes = list(range(len(examples)))
+    # §6.2 also reports the exact reversal ("51 of [60] were also
+    # successfully synthesized with those test cases in reverse
+    # order"), so sample it deterministically alongside the random
+    # reorderings.
+    orders = [list(reversed(indexes))]
+    for _ in range(reorderings_per_sequence):
+        shuffled_order = indexes[:]
+        rng.shuffle(shuffled_order)
+        orders.append(shuffled_order)
+    for order in orders:
+        shuffled = [examples[i] for i in order]
+        outcome = tds(
+            signature,
+            shuffled,
+            dsl,
+            budget_factory=config.budget_factory(),
+            options=options,
+        )
+        samples.append(
+            OrderingSample(
+                sequence=name,
+                inversions=normalized_inversions(order),
+                solved=outcome.success,
+                time_ratio=(
+                    outcome.elapsed / baseline.elapsed
+                    if outcome.success
+                    else 0.0
+                ),
+            )
+        )
+    return samples
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     reorderings_per_sequence: int = 6,
@@ -106,51 +171,28 @@ def run(
     options: Optional[TdsOptions] = None,
 ) -> OrderingResult:
     config = config or FAST
-    rng = random.Random(seed)
-    dsl = get_domain("pexfun").dsl()
+    names = [name for name, _, _ in _sequences()]
+    task = functools.partial(
+        _run_sequence,
+        config=config,
+        reorderings_per_sequence=reorderings_per_sequence,
+        seed=seed,
+        options=options,
+    )
     result = OrderingResult()
-    for name, signature, examples in _sequences():
-        baseline = tds(
-            signature,
-            examples,
-            dsl,
-            budget_factory=config.budget_factory(),
-            options=options,
-        )
-        if not baseline.success or baseline.elapsed <= 0:
-            continue  # can't normalize against a failing curated order
-        result.samples.append(OrderingSample(name, 0.0, True, 1.0))
-        indexes = list(range(len(examples)))
-        # §6.2 also reports the exact reversal ("51 of [60] were also
-        # successfully synthesized with those test cases in reverse
-        # order"), so sample it deterministically alongside the random
-        # reorderings.
-        orders = [list(reversed(indexes))]
-        for _ in range(reorderings_per_sequence):
-            shuffled_order = indexes[:]
-            rng.shuffle(shuffled_order)
-            orders.append(shuffled_order)
-        for order in orders:
-            shuffled = [examples[i] for i in order]
-            outcome = tds(
-                signature,
-                shuffled,
-                dsl,
-                budget_factory=config.budget_factory(),
-                options=options,
+    if config.jobs > 1 and len(names) > 1:
+        from ..exec import parallel_map
+
+        with config.tracing():
+            outcome = parallel_map(
+                task, names, jobs=config.jobs, trace_base=config.trace_path
             )
-            result.samples.append(
-                OrderingSample(
-                    sequence=name,
-                    inversions=normalized_inversions(order),
-                    solved=outcome.success,
-                    time_ratio=(
-                        outcome.elapsed / baseline.elapsed
-                        if outcome.success
-                        else 0.0
-                    ),
-                )
-            )
+        groups = outcome.results
+    else:
+        with config.tracing():
+            groups = [task(name) for name in names]
+    for group in groups:
+        result.samples.extend(group)
     return result
 
 

@@ -11,6 +11,7 @@ fallback.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -133,6 +134,16 @@ class PexRow:
         return self.solved_by_pex or self.solved_manually
 
 
+def _play_one(
+    name: str, config: ExperimentConfig, try_manual: bool
+) -> PexRow:
+    """Play one suite puzzle (looked up by name: a :class:`Puzzle`
+    carries its reference implementation — a lambda — so names, not
+    puzzles, cross the worker-process boundary)."""
+    puzzle = next(p for p in PUZZLES if p.name == name)
+    return _play_puzzle(puzzle, config, try_manual)
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     puzzles: Optional[Sequence[Puzzle]] = None,
@@ -140,33 +151,50 @@ def run(
 ) -> List[PexRow]:
     config = config or FAST
     puzzles = list(puzzles if puzzles is not None else PUZZLES)
-    rows: List[PexRow] = []
-    for puzzle in puzzles:
-        game: GameResult = play(
-            puzzle, budget_factory=config.budget_factory()
+    names = [p.name for p in puzzles]
+    known = {p.name for p in PUZZLES}
+    if config.jobs > 1 and len(puzzles) > 1 and all(n in known for n in names):
+        from ..exec import parallel_map
+
+        task = functools.partial(
+            _play_one, config=config, try_manual=try_manual
         )
-        manual = False
-        seconds = game.elapsed
-        iterations = game.iterations
-        if not game.solved and try_manual and puzzle.name in MANUAL_SEQUENCES:
-            retry = play_with_manual_examples(
-                puzzle,
-                MANUAL_SEQUENCES[puzzle.name],
-                budget_factory=config.budget_factory(hard=True),
+        with config.tracing():
+            outcome = parallel_map(
+                task, names, jobs=config.jobs, trace_base=config.trace_path
             )
-            manual = retry.solved
-            seconds += retry.elapsed
-        rows.append(
-            PexRow(
-                name=puzzle.name,
-                category=puzzle.category,
-                solved_by_pex=game.solved,
-                solved_manually=manual,
-                iterations=iterations,
-                seconds=seconds,
-            )
+        return outcome.results
+    with config.tracing():
+        return [
+            _play_puzzle(puzzle, config, try_manual) for puzzle in puzzles
+        ]
+
+
+def _play_puzzle(
+    puzzle: Puzzle, config: ExperimentConfig, try_manual: bool
+) -> PexRow:
+    """Play one puzzle: the live game first, then (optionally) the
+    curated manual sequence if the game missed."""
+    game: GameResult = play(puzzle, budget_factory=config.budget_factory())
+    manual = False
+    seconds = game.elapsed
+    iterations = game.iterations
+    if not game.solved and try_manual and puzzle.name in MANUAL_SEQUENCES:
+        retry = play_with_manual_examples(
+            puzzle,
+            MANUAL_SEQUENCES[puzzle.name],
+            budget_factory=config.budget_factory(hard=True),
         )
-    return rows
+        manual = retry.solved
+        seconds += retry.elapsed
+    return PexRow(
+        name=puzzle.name,
+        category=puzzle.category,
+        solved_by_pex=game.solved,
+        solved_manually=manual,
+        iterations=iterations,
+        seconds=seconds,
+    )
 
 
 def report(rows: List[PexRow]) -> str:

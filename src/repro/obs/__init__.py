@@ -30,6 +30,7 @@ from .trace import (
     Span,
     Tracer,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
     tracing,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "render_json",
     "render_text",
     "report_from_file",
+    "set_thread_tracer",
     "set_tracer",
     "to_json",
     "tracing",

@@ -36,14 +36,43 @@ def format_label_key(key: LabelKey) -> str:
     return ",".join(f"{k}={v}" for k, v in key)
 
 
-class Counter:
-    """A monotone counter with optional labeled breakdown."""
+def _parse_label_key(text: str) -> LabelKey:
+    """Inverse of :func:`format_label_key`, up to value stringification
+    (an int-valued label comes back as a string; it re-renders to the
+    same display key, which is all merged breakdowns are used for)."""
+    pairs = []
+    for part in text.split(","):
+        k, _, v = part.partition("=")
+        pairs.append((k, v))
+    return tuple(sorted(pairs))
 
-    __slots__ = ("name", "value", "labeled")
+
+def _merge_histogram_state(hist: "Histogram", snap: Dict[str, Any]) -> None:
+    hist.count += snap.get("count", 0)
+    hist.total += snap.get("total", 0.0)
+    for attr, pick in (("min", min), ("max", max)):
+        incoming = snap.get(attr)
+        if incoming is None:
+            continue
+        current = getattr(hist, attr)
+        setattr(hist, attr, incoming if current is None else pick(current, incoming))
+
+
+class Counter:
+    """A monotone counter with optional labeled breakdown.
+
+    ``merged`` records how much of ``value`` was absorbed from other
+    registries (worker processes) via :meth:`Registry.merge`, so local
+    delta-attribution (``value - merged``) stays immune to merges that
+    land between a caller's before/after reads.
+    """
+
+    __slots__ = ("name", "value", "merged", "labeled")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self.merged = 0
         self.labeled: Dict[LabelKey, int] = {}
 
     def inc(self, n: int = 1, **labels: Any) -> None:
@@ -188,8 +217,84 @@ class Registry:
             return metric.total
         return metric.value
 
+    def local_value(self, name: str, default: float = 0) -> float:
+        """Like :meth:`value` but excluding counts absorbed via
+        :meth:`merge`. Delta-attribution around a region of interest
+        (``before = local_value(); ...; after = local_value()``) must use
+        this form on process-global registries, or a worker-snapshot
+        merge landing inside the region double-counts the worker's runs.
+        Gauges and histograms have no merged component and fall back to
+        :meth:`value`.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Counter):
+            return metric.value - metric.merged
+        if isinstance(metric, Histogram):
+            return metric.total
+        return metric.value
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Absorb a :meth:`snapshot` produced by another registry
+        (typically a worker process's delta shipped back over the
+        process boundary — snapshots are plain JSON-able dicts, so they
+        pickle cheaply).
+
+        Counters and histograms accumulate; gauges are last-write-wins,
+        so the incoming value overwrites. Counter totals absorbed here
+        are tracked in ``Counter.merged`` and excluded from
+        :meth:`local_value`.
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                counter = self.counter(name)
+                n = int(snap.get("value", 0))
+                counter.value += n
+                counter.merged += n
+                for key, v in snap.get("labels", {}).items():
+                    parsed = _parse_label_key(key)
+                    counter.labeled[parsed] = counter.labeled.get(parsed, 0) + v
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.value = snap.get("value", 0.0)
+                for key, v in snap.get("labels", {}).items():
+                    gauge.labeled[_parse_label_key(key)] = v
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                _merge_histogram_state(hist, snap)
+                for key, sub in snap.get("labels", {}).items():
+                    parsed = _parse_label_key(key)
+                    child = hist.labeled.get(parsed)
+                    if child is None:
+                        child = Histogram(name)
+                        hist.labeled[parsed] = child
+                    _merge_histogram_state(child, sub)
+
     def names(self) -> Iterable[str]:
         return self._metrics.keys()
+
+    def reset(self) -> None:
+        """Zero every instrument **in place** (identities survive, so
+        module-level bindings like the evaluator's ``_RUNS`` stay live).
+        Forked workers call this before each task: the fork inherits the
+        parent's totals, and the per-task snapshot shipped back to the
+        parent must contain only the task's own work."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                metric.value = 0
+                metric.merged = 0
+                metric.labeled.clear()
+            elif isinstance(metric, Gauge):
+                metric.value = 0.0
+                metric.labeled.clear()
+            elif isinstance(metric, Histogram):
+                metric.count = 0
+                metric.total = 0.0
+                metric.min = None
+                metric.max = None
+                metric.labeled.clear()
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Full nested snapshot (labels included), JSON-serializable."""

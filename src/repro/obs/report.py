@@ -36,6 +36,10 @@ _PHASES = {
     "dbs.conditionals": "conditionals",
     "dbs.loops": "loops",
     "dbs.loops.rule": "loops",
+    # Loop strategies racing enumeration on a helper thread
+    # (DbsOptions.concurrent_loops); self-time overlaps enumeration
+    # wall-clock rather than adding to it.
+    "dbs.loops.concurrent": "loops",
 }
 
 

@@ -32,9 +32,20 @@ thread-safe; one tracer per worker is the intended sharding model.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Dict, IO, Iterator, List, Optional, Protocol, Union
+from typing import (
+    Any,
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Union,
+)
 
 
 class Span(Protocol):
@@ -198,6 +209,60 @@ class JsonlTracer:
             return
         self._file.write(json.dumps(record, default=str) + "\n")
 
+    def flush(self) -> None:
+        """Push buffered records to disk (workers call this after each
+        task so completed work survives an unclean pool shutdown)."""
+        if not self._file.closed:
+            self._file.flush()
+
+    def absorb_shard(
+        self, source: Union[str, Iterable[str]], worker: Optional[str] = None
+    ) -> int:
+        """Splice a worker tracer's records into this stream.
+
+        This is the merge half of the one-tracer-per-worker sharding
+        model: span ids are offset past this tracer's id space (so the
+        merged stream stays collision-free), shard-root spans are
+        re-parented under this tracer's currently open span, and every
+        record is tagged with ``worker`` when given. ``source`` is a
+        shard file path or any iterable of JSONL lines (e.g. an
+        in-memory buffer from a helper thread's tracer). Returns the
+        number of records absorbed.
+
+        Shard timestamps are relative to the *worker's* epoch and are
+        left untouched — within a shard they order correctly, across
+        shards they are not comparable (durations, which the report
+        aggregates, always are).
+        """
+        if isinstance(source, str):
+            with open(source, encoding="utf-8") as fh:
+                return self.absorb_shard(fh, worker=worker)
+        offset = self._next_id
+        top = self._stack[-1] if self._stack else None
+        count = 0
+        max_id = -1
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            span_id = record.get("id")
+            if span_id is not None:
+                record["id"] = span_id + offset
+                if record["id"] > max_id:
+                    max_id = record["id"]
+            if record.get("parent") is None:
+                record["parent"] = top
+            else:
+                record["parent"] = record["parent"] + offset
+            if worker is not None:
+                record.setdefault("attrs", {})["worker"] = worker
+            self._write(record)
+            count += 1
+        if max_id >= self._next_id:
+            self._next_id = max_id + 1
+        return count
+
     def close(self) -> None:
         if not self._file.closed:
             self._file.flush()
@@ -206,13 +271,24 @@ class JsonlTracer:
 
 
 # ---------------------------------------------------------------------
-# The installed tracer
+# The installed tracer.
+#
+# Process-global with an optional per-thread override: tracers are not
+# thread-safe (LIFO span stack), so a helper thread that must not
+# interleave spans into the main thread's stream — e.g. the concurrent
+# loop-strategy thread in dbs — installs its own (usually Null) tracer
+# with :func:`set_thread_tracer`.
 
 _current: Tracer = NULL_TRACER
+_thread_local = threading.local()
 
 
 def get_tracer() -> Tracer:
-    """The currently installed tracer (default: :data:`NULL_TRACER`)."""
+    """The installed tracer: the calling thread's override if one is
+    set, else the process-global tracer (default :data:`NULL_TRACER`)."""
+    override = getattr(_thread_local, "tracer", None)
+    if override is not None:
+        return override
     return _current
 
 
@@ -221,6 +297,12 @@ def set_tracer(tracer: Optional[Tracer]) -> Tracer:
     global _current
     _current = tracer if tracer is not None else NULL_TRACER
     return _current
+
+
+def set_thread_tracer(tracer: Optional[Tracer]) -> None:
+    """Install ``tracer`` for the calling thread only; ``None`` removes
+    the override (the thread sees the process-global tracer again)."""
+    _thread_local.tracer = tracer
 
 
 @contextmanager

@@ -160,6 +160,79 @@ class TestMetrics:
         assert format_label_key((("nt", "e"), ("size", 3))) == "nt=e,size=3"
 
 
+class TestRegistryMerge:
+    """Regression tests for worker-snapshot merge-back (the
+    multiprocessing path: workers ship ``snapshot()`` dicts to the
+    parent, which absorbs them without corrupting local attribution)."""
+
+    def test_counter_merge_and_local_value(self):
+        parent = Registry(detailed=True)
+        parent.counter("eval.run_program").inc(5)
+
+        worker = Registry(detailed=True)
+        worker.counter("eval.run_program").inc(7, nt="e")
+        worker.counter("eval.errors").inc(2)
+
+        parent.merge(worker.snapshot())
+        assert parent.value("eval.run_program") == 12
+        assert parent.local_value("eval.run_program") == 5
+        assert parent.value("eval.errors") == 2
+        assert parent.local_value("eval.errors") == 0
+        snap = parent.counter("eval.run_program").snapshot()
+        assert snap["labels"] == {"nt=e": 7}
+
+    def test_delta_attribution_survives_merge_in_region(self):
+        # The dbs.py pattern: a merge landing between the before/after
+        # reads must not be attributed to the local region.
+        reg = Registry()
+        reg.counter("eval.run_program").inc(10)
+        before = reg.local_value("eval.run_program")
+        reg.counter("eval.run_program").inc(3)  # local work
+        other = Registry()
+        other.counter("eval.run_program").inc(100)
+        reg.merge(other.snapshot())  # worker lands mid-region
+        after = reg.local_value("eval.run_program")
+        assert after - before == 3
+
+    def test_gauge_and_histogram_merge(self):
+        parent = Registry()
+        parent.gauge("pool").set(4.0)
+        parent.histogram("gen").observe(2.0)
+
+        worker = Registry()
+        worker.gauge("pool").set(9.0)
+        for v in (1.0, 5.0):
+            worker.histogram("gen").observe(v, gen=1)
+
+        parent.merge(worker.snapshot())
+        assert parent.gauge("pool").value == 9.0  # last-write-wins
+        h = parent.histogram("gen")
+        assert (h.count, h.total, h.min, h.max) == (3, 8.0, 1.0, 5.0)
+        merged_bucket = h.labeled[(("gen", "1"),)]
+        assert (merged_bucket.count, merged_bucket.total) == (2, 6.0)
+
+    def test_merge_is_json_roundtrip_safe(self):
+        # Snapshots cross the process boundary as plain JSON.
+        worker = Registry(detailed=True)
+        worker.counter("c").inc(3, kind="x")
+        worker.histogram("h").observe(1.5)
+        wire = json.loads(json.dumps(worker.snapshot()))
+        parent = Registry()
+        parent.merge(wire)
+        assert parent.value("c") == 3
+        assert parent.histogram("h").count == 1
+
+    def test_merge_twice_accumulates_counters(self):
+        parent = Registry()
+        worker = Registry()
+        worker.counter("c").inc(4)
+        snap = worker.snapshot()
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.value("c") == 8
+        assert parent.local_value("c") == 0
+
+
 class TestDbsStatsShim:
     def test_fields_read_and_write_registry(self):
         stats = DbsStats(elapsed=1.5, expressions=10, programs_tested=3)

@@ -137,6 +137,26 @@ class TestCanonicalization:
         expr = Call(ADD, (inner, x()), "e")
         assert rewriter.canonicalize_root(expr) == rewriter.canonicalize(expr)
 
+    def test_canonicalize_root_is_memoized(self):
+        dsl = build_dsl([parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])])
+        rewriter = Rewriter(dsl)
+        expr = Call(ADD, (y(), x()), "e")
+        first = rewriter.canonicalize_root(expr)
+        # A structurally identical (hash-consed-equal) offer hits the
+        # memo and returns the very same canonical node.
+        again = rewriter.canonicalize_root(Call(ADD, (y(), x()), "e"))
+        assert again is first
+        assert expr in rewriter._root_cache
+
+    def test_root_cache_does_not_leak_across_rewriters(self):
+        plain = Rewriter(build_dsl([]))
+        swapping = Rewriter(
+            build_dsl([parse_rule("Add(a0, a1) ==> Add(a1, a0)", ["Add"])])
+        )
+        expr = Call(ADD, (y(), x()), "e")
+        assert plain.canonicalize_root(expr) == expr
+        assert swapping.canonicalize_root(expr) == Call(ADD, (x(), y()), "e")
+
 
 class TestOrderKey:
     def test_smaller_first(self):
