@@ -1,0 +1,287 @@
+"""Warm-vs-cold TDS benchmark: the persistent cross-iteration component
+pool (the engine's :class:`~repro.core.engine.session.SynthesisSession`)
+against per-iteration pool rebuilds.
+
+Run directly (writes ``BENCH_tds_warm.json`` at the repo root, which
+docs/performance.md and docs/architecture.md reference)::
+
+    PYTHONPATH=src python benchmarks/bench_tds_warm.py
+
+Three sections:
+
+* ``tds_warm`` — the headline: one TDS loop over a 9-example piecewise
+  arithmetic sequence (three regions, so the mid-sequence iterations
+  must re-synthesize nested conditionals), run cold
+  (``TdsOptions(reuse_pool=False)``: every DBS call rebuilds the pool
+  from scratch, the pre-engine behavior) and warm (the default: one
+  pool follows the whole sequence, widened by each appended example).
+  Per-iteration wall time, success, and the engine's lifetime
+  ``pool.entries_*`` reuse totals are reported; the ``speedup`` field
+  is best-cold over best-warm total wall time.
+* ``trace`` — one extra warm run under a ``JsonlTracer``, reading the
+  ``pool.extend`` spans back out of the trace: demonstrates that the
+  reuse counters (``pool.entries_reused`` etc.) actually reach the
+  observability layer end to end.
+* ``pool_extend`` — the storage layer alone:
+  ``PoolStore.extend_examples`` + re-seed on an already-enumerated
+  store vs building an equivalent store cold on the widened example
+  list. (Entry counts differ by design: extension *forgets* entries
+  mentioning constants the new iteration no longer derives —
+  Algorithm 1's stale-component forgetting — and enumeration
+  re-derives the foldable ones a generation later.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from time import perf_counter
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not os.environ.get("PYTHONPATH") or "repro" not in sys.modules:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+REPS = 2  # TDS runs per mode; best total wins (cancels scheduler noise)
+BUDGET_EXPRESSIONS = 60_000  # per-DBS; binds on the forced-failure steps
+BUDGET_SECONDS = 60.0
+MICRO_GENERATIONS = 2
+
+
+def _arith_dsl():
+    """A conditional arithmetic DSL (the test suite's `arith` shape,
+    plus Mul so the pool grows fast enough for rebuild cost to show)."""
+    from repro.core.dsl import DslBuilder
+    from repro.core.types import BOOL, INT
+
+    b = DslBuilder("arith", start="P")
+    b.nt("P", INT).nt("e", INT).nt("b", BOOL)
+    b.conditional("P", guard_nt="b", branch_nt="e")
+    b.fn("e", "Neg", ["e"], lambda v: -v)
+    b.fn("e", "Add", ["e", "e"], lambda a, c: a + c)
+    b.fn("e", "Mul", ["e", "e"], lambda a, c: a * c)
+    b.fn("b", "Lt", ["e", "e"], lambda a, c: a < c)
+    b.param("e")
+    b.constant("e")
+    b.constants_from(lambda examples: {"e": [0, 1, 2]})
+    return b.build()
+
+
+def _task():
+    """f(x) = -x if x < 0 else x*x if x < 2 else x + 1, ordered so TDS
+    must synthesize a conditional mid-sequence and refine it twice."""
+    from repro.core.dsl import Example, Signature
+    from repro.core.types import INT
+
+    examples = [
+        Example((3,), 4),
+        Example((5,), 6),
+        Example((-4,), 4),
+        Example((-9,), 9),
+        Example((1,), 1),
+        Example((0,), 0),
+        Example((7,), 8),
+        Example((-2,), 2),
+        Example((2,), 3),
+    ]
+    return Signature("f", (("x", INT),), INT), examples
+
+
+def _run_tds(reuse_pool):
+    from repro.core.budget import Budget
+    from repro.core.tds import TdsOptions, TdsSession
+
+    signature, examples = _task()
+    session = TdsSession(
+        signature,
+        _arith_dsl(),
+        budget_factory=lambda: Budget(
+            max_seconds=BUDGET_SECONDS, max_expressions=BUDGET_EXPRESSIONS
+        ),
+        options=TdsOptions(reuse_pool=reuse_pool),
+    )
+    iterations = []
+    start = perf_counter()
+    for example in examples:
+        t0 = perf_counter()
+        step = session.add_example(example)
+        iterations.append(
+            {
+                "action": step.action,
+                "seconds": round(perf_counter() - t0, 4),
+                "expressions": step.expressions,
+            }
+        )
+    result = session.finalize()
+    total = perf_counter() - start
+    reuse_totals = (
+        dict(session._engine.reuse_totals) if session._engine else None
+    )
+    return total, iterations, result.success, reuse_totals
+
+
+def bench_tds_warm():
+    modes = {}
+    for label, reuse in (("cold", False), ("warm", True)):
+        totals = []
+        best = None
+        for _ in range(REPS):
+            total, iterations, success, reuse_totals = _run_tds(reuse)
+            totals.append(round(total, 3))
+            if best is None or total < best[0]:
+                best = (total, iterations, success, reuse_totals)
+        total, iterations, success, reuse_totals = best
+        n = len(iterations)
+        modes[label] = {
+            "best_seconds": round(total, 3),
+            "totals_seconds": totals,
+            "per_iteration_seconds": round(total / n, 4),
+            "success": success,
+            "iterations": iterations,
+        }
+        if reuse_totals is not None:
+            modes[label]["reuse_totals"] = reuse_totals
+        print(
+            f"  {label:4s}: best {total:.2f}s over {n} examples "
+            f"({total / n:.3f}s/iter), success={success}"
+            + (f", reuse={reuse_totals}" if reuse_totals else "")
+        )
+    speedup = round(
+        modes["cold"]["best_seconds"] / modes["warm"]["best_seconds"], 2
+    )
+    print(f"  warm speedup: {speedup}x")
+    signature, examples = _task()
+    return {
+        "task": "piecewise-arith-3-regions",
+        "examples": len(examples),
+        "budget_expressions": BUDGET_EXPRESSIONS,
+        "cold": modes["cold"],
+        "warm": modes["warm"],
+        "speedup": speedup,
+    }
+
+
+def bench_traced_warm():
+    """One warm run under a tracer; read the pool.extend spans back."""
+    from repro.obs import JsonlTracer, tracing
+    from repro.obs.report import load_events
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        tracer = JsonlTracer(path)
+        with tracing(tracer):
+            _, _, success, _ = _run_tds(True)
+        tracer.flush()
+        extends = [
+            event
+            for event in load_events(path)
+            if event.get("kind") == "span"
+            and event.get("name") == "pool.extend"
+        ]
+    finally:
+        os.remove(path)
+    reused = sum(
+        int((event.get("attrs") or {}).get("reused", 0)) for event in extends
+    )
+    print(
+        f"  traced warm run: {len(extends)} pool.extend spans, "
+        f"{reused} entries reused, success={success}"
+    )
+    return {
+        "pool_extend_spans": len(extends),
+        "entries_reused": reused,
+        "success": success,
+    }
+
+
+def _build_pool(dsl, signature, examples):
+    from repro.core.budget import Budget
+    from repro.core.dbs import DbsStats
+    from repro.core.engine import Enumerator, PoolStore
+
+    stats = DbsStats()
+    budget = Budget(max_seconds=300.0, max_expressions=10**9)
+    pool = PoolStore(
+        dsl,
+        signature,
+        list(examples),
+        budget=budget,
+        metrics=stats.registry,
+    )
+    enumerator = Enumerator(pool)
+    enumerator.seed([])
+    for _ in range(MICRO_GENERATIONS):
+        enumerator.advance()
+    return pool, enumerator, stats
+
+
+def bench_pool_extend():
+    from repro.core.budget import Budget
+
+    signature, examples = _task()
+    examples = examples[:6]
+    dsl = _arith_dsl()
+
+    start = perf_counter()
+    cold_pool, _, _ = _build_pool(dsl, signature, examples)
+    cold_seconds = perf_counter() - start
+
+    pool, enumerator, stats = _build_pool(dsl, signature, examples[:-1])
+    start = perf_counter()
+    pool.bind(
+        stats.registry,
+        Budget(max_seconds=300.0, max_expressions=10**9),
+    )
+    report = pool.extend_examples(examples[-1:], seeds=())
+    enumerator.seed([])
+    extend_seconds = perf_counter() - start
+
+    speedup = round(cold_seconds / extend_seconds, 1)
+    print(
+        f"  cold build ({len(examples)} examples, "
+        f"{MICRO_GENERATIONS} generations): {cold_seconds * 1000:.1f}ms, "
+        f"{cold_pool.total()} entries"
+    )
+    print(
+        f"  extend by 1 example: {extend_seconds * 1000:.1f}ms, "
+        f"{pool.total()} entries, {speedup}x  ({report})"
+    )
+    return {
+        "examples": len(examples),
+        "generations": MICRO_GENERATIONS,
+        "cold_build_ms": round(cold_seconds * 1000, 2),
+        "cold_entries": cold_pool.total(),
+        "extend_ms": round(extend_seconds * 1000, 2),
+        "extend_entries": pool.total(),
+        "extend_report": report,
+        "speedup": speedup,
+    }
+
+
+def main():
+    print("tds warm vs cold (persistent pool across the example sequence):")
+    tds_warm = bench_tds_warm()
+    print("warm run under a tracer (pool.extend spans):")
+    trace = bench_traced_warm()
+    print("pool extend_examples microbenchmark:")
+    pool_extend = bench_pool_extend()
+    payload = {
+        "tds_warm": tds_warm,
+        "trace": trace,
+        "pool_extend": pool_extend,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+    }
+    out = os.path.join(_ROOT, "BENCH_tds_warm.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

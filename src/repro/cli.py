@@ -60,15 +60,16 @@ def cmd_synthesize(args) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     program = parse_lasy(source)
-    options = None
-    if args.jobs > 1:
+    from .core.dbs import DbsOptions
+    from .core.tds import TdsOptions
+
+    options = TdsOptions(
         # One synthesis can't fan out over benchmarks; what it can do is
         # run loop strategies on a thread beside enumeration (§5.3's
         # "concurrently with the DBS algorithm").
-        from .core.dbs import DbsOptions
-        from .core.tds import TdsOptions
-
-        options = TdsOptions(dbs=DbsOptions(concurrent_loops=True))
+        dbs=DbsOptions(concurrent_loops=args.jobs > 1),
+        reuse_pool=not args.no_pool_reuse,
+    )
     with _maybe_tracing(args):
         result = run_lasy(
             program, budget_factory=_budget_factory(args), options=options
@@ -190,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream span/metric events to a JSONL trace file "
         "(read back with the report-trace subcommand)",
+    )
+    parser.add_argument(
+        "--no-pool-reuse",
+        action="store_true",
+        help="rebuild the component pool from scratch on every TDS "
+        "iteration instead of extending the previous iteration's pool "
+        "(the pre-engine behavior; mainly for A/B timing)",
     )
     parser.add_argument(
         "--jobs",

@@ -5,6 +5,13 @@ from .components import ComponentPool, PoolOptions
 from .contexts import Context, contexts_of, subexpressions_of, trivial_context
 from .dbs import DbsOptions, DbsResult, DbsStats, dbs
 from .dsl_parser import DslParseError, parse_dsl
+from .engine import (
+    Enumerator,
+    PoolStore,
+    StrategyRegistry,
+    SynthesisSession,
+    default_registry,
+)
 from .dsl import (
     ConditionalRule,
     Dsl,
@@ -66,11 +73,13 @@ __all__ = [
     "ComponentPool", "ConditionalRule", "Const", "Context", "DbsOptions",
     "DbsResult", "DbsStats", "Dsl", "DslBuilder", "DslError", "DslParseError", "parse_dsl", "Env",
     "EvaluationError", "Example", "Expr", "Foreach", "ForLoop", "Function",
-    "Hole", "INT", "If", "Lambda", "LambdaSpec", "LasyCall",
+    "Enumerator", "Hole", "INT", "If", "Lambda", "LambdaSpec", "LasyCall",
     "LookupFunction", "LoopRule", "NtRef", "PCall", "PConst", "PVar",
-    "Param", "PoolOptions", "Production", "Recurse", "RewriteRule",
-    "Rewriter", "STRING", "Signature", "SynthesizedFunction", "TABLE",
+    "Param", "PoolOptions", "PoolStore", "Production", "Recurse",
+    "RewriteRule", "Rewriter", "STRING", "Signature", "StrategyRegistry",
+    "SynthesisSession", "SynthesizedFunction", "TABLE",
     "TdsOptions", "TdsResult", "TdsSession", "TdsStep",
+    "default_registry",
     "WarmTdsSession", "angelic_prune", "repair", "resynthesize", "Type", "Var", "XML",
     "contexts_of", "count_branches", "dbs", "default_budget", "fun",
     "fun_n", "list_of", "parse_rule", "parse_type", "run_program",

@@ -1,123 +1,55 @@
-"""Component-based expression generation (§5.1).
+"""Component-based expression generation (§5.1) — compatibility facade.
 
-The pool maintains, per grammar nonterminal, the set of semantically
-distinct expressions generated so far. Each ``advance()`` runs one
-iteration of Algorithm 2's "generate new expressions" step: every
-production is instantiated with every valid combination of existing
-expressions *in which at least one argument is from the newest
-generation*, so all smaller expressions are produced before larger ones
-and no combination is rebuilt.
+The implementation moved into the layered engine package:
 
-Two deduplication layers (the paper's "Optimizations"):
+* :mod:`repro.core.engine.pool` — :class:`~repro.core.engine.pool.PoolStore`,
+  the signature-indexed, hash-consed storage layer (dedup, value-vector
+  caching, admission filters, and cross-run ``extend_examples``);
+* :mod:`repro.core.engine.enumerator` —
+  :class:`~repro.core.engine.enumerator.Enumerator`, the grammar-driven
+  generation logic (Algorithm 2's "generate new expressions" step).
 
-* syntactic — expressions are canonicalized by the DSL's rewrite rules
-  and constant folding, and duplicates discarded;
-* semantic — an expression is fingerprinted by the vector of values it
-  takes on the example inputs; only the first expression per fingerprint
-  is kept. Expressions containing recursive self-calls are exempt (their
-  value depends on the whole program). Expressions with free lambda
-  variables — exempted outright by the paper — are fingerprinted under a
-  few sampled variable bindings instead, a heuristic equivalence that
-  keeps the pool tractable on a slow host evaluator (see DESIGN.md).
-
-Performance: every closed, non-recursive pool entry caches its *value
-vector* (its result per example). New expressions are then evaluated in
-O(1) component applications — one call per example on the cached child
-values — rather than by re-interpreting the whole tree. Errors are
-values (:data:`~repro.core.values.ERROR`) and propagate strictly, which
-matches the evaluator's eager semantics.
-
-When ``use_dsl`` is off (the "no DSL" ablation of §6.3, and the
-sketch-like baseline) the grammar is ignored and argument slots accept
-any expression of a compatible *type*, exactly the weaker search the
-paper compares against.
+:class:`ComponentPool` is the historical single-object view over both:
+one constructor that builds a store, attaches an enumerator, and seeds
+the atoms — exactly the old behavior. Existing callers (tests,
+baselines, composition strategies) keep working unchanged; new code
+should use the engine layers directly, which is what DBS itself does via
+:class:`~repro.core.engine.session.SynthesisSession`.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..obs.metrics import Registry
-from ..obs.trace import get_tracer
 from .budget import Budget
-from .dsl import Dsl, Example, LambdaSpec, NtRef, Production, Signature
-from .evaluator import (
-    Env,
-    EvaluationError,
-    Fuel,
-    check_value_size,
-    expression_runner,
+from .dsl import Dsl, Example, Signature
+from .engine.enumerator import Enumerator, _production_label, lambda_nt
+from .engine.pool import (
+    PoolEntry,
+    PoolOptions,
+    PoolStore,
+    _matches_type,
+    _recursion_shape_ok,
+    _value_type,
 )
-from .expr import (
-    Call,
-    Const,
-    Expr,
-    Lambda,
-    LasyCall,
-    Param,
-    Recurse,
-    Var,
-    free_vars,
-    is_recursive,
-)
-from .rewrite import Rewriter
-from .types import Type, types_compatible
-from .values import ERROR, freeze, signature_key
+from .expr import Expr
 
-# Fuel for one component evaluation during signature computation.
-_SIGNATURE_FUEL = 30_000
-
-# Expressions larger than this are never pooled; a safety valve against
-# pathological growth (the paper's programs top out ~20 lines).
-_MAX_EXPR_SIZE = 60
-
-
-def _production_label(prod: Production) -> str:
-    """Stable human-readable production tag for spans and reports."""
-    if prod.kind == "lasy_fn":
-        return f"{prod.nt}<-_LASY_FN"
-    if prod.kind == "recurse":
-        return f"{prod.nt}<-_RECURSE"
-    name = prod.func.name if prod.func is not None else prod.kind
-    return f"{prod.nt}<-{name}"
-
-
-def lambda_nt(spec: LambdaSpec) -> str:
-    """The synthetic nonterminal tag for inline lambda arguments."""
-    vars_part = ",".join(spec.var_names)
-    return f"lambda({vars_part}:{spec.body_nt})"
-
-
-@dataclass
-class PoolEntry:
-    expr: Expr
-    generation: int
-    # Cached result per example for closed, non-recursive expressions;
-    # None when the expression's value depends on context (free lambda
-    # variables, recursion, lambdas).
-    values: Optional[Tuple[Any, ...]] = None
-
-
-@dataclass
-class PoolOptions:
-    """Feature switches, used by the §6.3 ablation experiments."""
-
-    use_dsl: bool = True
-    semantic_dedup: bool = True
-    signature_fuel: int = _SIGNATURE_FUEL
-    max_expr_size: int = _MAX_EXPR_SIZE
-    # Expressions with free lambda variables evade both the value-vector
-    # fast path and the admission filters, so their corner of the pool is
-    # additionally bounded: a size cap and a per-nonterminal count cap
-    # (generation order means the small, useful bodies arrive first).
-    max_var_expr_size: int = 16
-    max_var_exprs_per_nt: int = 1200
+__all__ = [
+    "ComponentPool",
+    "PoolEntry",
+    "PoolOptions",
+    "lambda_nt",
+]
 
 
 class ComponentPool:
-    """The evolving set of candidate expressions for one DBS run."""
+    """The evolving set of candidate expressions for one DBS run.
+
+    A thin facade binding a :class:`PoolStore` and an
+    :class:`Enumerator` together under the pre-engine interface; all
+    storage attributes and queries delegate to the store.
+    """
 
     def __init__(
         self,
@@ -131,818 +63,50 @@ class ComponentPool:
         budget: Optional[Budget] = None,
         metrics: Optional[Registry] = None,
     ):
-        self.dsl = dsl
-        self.signature = signature
-        self.examples = list(examples)
-        self.options = options or PoolOptions()
-        self.budget = budget or Budget()
-        self.lasy_fns = dict(lasy_fns or {})
-        self.lasy_signatures = dict(lasy_signatures or {})
-        self.rewriter = Rewriter(dsl)
-        self.generation = 0
-        self.exhausted = False
+        # The old pool copied lasy_fns; keep that (the live-mapping
+        # behavior belongs to SynthesisSession, which owns refresh).
+        store = PoolStore(
+            dsl,
+            signature,
+            examples,
+            lasy_fns=dict(lasy_fns or {}),
+            lasy_signatures=lasy_signatures,
+            options=options,
+            budget=budget,
+            metrics=metrics,
+        )
+        self.__dict__["store"] = store
+        self.__dict__["enumerator"] = Enumerator(store)
+        self.enumerator.seed(seeds)
 
-        # Pool metrics (see docs/observability.md). Scalar totals are
-        # always live (plain attribute bumps); labeled per-nonterminal /
-        # per-size breakdowns only when the registry runs detailed.
-        self.metrics = metrics if metrics is not None else Registry()
-        self._detailed = self.metrics.detailed
-        self._c_offered = self.metrics.counter("dbs.pool.offered")
-        self._c_added = self.metrics.counter("dbs.pool.added")
-        self._c_syntactic = self.metrics.counter("dbs.pool.dedup.syntactic")
-        self._c_semantic = self.metrics.counter("dbs.pool.dedup.semantic")
-        self._c_rejected = self.metrics.counter("dbs.pool.rejected")
-        self._c_rewrites = self.metrics.counter("dbs.rewrite.canonicalized")
-        self._c_vector_evals = self.metrics.counter("dbs.eval.vector_evals")
-        self._c_applies = self.metrics.counter("dbs.eval.component_applies")
+    # Everything not defined here lives on the store — including the
+    # public queries (expressions, total, all_expressions, iter_entries,
+    # compatible_with_hole, offer, offer_external, ...) and the private
+    # state some tests poke at (_entries, _seen_syntactic, ...).
+    def __getattr__(self, name: str):
+        store = self.__dict__.get("store")
+        if store is None:  # mid-unpickle; nothing to delegate to yet
+            raise AttributeError(name)
+        return getattr(store, name)
 
-        self._entries: Dict[str, List[PoolEntry]] = {}
-        self._by_type: Dict[Type, List[PoolEntry]] = {}
-        self._seen_syntactic: set = set()
-        self._seen_semantic: Dict[str, set] = {}
-        self._var_counts: Dict[str, int] = {}
-        self._constants = dict(dsl.constants_for(self.examples))
-        self._lambda_specs = self._collect_lambda_specs()
-
-        self._seed_atoms(seeds)
-
-    # -- queries ---------------------------------------------------------
-
-    def expressions(self, nt: str) -> List[Expr]:
-        """All pooled expressions usable where ``nt`` is expected,
-        following unit productions and single-branch conditionals."""
-        if nt in self.dsl.nonterminals:
-            names = self.dsl.expansion(nt)
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("store", "enumerator"):
+            self.__dict__[name] = value
         else:
-            names = (nt,)
-        out: List[Expr] = []
-        for name in names:
-            out.extend(entry.expr for entry in self._entries.get(name, []))
-        return out
+            setattr(self.__dict__["store"], name, value)
 
-    def expressions_of_type(self, ty: Type) -> List[Expr]:
-        out: List[Expr] = []
-        for pool_ty, entries in self._by_type.items():
-            if types_compatible(ty, pool_ty):
-                out.extend(entry.expr for entry in entries)
-        return out
+    # -- generation (the enumerator's half of the old interface) --------
 
-    def compatible_with_hole(self, hole_nt: str, hole_type: Type) -> List[Expr]:
-        """Expressions that may fill a context hole.
+    def advance(self):
+        """Generate the next expression generation (Algorithm 2 §5.1);
+        returns the newly admitted expressions."""
+        return self.enumerator.advance()
 
-        With the DSL on, the hole's nonterminal must match (§5.1: the
-        grammar, not just types, decides what to build); with the DSL off,
-        any type-compatible expression qualifies.
-        """
-        if self.options.use_dsl:
-            return self.expressions(hole_nt)
-        return self.expressions_of_type(hole_type)
+    def advance_batches(self):
+        """Like :meth:`advance`, yielding per-production batches of newly
+        admitted expressions as they are produced."""
+        return self.enumerator.advance_batches()
 
-    def total(self) -> int:
-        return sum(len(v) for v in self._entries.values())
-
-    def all_expressions(self) -> List[Expr]:
-        """Every pooled expression, across all nonterminals."""
-        out: List[Expr] = []
-        for entries in self._entries.values():
-            out.extend(entry.expr for entry in entries)
-        return out
-
-    # -- construction ------------------------------------------------------
-
-    def _collect_lambda_specs(self) -> List[LambdaSpec]:
-        specs: List[LambdaSpec] = []
-        for prod in self.dsl.productions:
-            for arg in prod.args:
-                if isinstance(arg, LambdaSpec) and arg not in specs:
-                    specs.append(arg)
-        return specs
-
-    def _seed_atoms(self, seeds: Iterable[Expr]) -> None:
-        if self.options.use_dsl:
-            for prod in self.dsl.productions:
-                if prod.kind == "param":
-                    self._add_params(prod.nt)
-                elif prod.kind == "constant":
-                    self._add_constants(prod.nt)
-                elif prod.kind == "var":
-                    self._add_var(prod.nt, prod.var_name or "")
-                elif prod.kind == "call" and prod.func and not prod.args:
-                    self._offer(Call(prod.func, (), prod.nt))
-        else:
-            self._seed_atoms_untyped()
-        for seed in seeds:
-            self._offer(seed)
-
-    def _seed_atoms_untyped(self) -> None:
-        """Type-only atoms for the no-DSL mode: every param, every
-        constant, every lambda variable, tagged with pseudo-nonterminals."""
-        for name, ty in self.signature.params:
-            self._offer(Param(name, ty, self._type_nt(ty)))
-        for values in self._constants.values():
-            for value in values:
-                ty = _value_type(value, self.dsl)
-                self._offer(Const(value, ty, self._type_nt(ty)))
-        for vname, vty in self.dsl.lambda_vars.items():
-            self._offer(Var(vname, vty, self._type_nt(vty)))
-        for prod in self.dsl.productions:
-            if prod.kind == "call" and prod.func and not prod.args:
-                func = prod.func
-                self._offer(Call(func, (), self._type_nt(func.return_type)))
-
-    @staticmethod
-    def _type_nt(ty: Type) -> str:
-        return f"τ:{ty}"
-
-    def _add_params(self, nt: str) -> None:
-        nt_type = self.dsl.type_of(nt)
-        for name, ty in self.signature.params:
-            if types_compatible(nt_type, ty):
-                self._offer(Param(name, ty, nt))
-
-    def _add_constants(self, nt: str) -> None:
-        nt_type = self.dsl.type_of(nt)
-        for value in self._constants.get(nt, ()):
-            self._offer(Const(value, nt_type, nt))
-
-    def _add_var(self, nt: str, var_name: str) -> None:
-        vty = self.dsl.lambda_vars.get(var_name)
-        if vty is None:
-            return
-        self._offer(Var(var_name, vty, nt))
-
-    # -- generation --------------------------------------------------------
-
-    def advance(self) -> List[Expr]:
-        """Run one generation of expression composition; returns the new
-        (deduplicated) expressions added this generation.
-
-        On budget exhaustion the partial generation is returned (and
-        ``exhausted`` set) so DBS can still test what was built before
-        reporting TIMEOUT."""
-        added: List[Expr] = []
-        for batch in self.advance_batches():
-            added.extend(batch)
-        return added
-
-    def advance_batches(self) -> Iterable[List[Expr]]:
-        """Like :func:`advance` but yields per-production batches, so the
-        caller can test candidates as soon as their production finishes
-        rather than after the whole (possibly enormous) generation."""
-        from .budget import BudgetExhausted
-
-        self.generation += 1
-        if self.budget.exhausted():
-            self.exhausted = True
-            return
-        self.exhausted = False
-        tracer = get_tracer()
-        try:
-            if self.options.use_dsl:
-                # Cheapest productions first: a huge production must not
-                # starve the small ones (and the solution is more often
-                # within reach of a small production's fresh combos).
-                ordered = sorted(
-                    (
-                        prod
-                        for prod in self.dsl.productions
-                        if (
-                            prod.kind == "lasy_fn"
-                            or (prod.kind in ("call", "recurse") and prod.args)
-                        )
-                    ),
-                    key=self._production_cost,
-                )
-                for prod in ordered:
-                    if tracer.enabled:
-                        batch = self._expand_traced(prod, tracer)
-                    else:
-                        batch = self._expand(prod)
-                    if batch:
-                        yield batch
-            else:
-                batch = self._expand_untyped()
-                if batch:
-                    yield batch
-        except BudgetExhausted:
-            self.exhausted = True
-
-    def _expand(self, prod: Production) -> List[Expr]:
-        if prod.kind == "lasy_fn":
-            return self._expand_lasy(prod)
-        return self._expand_production(prod)
-
-    def _expand_traced(self, prod: Production, tracer) -> List[Expr]:
-        """One production under a ``dbs.enumerate`` span. The ``offered``
-        count is attached even when the budget dies mid-expansion, so the
-        report's expression attribution stays complete."""
-        with tracer.span(
-            "dbs.enumerate",
-            generation=self.generation,
-            production=_production_label(prod),
-        ) as span:
-            before = self.budget.expressions
-            batch: List[Expr] = []
-            try:
-                batch = self._expand(prod)
-            finally:
-                span.set(
-                    offered=self.budget.expressions - before,
-                    added=len(batch),
-                )
-            return batch
-
-    def _production_cost(self, prod: Production) -> int:
-        """Estimated combination count for this production this
-        generation (product of slot pool sizes)."""
-        cost = 1
-        for arg in prod.args:
-            if isinstance(arg, NtRef):
-                size = sum(
-                    len(self._entries.get(name, ()))
-                    for name in self.dsl.expansion(arg.nt)
-                )
-            elif isinstance(arg, LambdaSpec):
-                size = len(self._entries.get(arg.body_nt, ()))
-            else:
-                size = 1
-            cost *= max(size, 1)
-            if cost > 10**12:
-                break
-        return cost
-
-    def _expand_production(self, prod: Production) -> List[Expr]:
-        slot_candidates = [self._arg_candidates(arg) for arg in prod.args]
-        if any(not c for c in slot_candidates):
-            return []
-        added: List[Expr] = []
-        fast_path = (
-            prod.kind == "call"
-            and prod.func is not None
-            and not prod.func.lazy
-            and not any(isinstance(a, LambdaSpec) for a in prod.args)
-        )
-        for combo in self._fresh_combinations(slot_candidates):
-            if prod.kind == "call":
-                assert prod.func is not None
-                expr: Optional[Expr] = Call(
-                    prod.func, tuple(e.expr for e in combo), prod.nt
-                )
-                values = (
-                    self._apply_values(prod.func, combo) if fast_path else None
-                )
-            else:  # recurse
-                expr = self._build_recurse(prod, combo)
-                values = None
-            if expr is None:
-                continue
-            result = self._offer(expr, values)
-            if result is not None:
-                added.append(result)
-        return added
-
-    def _apply_values(
-        self, func, combo: Sequence[PoolEntry]
-    ) -> Optional[Tuple[Any, ...]]:
-        """Value vector of ``func`` applied to cached child vectors, or
-        None when some child has no cached vector."""
-        child_vectors = []
-        for entry in combo:
-            if entry.values is None:
-                return None
-            child_vectors.append(entry.values)
-        out: List[Any] = []
-        self._c_applies.value += len(self.examples)
-        for i in range(len(self.examples)):
-            args = [vec[i] for vec in child_vectors]
-            if any(a is ERROR for a in args):
-                out.append(ERROR)
-                continue
-            try:
-                out.append(check_value_size(freeze(func.fn(*args))))
-            except Exception:
-                out.append(ERROR)
-        return tuple(out)
-
-    def _build_recurse(
-        self, prod: Production, combo: Sequence[PoolEntry]
-    ) -> Optional[Expr]:
-        expected = self.signature.param_types
-        arg_types = tuple(
-            self.dsl.type_of(a.nt) for a in prod.args if isinstance(a, NtRef)
-        )
-        if len(arg_types) != len(expected) or not all(
-            types_compatible(e, a) for e, a in zip(expected, arg_types)
-        ):
-            return None
-        return Recurse(tuple(e.expr for e in combo), prod.nt)
-
-    def _expand_untyped(self) -> List[Expr]:
-        added: List[Expr] = []
-        for func in self.dsl.functions():
-            slots: List[List[PoolEntry]] = []
-            feasible = True
-            has_lambda = False
-            for pty in func.param_types:
-                if pty.is_function:
-                    has_lambda = True
-                    candidates = self._lambda_candidates(pty)
-                else:
-                    candidates = [
-                        entry
-                        for t, entries in self._by_type.items()
-                        if types_compatible(pty, t)
-                        for entry in entries
-                    ]
-                if not candidates:
-                    feasible = False
-                    break
-                slots.append(candidates)
-            if not feasible:
-                continue
-            fast_path = not func.lazy and not has_lambda
-            for combo in self._fresh_combinations(slots):
-                nt = self._type_nt(func.return_type)
-                expr = Call(func, tuple(e.expr for e in combo), nt)
-                values = self._apply_values(func, combo) if fast_path else None
-                result = self._offer(expr, values)
-                if result is not None:
-                    added.append(result)
-        return added
-
-    def _lambda_candidates(self, fun_type: Type) -> List[PoolEntry]:
-        """In no-DSL mode, wrap pooled bodies in lambdas matching a
-        function-typed parameter, using the grammar's lambda variables."""
-        out: List[PoolEntry] = []
-        for spec in self._lambda_specs:
-            body_ty = self.dsl.type_of(spec.body_nt)
-            from .types import fun_n
-
-            if fun_n(spec.var_types, body_ty) != fun_type:
-                continue
-            params = tuple(
-                Var(n, t, self._type_nt(t))
-                for n, t in zip(spec.var_names, spec.var_types)
-            )
-            for entry in self._by_type.get(body_ty, []):
-                lam = Lambda(params, entry.expr, lambda_nt(spec))
-                out.append(PoolEntry(lam, entry.generation))
-        return out
-
-    def _arg_candidates(self, arg: Any) -> List[PoolEntry]:
-        if isinstance(arg, NtRef):
-            out: List[PoolEntry] = []
-            for name in self.dsl.expansion(arg.nt):
-                out.extend(self._entries.get(name, []))
-            return out
-        if isinstance(arg, LambdaSpec):
-            params = tuple(
-                Var(n, t, self._type_nt(t))
-                for n, t in zip(arg.var_names, arg.var_types)
-            )
-            nt = lambda_nt(arg)
-            names = set(arg.var_names)
-            out = []
-            for body_nt in self.dsl.expansion(arg.body_nt):
-                for entry in self._entries.get(body_nt, []):
-                    if arg.require_var_use and not (
-                        free_vars(entry.expr) & names
-                    ):
-                        continue
-                    out.append(
-                        PoolEntry(
-                            Lambda(params, entry.expr, nt), entry.generation
-                        )
-                    )
-            return out
-        raise TypeError(f"unknown arg spec {arg!r}")
-
-    def _fresh_combinations(
-        self, slots: List[List[PoolEntry]]
-    ) -> Iterable[Tuple[PoolEntry, ...]]:
-        """All slot combinations containing at least one expression from
-        the newest complete generation (``self.generation - 1``), without
-        duplicates: slot ``j`` carries the newest element, earlier slots
-        are strictly older, later slots are anything."""
-        newest = self.generation - 1
-        for j in range(len(slots)):
-            older = [
-                [e for e in slot if e.generation < newest]
-                for slot in slots[:j]
-            ]
-            fresh = [e for e in slots[j] if e.generation == newest]
-            anything = [
-                [e for e in slot if e.generation <= newest]
-                for slot in slots[j + 1:]
-            ]
-            if not fresh or any(not s for s in older) or any(
-                not s for s in anything
-            ):
-                continue
-            yield from itertools.product(*older, fresh, *anything)
-
-    def _expand_lasy(self, prod: Production) -> List[Expr]:
-        nt_type = self.dsl.type_of(prod.nt)
-        arg_nts = [a.nt for a in prod.args if isinstance(a, NtRef)]
-        added: List[Expr] = []
-        for name, sig in self.lasy_signatures.items():
-            if name == self.signature.name:
-                continue  # self-calls are _RECURSE, not _LASY_FN
-            if not types_compatible(nt_type, sig.return_type):
-                continue
-            if len(sig.params) != len(arg_nts):
-                continue
-            if not all(
-                types_compatible(pty, self.dsl.type_of(a_nt))
-                for (_, pty), a_nt in zip(sig.params, arg_nts)
-            ):
-                continue
-            fn = self.lasy_fns.get(name)
-            slots = [self._arg_candidates(NtRef(a_nt)) for a_nt in arg_nts]
-            if any(not s for s in slots):
-                continue
-            for combo in self._fresh_combinations(slots):
-                expr = LasyCall(name, tuple(e.expr for e in combo), prod.nt)
-                values = None
-                if fn is not None and all(
-                    e.values is not None for e in combo
-                ):
-                    values = self._apply_lasy_values(fn, combo)
-                result = self._offer(expr, values)
-                if result is not None:
-                    added.append(result)
-        return added
-
-    def _apply_lasy_values(
-        self, fn, combo: Sequence[PoolEntry]
-    ) -> Tuple[Any, ...]:
-        out: List[Any] = []
-        self._c_applies.value += len(self.examples)
-        for i in range(len(self.examples)):
-            args = [e.values[i] for e in combo]  # type: ignore[index]
-            if any(a is ERROR for a in args):
-                out.append(ERROR)
-                continue
-            try:
-                out.append(check_value_size(freeze(fn(*args))))
-            except Exception:
-                out.append(ERROR)
-        return tuple(out)
-
-    def offer_external(self, expr: Expr) -> Optional[Expr]:
-        """Admit an externally-built expression (composition-strategy
-        candidates) so later generations can compose over it."""
-        try:
-            return self._offer(expr)
-        except Exception:
-            return None
-
-    # -- dedup / admission ---------------------------------------------------
-
-    def _offer(
-        self, expr: Expr, values: Optional[Tuple[Any, ...]] = None
-    ) -> Optional[Expr]:
-        """Canonicalize, deduplicate, and admit an expression. Returns the
-        admitted (canonical) expression, or None if it was a duplicate."""
-        self.budget.charge_expression()
-        self._c_offered.value += 1
-        if expr.size > self.options.max_expr_size:
-            self._c_rejected.value += 1
-            if self._detailed:
-                self._c_rejected.label(reason="size", nt=expr.nt)
-            return None
-        if not _recursion_shape_ok(expr):
-            self._c_rejected.value += 1
-            if self._detailed:
-                self._c_rejected.label(reason="recursion_shape", nt=expr.nt)
-            return None
-        expr_vars = free_vars(expr)
-        if expr_vars:
-            if expr.size > self.options.max_var_expr_size:
-                self._c_rejected.value += 1
-                if self._detailed:
-                    self._c_rejected.label(reason="var_size", nt=expr.nt)
-                return None
-            if (
-                self._var_counts.get(expr.nt, 0)
-                >= self.options.max_var_exprs_per_nt
-            ):
-                self._c_rejected.value += 1
-                if self._detailed:
-                    self._c_rejected.label(reason="var_cap", nt=expr.nt)
-                return None
-        # Children come from the pool and are already canonical, so only
-        # the root needs rewriting; rewrites are semantics-preserving, so
-        # any computed value vector remains valid.
-        canonical = self.rewriter.canonicalize_root(expr)
-        if canonical is not expr:
-            self._c_rewrites.value += 1
-            if self._detailed:
-                self._c_rewrites.label(nt=expr.nt)
-            expr = canonical
-        key = (expr.nt, expr)
-        if key in self._seen_syntactic:
-            self._c_syntactic.value += 1
-            if self._detailed:
-                self._c_syntactic.label(nt=expr.nt)
-            return None
-        self._seen_syntactic.add(key)
-        if values is None and self._closed_evaluable(expr):
-            values = self._evaluate_vector(expr)
-        if values is not None:
-            predicate = self.dsl.admission_filters.get(expr.nt)
-            if predicate is not None and not predicate(values, self.examples):
-                self._c_rejected.value += 1
-                if self._detailed:
-                    self._c_rejected.label(reason="filter", nt=expr.nt)
-                return None
-        if self.options.semantic_dedup:
-            sig = self._semantic_signature(expr, values)
-            if sig is not None:
-                seen = self._seen_semantic.setdefault(expr.nt, set())
-                if sig in seen:
-                    self._c_semantic.value += 1
-                    if self._detailed:
-                        self._c_semantic.label(nt=expr.nt)
-                    return None
-                seen.add(sig)
-        entry = PoolEntry(expr, self.generation, values)
-        if expr_vars:
-            self._var_counts[expr.nt] = self._var_counts.get(expr.nt, 0) + 1
-        self._c_added.value += 1
-        if self._detailed:
-            self._c_added.label(nt=expr.nt, size=expr.size)
-        self._entries.setdefault(expr.nt, []).append(entry)
-        if not isinstance(expr, Lambda):
-            ty = self._expr_type(expr)
-            if ty is not None:
-                self._by_type.setdefault(ty, []).append(entry)
-        return expr
-
-    def _closed_evaluable(self, expr: Expr) -> bool:
-        return (
-            bool(self.examples)
-            and not isinstance(expr, Lambda)
-            and not is_recursive(expr)
-            and not free_vars(expr)
-        )
-
-    def _evaluate_vector(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
-        """Full-evaluation fallback for seeds and lambda-bearing calls.
-
-        The expression is compiled once and the closure run per example
-        (see repro.core.compile); on the interpreter mode this degrades
-        to plain ``evaluate`` calls."""
-        names = self.signature.param_names
-        out: List[Any] = []
-        self._c_vector_evals.value += len(self.examples)
-        runner = expression_runner(expr)
-        for example in self.examples:
-            env = Env(
-                params=dict(zip(names, example.args)),
-                lasy_fns=self.lasy_fns,
-                fuel=Fuel(self.options.signature_fuel),
-            )
-            try:
-                value = runner(env)
-            except EvaluationError:
-                value = ERROR
-            if callable(value):
-                return None
-            out.append(value)
-        return tuple(out)
-
-    def _expr_type(self, expr: Expr) -> Optional[Type]:
-        if isinstance(expr, (Param, Const, Var)):
-            return expr.type
-        if isinstance(expr, Call):
-            return expr.func.return_type
-        if isinstance(expr, Recurse):
-            return self.signature.return_type
-        if isinstance(expr, LasyCall):
-            sig = self.lasy_signatures.get(expr.func_name)
-            return sig.return_type if sig else None
-        if expr.nt in self.dsl.nonterminals:
-            return self.dsl.type_of(expr.nt)
-        return None
-
-    # -- semantic fingerprints -------------------------------------------
-
-    # Sample bindings used to fingerprint expressions with free lambda
-    # variables (see module docstring).
-    _VAR_SAMPLES = {
-        "int": (0, 1, 2),
-        "str": ("", "b a", "xy"),
-        "bool": (False, True),
-        "char": ("a", " "),
-    }
-
-    def _var_sample_values(self, ty: Type) -> Tuple[Any, ...]:
-        """Sample bindings for a lambda variable: canned primitives plus
-        values of the right shape harvested from the examples (e.g. the
-        child elements of an XML input for a node-typed loop variable).
-        Returns () when no credible sample exists — the caller must then
-        skip semantic dedup rather than collapse everything."""
-        harvested = self._harvest_samples(ty)
-        canned = self._VAR_SAMPLES.get(ty.name, ())
-        if ty.is_list and not harvested:
-            return ((),)
-        out = list(harvested) + [s for s in canned if s not in harvested]
-        return tuple(out[:3])
-
-    def _harvest_samples(self, ty: Type) -> List[Any]:
-        cache = getattr(self, "_sample_cache", None)
-        if cache is None:
-            cache = {}
-            self._sample_cache = cache
-        if ty in cache:
-            return cache[ty]
-        found: List[Any] = []
-
-        def consider(value: Any, depth: int) -> None:
-            if len(found) >= 3:
-                return
-            if _matches_type(value, ty) and value not in found:
-                found.append(value)
-            if depth <= 0:
-                return
-            if isinstance(value, tuple):
-                for item in value[:4]:
-                    consider(item, depth - 1)
-            elif hasattr(value, "elements"):
-                for item in value.elements()[:4]:
-                    consider(item, depth - 1)
-
-        for example in self.examples:
-            for value in list(example.args) + [example.output]:
-                consider(value, 2)
-        cache[ty] = found
-        return found
-
-    def _sample_bindings(self, names_types) -> List[Dict[str, Any]]:
-        combos: List[Dict[str, Any]] = [{}]
-        for name, ty in names_types:
-            samples = self._var_sample_values(ty)
-            combos = [
-                {**combo, name: sample}
-                for combo in combos
-                for sample in samples
-            ]
-            if len(combos) > 27:
-                combos = combos[:27]
-        return combos
-
-    def _free_var_types(self, expr: Expr) -> Optional[List[Tuple[str, Type]]]:
-        names = sorted(free_vars(expr))
-        out: List[Tuple[str, Type]] = []
-        for name in names:
-            ty = self.dsl.lambda_vars.get(name)
-            if ty is None:
-                return None
-            out.append((name, ty))
-        return out
-
-    def _semantic_signature(
-        self, expr: Expr, values: Optional[Tuple[Any, ...]]
-    ) -> Optional[Tuple]:
-        """The fingerprint driving semantic dedup, or None when exempt."""
-        if is_recursive(expr):
-            return None
-        if not self.examples:
-            return None
-        adapter = self.dsl.signature_adapters.get(expr.nt)
-        if values is not None:
-            out = []
-            for value, example in zip(values, self.examples):
-                if adapter is not None and value is not ERROR:
-                    try:
-                        value = adapter(value, example)
-                    except Exception:
-                        value = ERROR
-                out.append(value)
-            try:
-                return signature_key(out)
-            except TypeError:
-                return None
-        return self._sampled_signature(expr, adapter)
-
-    def _sampled_signature(self, expr: Expr, adapter) -> Optional[Tuple]:
-        """Fingerprint for expressions with free lambda variables (or
-        lambdas): evaluate under sampled bindings."""
-        target = expr
-        binder_vars: List[Tuple[str, Type]] = []
-        if isinstance(expr, Lambda):
-            target = expr.body
-            binder_vars = [(p.name, p.type) for p in expr.params]
-            if adapter is None:
-                adapter = self.dsl.signature_adapters.get(target.nt)
-        var_types = self._free_var_types(target)
-        if var_types is None:
-            return None
-        if any(not self._var_sample_values(ty) for _, ty in var_types):
-            return None  # no credible samples: skip dedup, keep the expr
-        bindings = self._sample_bindings(var_types)
-        values = []
-        names = self.signature.param_names
-        runner = expression_runner(target)
-        for example in self.examples:
-            for binding in bindings:
-                env = Env(
-                    params=dict(zip(names, example.args)),
-                    vars=dict(binding),
-                    lasy_fns=self.lasy_fns,
-                    fuel=Fuel(self.options.signature_fuel),
-                )
-                try:
-                    value = runner(env)
-                    if adapter is not None:
-                        value = adapter(value, example)
-                except EvaluationError:
-                    value = ERROR
-                except Exception:
-                    value = ERROR
-                if callable(value):
-                    return None
-                values.append(value)
-        if binder_vars:
-            values.append(("λ", tuple(str(t) for _, t in binder_vars)))
-        # Two expressions over *different* variables are never the same
-        # component even when the sampled bindings coincide (a two-lambda
-        # production needs bodies for each of its variables).
-        values.append(("vars", tuple(name for name, _ in var_types)))
-        try:
-            return signature_key(values)
-        except TypeError:
-            return None
-
-
-def _value_type(value: Any, dsl: Dsl) -> Type:
-    """Best-effort runtime type of a constant (for the no-DSL mode)."""
-    from .types import BOOL, INT, STRING, Type as _Type, list_of
-
-    if isinstance(value, bool):
-        return BOOL
-    if isinstance(value, int):
-        return INT
-    if isinstance(value, str):
-        return STRING
-    if isinstance(value, tuple):
-        if value and isinstance(value[0], str):
-            return list_of(STRING)
-        if value and isinstance(value[0], int):
-            return list_of(INT)
-        return list_of(_Type("any"))
-    type_name = type(value).__name__.lower()
-    for ty in dsl.nonterminals.values():
-        if ty.name == type_name:
-            return ty
-    return _Type("any")
-
-
-def _recursion_shape_ok(expr: Expr) -> bool:
-    """Structural sanity for recursive expressions: at most two self-calls,
-    no nested self-calls, and every self-call must mention a parameter or
-    variable (a constant-argument self-call either diverges or is a
-    constant). These exemptions keep the un-deduplicated recursive corner
-    of the pool from exploding."""
-    recurse_nodes = [n for n in expr.walk() if isinstance(n, Recurse)]
-    if not recurse_nodes:
-        return True
-    if len(recurse_nodes) > 2:
-        return False
-    for node in recurse_nodes:
-        inner = [
-            d
-            for arg in node.args
-            for d in arg.walk()
-            if isinstance(d, Recurse)
-        ]
-        if inner:
-            return False
-        mentions_input = any(
-            isinstance(d, (Param, Var))
-            for arg in node.args
-            for d in arg.walk()
-        )
-        if not mentions_input:
-            return False
-    return True
-
-
-def _matches_type(value: Any, ty: Type) -> bool:
-    """Shallow runtime type check used when harvesting var samples."""
-    if ty.name == "int":
-        return isinstance(value, int) and not isinstance(value, bool)
-    if ty.name in ("str", "char"):
-        return isinstance(value, str)
-    if ty.name == "bool":
-        return isinstance(value, bool)
-    if ty.is_list:
-        return isinstance(value, tuple) and all(
-            _matches_type(v, ty.element_type()) for v in value[:3]
-        )
-    if ty.name == "xml":
-        return hasattr(value, "elements") and hasattr(value, "tag")
-    if ty.name == "table":
-        return isinstance(value, tuple)
-    return False
+    # Pre-engine spelling used by a few tests and baselines.
+    def _offer(self, expr: Expr, values=None) -> Optional[Expr]:
+        return self.store.offer(expr, values=values)

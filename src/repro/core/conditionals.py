@@ -27,6 +27,15 @@ from .expr import Expr, Hole, If, Path, replace_at
 ExampleSet = FrozenSet[int]
 
 
+def guard_nts(dsl: Dsl) -> frozenset:
+    """Nonterminal tags whose expressions may serve as branch guards —
+    the expansion of every conditional rule's guard nonterminal."""
+    names = set()
+    for rule in dsl.conditionals:
+        names.update(dsl.expansion(rule.guard_nt))
+    return frozenset(names)
+
+
 @dataclass(frozen=True)
 class ProgramRecord:
     """A tried program together with T(p)."""

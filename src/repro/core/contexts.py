@@ -54,7 +54,9 @@ def trivial_context(dsl: Dsl) -> Context:
     )
 
 
-def _hole_type(dsl: Dsl, node: Expr) -> Type:
+def hole_type(dsl: Dsl, node: Expr) -> Type:
+    """The type a hole replacing ``node`` would have — the nonterminal's
+    declared type, or the type a pseudo-nonterminal tag encodes."""
     if node.nt in dsl.nonterminals:
         return dsl.type_of(node.nt)
     # Pseudo-nonterminals (no-DSL mode) encode the type after 'τ:'.
@@ -63,6 +65,10 @@ def _hole_type(dsl: Dsl, node: Expr) -> Type:
     if node.nt.startswith("τ:"):
         return parse_type(node.nt[2:])
     return Type("any")
+
+
+# Backward-compatible alias (pre-engine callers).
+_hole_type = hole_type
 
 
 def _removable(node: Expr, parent: Optional[Expr]) -> bool:

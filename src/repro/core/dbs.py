@@ -1,19 +1,26 @@
-"""DSL-based synthesis — Algorithm 2.
+"""DSL-based synthesis — Algorithm 2, driving the layered engine.
 
 One DBS invocation searches for a program satisfying *all* given examples
 by plugging grammar-generated expressions into the supplied contexts.
 The search interleaves, per Algorithm 2:
 
-1. loop strategies — tried up front by default (cheap relative to
-   enumeration), or, with ``DbsOptions.concurrent_loops`` (what the CLI's
-   ``--jobs > 1`` selects for single syntheses), on a helper thread that
-   runs alongside enumeration exactly as the paper describes; the
-   concurrent variant is traced under a dedicated
-   ``dbs.loops.concurrent`` span;
+1. startup strategies (the loop strategies) — tried up front by default
+   (cheap relative to enumeration), or, with
+   ``DbsOptions.concurrent_loops`` (what the CLI's ``--jobs > 1``
+   selects for single syntheses), on a helper thread that runs alongside
+   enumeration exactly as the paper describes; the concurrent variant is
+   traced under a dedicated ``dbs.loops.concurrent`` span;
 2. plugging every (context, expression) pair and testing the result;
-3. a conditional-synthesis pass after each expression generation, using
-   the recorded T(p) and B(g) sets (§5.2);
+3. the round strategies after each expression generation — composition
+   strategies (§5.4) and conditional synthesis from the recorded T(p)
+   and B(g) sets (§5.2);
 4. generating the next expression generation (§5.1).
+
+The heavy lifting lives in :mod:`repro.core.engine`: a
+:class:`~repro.core.engine.session.SynthesisSession` threads the
+expression store, enumerator, tester, and strategy registry through the
+run. Passing a persistent session (as TDS does) makes the store carry
+over between runs — see ``engine/session.py`` for the warm path.
 
 The result is a program or ``TIMEOUT`` (``DbsResult.program is None``)
 when the budget — wall clock, expression count, or program count — is
@@ -25,22 +32,17 @@ from __future__ import annotations
 import io
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
 
 from ..obs.metrics import Registry
 from ..obs.trace import get_tracer
 from .budget import Budget, BudgetExhausted, default_budget
-from .components import ComponentPool, PoolOptions
-from .conditionals import ConditionalStore, solve_with_buckets
 from .contexts import Context, trivial_context
 from .dsl import Dsl, Example, Signature
+from .engine.session import SynthesisSession
 from .evaluator import METRICS as EVAL_METRICS
-from .evaluator import EvaluationError, run_program
-from .expr import Expr, free_vars, is_recursive
-from .loops import run_loop_strategies
-from .types import BOOL, types_compatible
-from .values import ERROR, structurally_equal
+from .expr import Expr
 
 
 @dataclass
@@ -59,26 +61,65 @@ class DbsOptions:
     max_recursion_depth: int = 40
 
 
+class _Metric:
+    """Descriptor exposing one registry metric as a plain read/write
+    attribute — ``stats.expressions`` reads the counter, assignment sets
+    it. Replaces a hand-written property pair per field."""
+
+    def __init__(self, name: str, kind: str = "counter", cast=int):
+        self.name = name
+        self.kind = kind
+        self.cast = cast
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self.cast(obj.registry.value(self.name, 0))
+
+    def __set__(self, obj, value) -> None:
+        if self.kind == "gauge":
+            obj.registry.gauge(self.name).set(value)
+        else:
+            obj.registry.counter(self.name).value = value
+
+
 class DbsStats:
-    """Counters for one DBS run — a backward-compatible property view
+    """Counters for one DBS run — a backward-compatible attribute view
     over the run's :class:`~repro.obs.metrics.Registry`.
 
     The historical fields (``elapsed``, ``expressions``, ...) read and
-    write the registry, so existing consumers (TDS steps, experiment
-    drivers, baselines) keep working while everything new — labeled
-    pool/dedup/evaluator breakdowns, per-production counts — lives in
-    ``stats.registry`` and flows into trace reports.
+    write the registry via :class:`_Metric` descriptors, so existing
+    consumers (TDS steps, experiment drivers, baselines) keep working
+    while everything new — labeled pool/dedup/evaluator breakdowns,
+    per-production counts — lives in ``stats.registry`` and flows into
+    trace reports.
     """
 
     __slots__ = ("registry",)
 
-    # field name -> metric name (counters unless noted)
+    # metric names (counters unless noted)
     ELAPSED = "dbs.elapsed_seconds"  # gauge
     EXPRESSIONS = "dbs.expressions"
     PROGRAMS_TESTED = "dbs.programs_tested"
     GENERATIONS = "dbs.generations"
     LOOP_CANDIDATES = "dbs.loop.candidates"
     CONDITIONAL_ATTEMPTS = "dbs.conditional.attempts"
+
+    elapsed = _Metric(ELAPSED, kind="gauge", cast=float)
+    expressions = _Metric(EXPRESSIONS)
+    programs_tested = _Metric(PROGRAMS_TESTED)
+    generations = _Metric(GENERATIONS)
+    loop_candidates = _Metric(LOOP_CANDIDATES)
+    conditional_attempts = _Metric(CONDITIONAL_ATTEMPTS)
+
+    _FIELDS = (
+        "elapsed",
+        "expressions",
+        "programs_tested",
+        "generations",
+        "loop_candidates",
+        "conditional_attempts",
+    )
 
     def __init__(
         self,
@@ -91,76 +132,23 @@ class DbsStats:
         registry: Optional[Registry] = None,
     ):
         self.registry = registry if registry is not None else Registry()
-        if elapsed:
-            self.elapsed = elapsed
-        if expressions:
-            self.expressions = expressions
-        if programs_tested:
-            self.programs_tested = programs_tested
-        if generations:
-            self.generations = generations
-        if loop_candidates:
-            self.loop_candidates = loop_candidates
-        if conditional_attempts:
-            self.conditional_attempts = conditional_attempts
-
-    @property
-    def elapsed(self) -> float:
-        return self.registry.value(self.ELAPSED, 0.0)
-
-    @elapsed.setter
-    def elapsed(self, value: float) -> None:
-        self.registry.gauge(self.ELAPSED).set(value)
-
-    @property
-    def expressions(self) -> int:
-        return int(self.registry.value(self.EXPRESSIONS))
-
-    @expressions.setter
-    def expressions(self, value: int) -> None:
-        self.registry.counter(self.EXPRESSIONS).value = value
-
-    @property
-    def programs_tested(self) -> int:
-        return int(self.registry.value(self.PROGRAMS_TESTED))
-
-    @programs_tested.setter
-    def programs_tested(self, value: int) -> None:
-        self.registry.counter(self.PROGRAMS_TESTED).value = value
-
-    @property
-    def generations(self) -> int:
-        return int(self.registry.value(self.GENERATIONS))
-
-    @generations.setter
-    def generations(self, value: int) -> None:
-        self.registry.counter(self.GENERATIONS).value = value
-
-    @property
-    def loop_candidates(self) -> int:
-        return int(self.registry.value(self.LOOP_CANDIDATES))
-
-    @loop_candidates.setter
-    def loop_candidates(self, value: int) -> None:
-        self.registry.counter(self.LOOP_CANDIDATES).value = value
-
-    @property
-    def conditional_attempts(self) -> int:
-        return int(self.registry.value(self.CONDITIONAL_ATTEMPTS))
-
-    @conditional_attempts.setter
-    def conditional_attempts(self, value: int) -> None:
-        self.registry.counter(self.CONDITIONAL_ATTEMPTS).value = value
+        values = (
+            elapsed,
+            expressions,
+            programs_tested,
+            generations,
+            loop_candidates,
+            conditional_attempts,
+        )
+        for name, value in zip(self._FIELDS, values):
+            if value:
+                setattr(self, name, value)
 
     def __repr__(self) -> str:
-        return (
-            f"DbsStats(elapsed={self.elapsed!r}, "
-            f"expressions={self.expressions!r}, "
-            f"programs_tested={self.programs_tested!r}, "
-            f"generations={self.generations!r}, "
-            f"loop_candidates={self.loop_candidates!r}, "
-            f"conditional_attempts={self.conditional_attempts!r})"
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._FIELDS
         )
+        return f"DbsStats({inner})"
 
 
 @dataclass
@@ -187,6 +175,7 @@ def dbs(
     lasy_signatures: Optional[Mapping[str, Signature]] = None,
     options: Optional[DbsOptions] = None,
     previous_program: Optional[Expr] = None,
+    session: Optional[SynthesisSession] = None,
 ) -> DbsResult:
     """Algorithm 2. Returns a program satisfying all ``examples`` or
     TIMEOUT.
@@ -195,12 +184,23 @@ def dbs(
     *recursive* candidates angelically when recording T(p): a recursive
     branch body without its base case diverges under true self-recursion,
     so its recursive calls are bound to the previous program instead; the
-    assembled conditional is always re-verified with true recursion."""
+    assembled conditional is always re-verified with true recursion.
+
+    ``session`` is an optional persistent
+    :class:`~repro.core.engine.session.SynthesisSession`; when given (and
+    built for the same DSL and signature), its expression store carries
+    over from previous runs and is *extended* by the newly appended
+    examples instead of rebuilt — TDS passes one session across its whole
+    example sequence."""
     options = options or DbsOptions()
     budget = budget or default_budget()
     budget.restart_clock()
     tracer = get_tracer()
     stats = DbsStats(registry=Registry(detailed=tracer.enabled))
+    if session is not None and (
+        session.dsl is not dsl or session.signature is not signature
+    ):
+        session = None  # a foreign session's store cannot serve this run
     depth = getattr(_RUN_DEPTH, "value", 0)
     nested = depth > 0
     # local_value: a worker-snapshot merge into the process-global
@@ -218,7 +218,7 @@ def dbs(
             result = _run_dbs(
                 contexts, examples, seeds, dsl, signature, max_branches,
                 budget, lasy_fns, lasy_signatures, options,
-                previous_program, stats, tracer,
+                previous_program, stats, tracer, session,
             )
             if tracer.enabled:
                 registry = stats.registry
@@ -262,119 +262,79 @@ def _run_dbs(
     previous_program: Optional[Expr],
     stats: DbsStats,
     tracer,
+    session: Optional[SynthesisSession],
 ) -> DbsResult:
     start_time = time.monotonic()
-    lasy_fns = dict(lasy_fns or {})
-    lasy_signatures = dict(lasy_signatures or {})
     examples = list(examples)
     if not contexts:
         contexts = [trivial_context(dsl)]
-
-    tester = _Tester(
-        signature, examples, lasy_fns, options, stats, budget,
-        previous_program=previous_program,
-    )
+    if session is None:
+        session = SynthesisSession(
+            dsl,
+            signature,
+            lasy_fns=dict(lasy_fns or {}),
+            lasy_signatures=dict(lasy_signatures or {}),
+        )
     loop_state: Optional[_ConcurrentLoops] = None
 
     def finish(program: Optional[Expr]) -> DbsResult:
         if loop_state is not None:
             program = loop_state.finish(program, tracer)
+        session.cancel = None
         stats.elapsed = time.monotonic() - start_time
         stats.expressions = budget.expressions
         return DbsResult(program, stats)
 
     try:
-        # 1. Loop strategies (Algorithm 2, line 1): serially up front,
-        # or on a helper thread racing enumeration (§5.3's concurrent
-        # model) when options.concurrent_loops.
-        if options.enable_loops and dsl.loops:
+        session.begin_run(
+            contexts=contexts,
+            examples=examples,
+            seeds=seeds,
+            budget=budget,
+            options=options,
+            stats=stats,
+            tracer=tracer,
+            previous_program=previous_program,
+            max_branches=max_branches,
+        )
+        pool = session.pool
+        registry = session.registry
+
+        # 1. Startup strategies (Algorithm 2, line 1): serially up
+        # front, or on a helper thread racing enumeration (§5.3's
+        # concurrent model) when options.concurrent_loops.
+        startup = registry.for_stage("startup")
+        if startup:
             if options.concurrent_loops:
 
-                def run_loops(cancel) -> Optional[Expr]:
-                    return _try_loop_strategies(
-                        dsl, signature, examples, tester, budget,
-                        lasy_fns, lasy_signatures, options, stats,
-                        cancel=cancel,
-                    )
+                def run_startup(cancel) -> Optional[Expr]:
+                    # The helper thread installed its own tracer; the
+                    # plugins pick it up via get_tracer().
+                    session.cancel = cancel
+                    thread_tracer = get_tracer()
+                    for entry in startup:
+                        program = entry.fn(session, budget, thread_tracer)
+                        if program is not None:
+                            return program
+                    return None
 
                 loop_state = _ConcurrentLoops(
-                    parent_traced=tracer.enabled, runner=run_loops
+                    parent_traced=tracer.enabled, runner=run_startup
                 ).start()
             else:
-                with tracer.span("dbs.loops") as loops_span:
-                    program = _try_loop_strategies(
-                        dsl, signature, examples, tester, budget,
-                        lasy_fns, lasy_signatures, options, stats,
-                    )
-                    loops_span.set(
-                        candidates=stats.loop_candidates,
-                        solved=program is not None,
-                    )
-                if program is not None:
-                    return finish(program)
-
-        # Generation 0: the atoms (params, constants, seeds, ...).
-        with tracer.span(
-            "dbs.enumerate", generation=0, production="<atoms>"
-        ) as atoms_span:
-            pool = ComponentPool(
-                dsl,
-                signature,
-                examples,
-                seeds=seeds,
-                lasy_fns=lasy_fns,
-                lasy_signatures=lasy_signatures,
-                options=PoolOptions(
-                    use_dsl=options.use_dsl,
-                    semantic_dedup=options.semantic_dedup,
-                ),
-                budget=budget,
-                metrics=stats.registry,
-            )
-            atoms_span.set(offered=budget.expressions, added=pool.total())
-        # Composition strategies may value recursive pieces angelically
-        # against the previous program (see strategies._string_pieces).
-        pool.previous_program = previous_program
-        store = ConditionalStore(len(examples))
-        guard_nts = _guard_nts(dsl)
-        all_set = frozenset(range(len(examples)))
-        acceptable = _acceptable_nts(contexts, dsl, options)
-        root_nt = next(
-            (ctx.hole_nt for ctx in contexts if ctx.is_trivial), dsl.start
-        )
-
-        def run_strategies() -> Optional[Expr]:
-            """§5.4 composition strategies: goal-directed candidates
-            assembled from the pool, tested through the same contexts."""
-            pool.guard_sets = [g.true_set for g in store.guards]
-            with tracer.span("dbs.strategies") as span:
-                offered_before = budget.expressions
-                tried = 0
-                try:
-                    for strategy in dsl.composition_strategies:
-                        candidates = strategy(pool, examples, signature, dsl)
-                        if not candidates:
-                            continue
-                        tried += len(candidates)
-                        program = _test_batch(
-                            candidates, contexts, acceptable, tester, store,
-                            guard_nts, dsl, options,
+                for entry in startup:
+                    span_name = entry.span or f"dbs.strategy.{entry.name}"
+                    with tracer.span(span_name) as span:
+                        program = entry.fn(session, budget, tracer)
+                        span.set(
+                            candidates=stats.loop_candidates,
+                            solved=program is not None,
                         )
-                        if program is not None:
-                            span.set(solved=True)
-                            return program
-                        for candidate in candidates:
-                            pool.offer_external(candidate)
-                finally:
-                    span.set(
-                        candidates=tried,
-                        offered=budget.expressions - offered_before,
-                    )
-            return None
+                    if program is not None:
+                        return finish(program)
 
-        last_store_size = (-1, -1)
-        size_before = -1
-        batches = iter([_all_pool_exprs(pool)])
+        last_size = -1
+        batches = iter([pool.iter_all()])
         while True:
             if loop_state is not None and loop_state.program is not None:
                 # The loop-strategy thread won the race; finish() joins
@@ -382,271 +342,45 @@ def _run_dbs(
                 return finish(None)
             program = None
             for pending in batches:
-                with tracer.span("dbs.test", batch=len(pending)):
-                    program = _test_batch(
-                        pending, contexts, acceptable, tester, store,
-                        guard_nts, dsl, options,
-                    )
+                with tracer.span("dbs.test") as test_span:
+                    program = session.test_batch(pending, span=test_span)
                 if program is not None:
                     break
             if program is not None:
                 return finish(program)
             if budget.exhausted():
                 # The budget died mid-generation, but the pool still
-                # holds everything the search built. Give the
-                # goal-directed composition strategies one final pass
-                # over it (under the tester's grace window) before
+                # holds everything the search built. Give the final
+                # round strategies (goal-directed composition) one last
+                # pass over it (under the tester's grace window) before
                 # reporting TIMEOUT: a solution assembled from
                 # already-enumerated pieces should not be lost to the
                 # enumeration cutoff.
-                program = run_strategies()
+                for entry in registry.for_stage("round", final_only=True):
+                    program = entry.fn(session, budget, tracer)
+                    if program is not None:
+                        return finish(program)
+                break
+            # 2. Round strategies (Algorithm 2, lines 6-7): composition
+            # strategies, then the conditional pass.
+            for entry in registry.for_stage("round"):
+                program = entry.fn(session, budget, tracer)
                 if program is not None:
                     return finish(program)
-                break
-            program = run_strategies()
-            if program is not None:
-                return finish(program)
-            # Conditional pass (Algorithm 2, line 7).
-            store_size = (len(store.programs), len(store.guards))
-            if (
-                options.enable_conditionals
-                and max_branches > 1
-                and dsl.conditionals
-                and store_size != last_store_size
-            ):
-                last_store_size = store_size
-                stats.conditional_attempts += 1
-                candidate = solve_with_buckets(
-                    store, dsl, all_set, max_branches, root_nt, budget
-                )
-                if candidate is not None and tester.passes_all(candidate):
-                    return finish(candidate)
             if stats.generations >= options.max_generations:
                 break
             if pool.exhausted:
                 break  # budget died mid-generation; partial batch tested
-            if stats.generations > 0 and pool.total() == size_before:
+            if stats.generations > 0 and pool.total() == last_size:
                 break  # language exhausted below the size cap
-            # Next generation (Algorithm 2, line 8), tested batch-wise at
-            # the top of the loop (the generator is lazy).
+            # 3. Next generation (Algorithm 2, line 8), tested batch-wise
+            # at the top of the loop (the generator is lazy).
             stats.generations += 1
-            size_before = pool.total()
-            batches = pool.advance_batches()
+            last_size = pool.total()
+            batches = session.enumerator.advance_batches()
     except BudgetExhausted:
         pass
     return finish(None)
-
-
-# ---------------------------------------------------------------------
-
-
-class _Tester:
-    """Evaluates candidate programs against the examples."""
-
-    def __init__(
-        self,
-        signature: Signature,
-        examples: Sequence[Example],
-        lasy_fns: Mapping,
-        options: DbsOptions,
-        stats: DbsStats,
-        budget: Budget,
-        previous_program: Optional[Expr] = None,
-    ):
-        self.signature = signature
-        self.examples = list(examples)
-        self.lasy_fns = lasy_fns
-        self.options = options
-        self.stats = stats
-        self.budget = budget
-        self.previous_program = previous_program
-        self._tested = stats.registry.counter(DbsStats.PROGRAMS_TESTED)
-        self._guard_records = stats.registry.counter(
-            "dbs.cond.guards_recorded"
-        )
-        self._program_records = stats.registry.counter(
-            "dbs.cond.programs_recorded"
-        )
-        # Once the generation budget is exhausted we still want to test
-        # whatever the pool already built (the partial last generation);
-        # the grace counter bounds that final sweep.
-        self._grace = 8_000
-
-    def _charge(self) -> None:
-        from .budget import BudgetExhausted
-
-        self._tested.value += 1
-        try:
-            self.budget.charge_program()
-        except BudgetExhausted:
-            self._grace -= 1
-            if self._grace < 0:
-                raise
-
-    def passed_set(self, program: Expr) -> frozenset:
-        """T(p): indices of examples the program handles."""
-        self._charge()
-        passed = set()
-        for index, example in enumerate(self.examples):
-            value = self._run(program, example)
-            if value is not ERROR and structurally_equal(value, example.output):
-                passed.add(index)
-        return frozenset(passed)
-
-    def angelic_passed_set(self, program: Expr) -> frozenset:
-        """T(p) with recursive calls answered angelically: from the
-        example table first (the examples are ground truth for the
-        function being synthesized), then by running the previous
-        program. A recursive branch body without its base case diverges
-        under true self-recursion; this lets the conditional strategy
-        still observe which examples the branch would handle."""
-        if not is_recursive(program):
-            return frozenset()
-        self._charge()
-        oracle = self._recursion_oracle()
-        passed = set()
-        for index, example in enumerate(self.examples):
-            value = self._run(program, example, recursion_oracle=oracle)
-            if value is not ERROR and structurally_equal(value, example.output):
-                passed.add(index)
-        return frozenset(passed)
-
-    def _recursion_oracle(self):
-        from .evaluator import EvaluationError as _EE
-        from .values import freeze as _freeze
-
-        table = {
-            _freeze(example.args): _freeze(example.output)
-            for example in self.examples
-        }
-        previous = self.previous_program
-
-        def oracle(args):
-            if args in table:
-                return table[args]
-            if previous is not None:
-                return run_program(
-                    previous,
-                    self.signature.param_names,
-                    args,
-                    lasy_fns=self.lasy_fns,
-                    fuel=self.options.evaluation_fuel,
-                    max_depth=self.options.max_recursion_depth,
-                )
-            raise _EE("angelic recursion: input not in example table")
-
-        return oracle
-
-    def passes_all(self, program: Expr) -> bool:
-        self._charge()
-        for example in self.examples:
-            value = self._run(program, example)
-            if value is ERROR or not structurally_equal(value, example.output):
-                return False
-        return True
-
-    def _run(self, program: Expr, example: Example, recursion_oracle=None):
-        try:
-            return run_program(
-                program,
-                self.signature.param_names,
-                example.args,
-                lasy_fns=self.lasy_fns,
-                fuel=self.options.evaluation_fuel,
-                max_depth=self.options.max_recursion_depth,
-                recursion_oracle=recursion_oracle,
-            )
-        except EvaluationError:
-            return ERROR
-
-    def guard_sets(self, guard: Expr) -> Tuple[frozenset, frozenset]:
-        """(B(g), error set) for a boolean expression."""
-        true_set = set()
-        errors = set()
-        for index, example in enumerate(self.examples):
-            value = self._run(guard, example)
-            if value is ERROR:
-                errors.add(index)
-            elif value is True:
-                true_set.add(index)
-        return frozenset(true_set), frozenset(errors)
-
-
-def _guard_nts(dsl: Dsl) -> frozenset:
-    names = set()
-    for rule in dsl.conditionals:
-        names.update(dsl.expansion(rule.guard_nt))
-    return frozenset(names)
-
-
-def _acceptable_nts(
-    contexts: Sequence[Context], dsl: Dsl, options: DbsOptions
-) -> Dict[int, frozenset]:
-    """Per context (by position), the nonterminal tags it accepts."""
-    table: Dict[int, frozenset] = {}
-    for i, ctx in enumerate(contexts):
-        if ctx.hole_nt in dsl.nonterminals:
-            table[i] = frozenset(dsl.expansion(ctx.hole_nt))
-        else:
-            table[i] = frozenset((ctx.hole_nt,))
-    return table
-
-
-def _all_pool_exprs(pool: ComponentPool) -> List[Expr]:
-    return pool.all_expressions()
-
-
-def _test_batch(
-    exprs: Sequence[Expr],
-    contexts: Sequence[Context],
-    acceptable: Dict[int, frozenset],
-    tester: _Tester,
-    store: ConditionalStore,
-    guard_nts: frozenset,
-    dsl: Dsl,
-    options: DbsOptions,
-) -> Optional[Expr]:
-    """Plug each new expression into each compatible context; return a
-    program satisfying every example, else record T(p)/B(g) and None."""
-    for expr in exprs:
-        expr_free = free_vars(expr)
-        is_guard = (
-            expr.nt in guard_nts
-            if options.use_dsl
-            else expr.nt == "τ:bool"
-        )
-        if is_guard and not expr_free:
-            true_set, errors = tester.guard_sets(expr)
-            store.record_guard(expr, true_set, errors)
-            tester._guard_records.value += 1
-        for i, ctx in enumerate(contexts):
-            if options.use_dsl:
-                if expr.nt not in acceptable[i]:
-                    continue
-            else:
-                expr_type = _expr_type_for_hole(expr, dsl)
-                if expr_type is None or not types_compatible(
-                    ctx.hole_type, expr_type
-                ):
-                    continue
-            program = ctx.plug(expr)
-            if free_vars(program):
-                continue
-            passed = tester.passed_set(program)
-            if len(passed) == len(tester.examples) and tester.examples:
-                return program
-            store.record_program(program, passed)
-            tester._program_records.value += 1
-            angelic = tester.angelic_passed_set(program)
-            if angelic and angelic != passed:
-                store.record_program(program, angelic)
-    return None
-
-
-def _expr_type_for_hole(expr: Expr, dsl: Dsl):
-    from .contexts import _hole_type
-
-    return _hole_type(dsl, expr)
 
 
 class _ConcurrentLoops:
@@ -727,63 +461,3 @@ class _ConcurrentLoops:
         if self.error is not None:
             raise self.error
         return program if program is not None else self.program
-
-
-def _try_loop_strategies(
-    dsl: Dsl,
-    signature: Signature,
-    examples: Sequence[Example],
-    tester: _Tester,
-    budget: Budget,
-    lasy_fns: Mapping,
-    lasy_signatures: Mapping[str, Signature],
-    options: DbsOptions,
-    stats: DbsStats,
-    cancel: Optional[threading.Event] = None,
-) -> Optional[Expr]:
-    """Assemble loop candidates (§5.3) and test them on all examples."""
-
-    def synthesize_body(
-        body_sig: Signature, body_examples: Sequence[Example], start_nt: str
-    ) -> Optional[Expr]:
-        from .contexts import Context as _Context
-        from .expr import Hole
-
-        if cancel is not None and cancel.is_set():
-            return None
-        sub_context = _Context(
-            root=Hole(start_nt),
-            path=(),
-            hole_nt=start_nt,
-            hole_type=dsl.type_of(start_nt),
-        )
-        sub_options = DbsOptions(
-            use_dsl=options.use_dsl,
-            semantic_dedup=options.semantic_dedup,
-            enable_conditionals=options.enable_conditionals,
-            enable_loops=False,  # no nested loop strategies
-            max_generations=options.max_generations,
-            evaluation_fuel=options.evaluation_fuel,
-        )
-        result = dbs(
-            contexts=[sub_context],
-            examples=body_examples,
-            seeds=[],
-            dsl=dsl,
-            signature=body_sig,
-            max_branches=3,
-            budget=budget.spawn(0.35),
-            lasy_fns=lasy_fns,
-            lasy_signatures=lasy_signatures,
-            options=sub_options,
-        )
-        return result.program
-
-    candidates = run_loop_strategies(dsl, signature, examples, synthesize_body)
-    stats.loop_candidates += len(candidates)
-    for candidate in candidates:
-        if cancel is not None and cancel.is_set():
-            return None
-        if tester.passes_all(candidate.program):
-            return candidate.program
-    return None

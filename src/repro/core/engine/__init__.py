@@ -1,0 +1,42 @@
+"""The layered synthesis engine.
+
+The DBS core is split into four explicit layers (see
+docs/architecture.md):
+
+* :class:`~repro.core.engine.pool.PoolStore` — the signature-indexed,
+  hash-consed expression store: canonicalization, syntactic/semantic
+  dedup, cached value vectors, and the incremental
+  ``extend_examples`` / ``refresh_lasy`` operations that let one store
+  live across a whole TDS example sequence;
+* :class:`~repro.core.engine.enumerator.Enumerator` — grammar-driven
+  generation (Algorithm 2's "generate new expressions" step) over a
+  store it does not own;
+* :class:`~repro.core.engine.registry.StrategyRegistry` — loops,
+  composition, and conditional synthesis as named plugins with a
+  uniform ``(session, budget, tracer) -> Optional[Expr]`` interface;
+* :class:`~repro.core.engine.session.SynthesisSession` — threads the
+  persistent store, tester, budget, metrics registry, and tracer
+  through consecutive DBS runs.
+
+``repro.core.components.ComponentPool`` remains as a thin facade over
+``PoolStore`` + ``Enumerator`` for existing callers.
+"""
+
+from .enumerator import Enumerator, lambda_nt
+from .pool import PoolEntry, PoolOptions, PoolStore
+from .registry import StrategyEntry, StrategyRegistry, default_registry
+from .session import SynthesisSession
+from .testing import Tester
+
+__all__ = [
+    "Enumerator",
+    "PoolEntry",
+    "PoolOptions",
+    "PoolStore",
+    "StrategyEntry",
+    "StrategyRegistry",
+    "SynthesisSession",
+    "Tester",
+    "default_registry",
+    "lambda_nt",
+]

@@ -1,0 +1,455 @@
+"""Grammar-driven expression generation (§5.1, generation layer).
+
+Each :meth:`Enumerator.advance` runs one iteration of Algorithm 2's
+"generate new expressions" step over a :class:`~.pool.PoolStore` the
+enumerator does *not* own: every production is instantiated with every
+valid combination of stored expressions *in which at least one argument
+is from the newest generation*, so all smaller expressions are produced
+before larger ones and no combination is rebuilt.
+
+Because freshness is a generation tag on the entries, the enumerator is
+naturally incremental: atoms or seeds admitted into a persistent store
+between runs (new constants from an appended example, subexpressions of
+the current ``P_i``, revived shadow entries) carry the current
+generation and become the fresh set of the next advance, so enumeration
+continues where the previous run stopped instead of starting over.
+
+When ``use_dsl`` is off (the "no DSL" ablation of §6.3, and the
+sketch-like baseline) the grammar is ignored and argument slots accept
+any expression of a compatible *type*, exactly the weaker search the
+paper compares against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ...obs.trace import get_tracer
+from ..dsl import LambdaSpec, NtRef, Production
+from ..evaluator import check_value_size
+from ..expr import Call, Const, Expr, Lambda, LasyCall, Param, Recurse, Var, free_vars
+from ..types import types_compatible
+from ..values import ERROR, freeze
+from .pool import PoolEntry, PoolStore, _value_type
+
+
+def _production_label(prod: Production) -> str:
+    """Stable human-readable production tag for spans and reports."""
+    if prod.kind == "lasy_fn":
+        return f"{prod.nt}<-_LASY_FN"
+    if prod.kind == "recurse":
+        return f"{prod.nt}<-_RECURSE"
+    name = prod.func.name if prod.func is not None else prod.kind
+    return f"{prod.nt}<-{name}"
+
+
+def lambda_nt(spec: LambdaSpec) -> str:
+    """The synthetic nonterminal tag for inline lambda arguments."""
+    vars_part = ",".join(spec.var_names)
+    return f"lambda({vars_part}:{spec.body_nt})"
+
+
+class Enumerator:
+    """Generates expression generations into a borrowed store."""
+
+    def __init__(self, store: PoolStore):
+        self.store = store
+
+    # -- seeding -------------------------------------------------------
+
+    def seed(self, seeds: Iterable[Expr] = ()) -> None:
+        """Offer the atoms (params, constants, nullary calls, lambda
+        variables) and the caller's seed expressions.
+
+        Idempotent over a persistent store — duplicates fall to the
+        syntactic seen-set — which is exactly what a warm run needs:
+        constants derived from newly appended examples and the current
+        ``P_i``'s subexpressions enter at the store's current generation.
+        """
+        store = self.store
+        if store.options.use_dsl:
+            for prod in store.dsl.productions:
+                if prod.kind == "param":
+                    self._add_params(prod.nt)
+                elif prod.kind == "constant":
+                    self._add_constants(prod.nt)
+                elif prod.kind == "var":
+                    self._add_var(prod.nt, prod.var_name or "")
+                elif prod.kind == "call" and prod.func and not prod.args:
+                    store.offer(Call(prod.func, (), prod.nt))
+        else:
+            self._seed_atoms_untyped()
+        for seed in seeds:
+            store.offer(seed)
+
+    def _seed_atoms_untyped(self) -> None:
+        """Type-only atoms for the no-DSL mode: every param, every
+        constant, every lambda variable, tagged with pseudo-nonterminals."""
+        store = self.store
+        for name, ty in store.signature.params:
+            store.offer(Param(name, ty, store._type_nt(ty)))
+        for value in store.all_constants():
+            ty = _value_type(value, store.dsl)
+            store.offer(Const(value, ty, store._type_nt(ty)))
+        for vname, vty in store.dsl.lambda_vars.items():
+            store.offer(Var(vname, vty, store._type_nt(vty)))
+        for prod in store.dsl.productions:
+            if prod.kind == "call" and prod.func and not prod.args:
+                func = prod.func
+                store.offer(Call(func, (), store._type_nt(func.return_type)))
+
+    def _add_params(self, nt: str) -> None:
+        store = self.store
+        nt_type = store.dsl.type_of(nt)
+        for name, ty in store.signature.params:
+            if types_compatible(nt_type, ty):
+                store.offer(Param(name, ty, nt))
+
+    def _add_constants(self, nt: str) -> None:
+        store = self.store
+        nt_type = store.dsl.type_of(nt)
+        for value in store.constants_for(nt):
+            store.offer(Const(value, nt_type, nt))
+
+    def _add_var(self, nt: str, var_name: str) -> None:
+        store = self.store
+        vty = store.dsl.lambda_vars.get(var_name)
+        if vty is None:
+            return
+        store.offer(Var(var_name, vty, nt))
+
+    # -- generation ----------------------------------------------------
+
+    def advance(self) -> List[Expr]:
+        """Run one generation of expression composition; returns the new
+        (deduplicated) expressions added this generation.
+
+        On budget exhaustion the partial generation is returned (and the
+        store's ``exhausted`` flag set) so DBS can still test what was
+        built before reporting TIMEOUT."""
+        added: List[Expr] = []
+        for batch in self.advance_batches():
+            added.extend(batch)
+        return added
+
+    def advance_batches(self) -> Iterable[List[Expr]]:
+        """Like :func:`advance` but yields per-production batches, so the
+        caller can test candidates as soon as their production finishes
+        rather than after the whole (possibly enormous) generation."""
+        from ..budget import BudgetExhausted
+
+        store = self.store
+        store.generation += 1
+        # Until the generator runs to completion, the generation is
+        # incomplete (budget death, or the caller stopped consuming on a
+        # solve); a warm run redoes it — see PoolStore.bind.
+        store.incomplete_generation = True
+        if store.budget.exhausted():
+            store.exhausted = True
+            return
+        store.exhausted = False
+        tracer = get_tracer()
+        try:
+            if store.options.use_dsl:
+                # Cheapest productions first: a huge production must not
+                # starve the small ones (and the solution is more often
+                # within reach of a small production's fresh combos).
+                ordered = sorted(
+                    (
+                        prod
+                        for prod in store.dsl.productions
+                        if (
+                            prod.kind == "lasy_fn"
+                            or (prod.kind in ("call", "recurse") and prod.args)
+                        )
+                    ),
+                    key=self._production_cost,
+                )
+                for prod in ordered:
+                    if tracer.enabled:
+                        batch = self._expand_traced(prod, tracer)
+                    else:
+                        batch = self._expand(prod)
+                    if batch:
+                        yield batch
+            else:
+                batch = self._expand_untyped()
+                if batch:
+                    yield batch
+        except BudgetExhausted:
+            store.exhausted = True
+            return
+        store.incomplete_generation = False
+
+    def _expand(self, prod: Production) -> List[Expr]:
+        if prod.kind == "lasy_fn":
+            return self._expand_lasy(prod)
+        return self._expand_production(prod)
+
+    def _expand_traced(self, prod: Production, tracer) -> List[Expr]:
+        """One production under a ``dbs.enumerate`` span. The ``offered``
+        count is attached even when the budget dies mid-expansion, so the
+        report's expression attribution stays complete."""
+        store = self.store
+        with tracer.span(
+            "dbs.enumerate",
+            generation=store.generation,
+            production=_production_label(prod),
+        ) as span:
+            before = store.budget.expressions
+            batch: List[Expr] = []
+            try:
+                batch = self._expand(prod)
+            finally:
+                span.set(
+                    offered=store.budget.expressions - before,
+                    added=len(batch),
+                )
+            return batch
+
+    def _production_cost(self, prod: Production) -> int:
+        """Estimated combination count for this production this
+        generation (product of slot pool sizes)."""
+        store = self.store
+        cost = 1
+        for arg in prod.args:
+            if isinstance(arg, NtRef):
+                size = sum(
+                    len(store._entries.get(name, ()))
+                    for name in store.dsl.expansion(arg.nt)
+                )
+            elif isinstance(arg, LambdaSpec):
+                size = len(store._entries.get(arg.body_nt, ()))
+            else:
+                size = 1
+            cost *= max(size, 1)
+            if cost > 10**12:
+                break
+        return cost
+
+    def _expand_production(self, prod: Production) -> List[Expr]:
+        store = self.store
+        slot_candidates = [self._arg_candidates(arg) for arg in prod.args]
+        if any(not c for c in slot_candidates):
+            return []
+        added: List[Expr] = []
+        fast_path = (
+            prod.kind == "call"
+            and prod.func is not None
+            and not prod.func.lazy
+            and not any(isinstance(a, LambdaSpec) for a in prod.args)
+        )
+        for combo in self._fresh_combinations(slot_candidates):
+            if prod.kind == "call":
+                assert prod.func is not None
+                expr: Optional[Expr] = Call(
+                    prod.func, tuple(e.expr for e in combo), prod.nt
+                )
+                values = (
+                    self._apply_values(prod.func, combo) if fast_path else None
+                )
+            else:  # recurse
+                expr = self._build_recurse(prod, combo)
+                values = None
+            if expr is None:
+                continue
+            result = store.offer(expr, values)
+            if result is not None:
+                added.append(result)
+        return added
+
+    def _apply_values(
+        self, func, combo: Sequence[PoolEntry]
+    ) -> Optional[Tuple[Any, ...]]:
+        """Value vector of ``func`` applied to cached child vectors, or
+        None when some child has no cached vector."""
+        store = self.store
+        child_vectors = []
+        for entry in combo:
+            if entry.values is None:
+                return None
+            child_vectors.append(entry.values)
+        out: List[Any] = []
+        store._c_applies.value += len(store.examples)
+        for i in range(len(store.examples)):
+            args = [vec[i] for vec in child_vectors]
+            if any(a is ERROR for a in args):
+                out.append(ERROR)
+                continue
+            try:
+                out.append(check_value_size(freeze(func.fn(*args))))
+            except Exception:
+                out.append(ERROR)
+        return tuple(out)
+
+    def _build_recurse(
+        self, prod: Production, combo: Sequence[PoolEntry]
+    ) -> Optional[Expr]:
+        store = self.store
+        expected = store.signature.param_types
+        arg_types = tuple(
+            store.dsl.type_of(a.nt) for a in prod.args if isinstance(a, NtRef)
+        )
+        if len(arg_types) != len(expected) or not all(
+            types_compatible(e, a) for e, a in zip(expected, arg_types)
+        ):
+            return None
+        return Recurse(tuple(e.expr for e in combo), prod.nt)
+
+    def _expand_untyped(self) -> List[Expr]:
+        store = self.store
+        added: List[Expr] = []
+        for func in store.dsl.functions():
+            slots: List[List[PoolEntry]] = []
+            feasible = True
+            has_lambda = False
+            for pty in func.param_types:
+                if pty.is_function:
+                    has_lambda = True
+                    candidates = self._lambda_candidates(pty)
+                else:
+                    candidates = [
+                        entry
+                        for t, entries in store._by_type.items()
+                        if types_compatible(pty, t)
+                        for entry in entries
+                    ]
+                if not candidates:
+                    feasible = False
+                    break
+                slots.append(candidates)
+            if not feasible:
+                continue
+            fast_path = not func.lazy and not has_lambda
+            for combo in self._fresh_combinations(slots):
+                nt = store._type_nt(func.return_type)
+                expr = Call(func, tuple(e.expr for e in combo), nt)
+                values = self._apply_values(func, combo) if fast_path else None
+                result = store.offer(expr, values)
+                if result is not None:
+                    added.append(result)
+        return added
+
+    def _lambda_candidates(self, fun_type) -> List[PoolEntry]:
+        """In no-DSL mode, wrap pooled bodies in lambdas matching a
+        function-typed parameter, using the grammar's lambda variables."""
+        store = self.store
+        out: List[PoolEntry] = []
+        for spec in store._lambda_specs:
+            body_ty = store.dsl.type_of(spec.body_nt)
+            from ..types import fun_n
+
+            if fun_n(spec.var_types, body_ty) != fun_type:
+                continue
+            params = tuple(
+                Var(n, t, store._type_nt(t))
+                for n, t in zip(spec.var_names, spec.var_types)
+            )
+            for entry in store._by_type.get(body_ty, []):
+                lam = Lambda(params, entry.expr, lambda_nt(spec))
+                out.append(PoolEntry(lam, entry.generation))
+        return out
+
+    def _arg_candidates(self, arg: Any) -> List[PoolEntry]:
+        store = self.store
+        if isinstance(arg, NtRef):
+            out: List[PoolEntry] = []
+            for name in store.dsl.expansion(arg.nt):
+                out.extend(store._entries.get(name, []))
+            return out
+        if isinstance(arg, LambdaSpec):
+            params = tuple(
+                Var(n, t, store._type_nt(t))
+                for n, t in zip(arg.var_names, arg.var_types)
+            )
+            nt = lambda_nt(arg)
+            names = set(arg.var_names)
+            out = []
+            for body_nt in store.dsl.expansion(arg.body_nt):
+                for entry in store._entries.get(body_nt, []):
+                    if arg.require_var_use and not (
+                        free_vars(entry.expr) & names
+                    ):
+                        continue
+                    out.append(
+                        PoolEntry(
+                            Lambda(params, entry.expr, nt), entry.generation
+                        )
+                    )
+            return out
+        raise TypeError(f"unknown arg spec {arg!r}")
+
+    def _fresh_combinations(
+        self, slots: List[List[PoolEntry]]
+    ) -> Iterable[Tuple[PoolEntry, ...]]:
+        """All slot combinations containing at least one expression from
+        the newest complete generation (``store.generation - 1``), without
+        duplicates: slot ``j`` carries the newest element, earlier slots
+        are strictly older, later slots are anything."""
+        newest = self.store.generation - 1
+        for j in range(len(slots)):
+            older = [
+                [e for e in slot if e.generation < newest]
+                for slot in slots[:j]
+            ]
+            fresh = [e for e in slots[j] if e.generation == newest]
+            anything = [
+                [e for e in slot if e.generation <= newest]
+                for slot in slots[j + 1:]
+            ]
+            if not fresh or any(not s for s in older) or any(
+                not s for s in anything
+            ):
+                continue
+            yield from itertools.product(*older, fresh, *anything)
+
+    def _expand_lasy(self, prod: Production) -> List[Expr]:
+        store = self.store
+        nt_type = store.dsl.type_of(prod.nt)
+        arg_nts = [a.nt for a in prod.args if isinstance(a, NtRef)]
+        added: List[Expr] = []
+        for name, sig in store.lasy_signatures.items():
+            if name == store.signature.name:
+                continue  # self-calls are _RECURSE, not _LASY_FN
+            if not types_compatible(nt_type, sig.return_type):
+                continue
+            if len(sig.params) != len(arg_nts):
+                continue
+            if not all(
+                types_compatible(pty, store.dsl.type_of(a_nt))
+                for (_, pty), a_nt in zip(sig.params, arg_nts)
+            ):
+                continue
+            fn = store.lasy_fns.get(name)
+            slots = [self._arg_candidates(NtRef(a_nt)) for a_nt in arg_nts]
+            if any(not s for s in slots):
+                continue
+            for combo in self._fresh_combinations(slots):
+                expr = LasyCall(name, tuple(e.expr for e in combo), prod.nt)
+                values = None
+                if fn is not None and all(
+                    e.values is not None for e in combo
+                ):
+                    values = self._apply_lasy_values(fn, combo)
+                result = store.offer(expr, values)
+                if result is not None:
+                    added.append(result)
+        return added
+
+    def _apply_lasy_values(
+        self, fn, combo: Sequence[PoolEntry]
+    ) -> Tuple[Any, ...]:
+        store = self.store
+        out: List[Any] = []
+        store._c_applies.value += len(store.examples)
+        for i in range(len(store.examples)):
+            args = [e.values[i] for e in combo]  # type: ignore[index]
+            if any(a is ERROR for a in args):
+                out.append(ERROR)
+                continue
+            try:
+                out.append(check_value_size(freeze(fn(*args))))
+            except Exception:
+                out.append(ERROR)
+        return tuple(out)

@@ -1,0 +1,950 @@
+"""The signature-indexed expression store (§5.1's pool, storage layer).
+
+The store maintains, per grammar nonterminal, the set of semantically
+distinct expressions generated so far. Two deduplication layers (the
+paper's "Optimizations"):
+
+* syntactic — expressions are canonicalized by the DSL's rewrite rules
+  and constant folding, and duplicates discarded;
+* semantic — an expression is fingerprinted by the vector of values it
+  takes on the example inputs; only the first expression per fingerprint
+  is kept. Expressions containing recursive self-calls are exempt (their
+  value depends on the whole program). Expressions with free lambda
+  variables — exempted outright by the paper — are fingerprinted under a
+  few sampled variable bindings instead, a heuristic equivalence that
+  keeps the pool tractable on a slow host evaluator (see DESIGN.md).
+
+Every closed, non-recursive entry caches its *value vector* (its result
+per example). New expressions are then evaluated in O(1) component
+applications — one call per example on the cached child values — rather
+than by re-interpreting the whole tree. Errors are values
+(:data:`~repro.core.values.ERROR`) and propagate strictly.
+
+**Incremental operation.** A store can outlive one DBS run and follow a
+whole TDS example sequence (BUSTLE-style signature widening):
+
+* :meth:`PoolStore.extend_examples` appends examples and lengthens every
+  cached vector by evaluating *only the new columns*; widening never
+  merges previously-distinct vectors (a prefix that differs stays
+  different), so semantic dedup is re-checked structurally, not
+  recomputed. Entries whose widened vector now fails a DSL admission
+  filter are dropped (``pool.entries_invalidated``).
+* Semantically rejected expressions are remembered in a capped *shadow*
+  list: an expression that collided with an earlier one on the example
+  prefix may diverge from it on a new example, and since it was already
+  hash-consed into the syntactic seen-set it could never be regenerated.
+  ``extend_examples`` widens the shadows too and *revives* the ones
+  whose fingerprints no longer collide (``pool.entries_revived``).
+* :meth:`PoolStore.refresh_lasy` re-evaluates cached vectors that
+  mention LaSy functions whose definitions changed between runs (the
+  LaSy runner mutates the shared mapping as other functions are
+  re-synthesized).
+
+Sampled fingerprints of free-variable expressions are computed over the
+example list at admission time and cannot be widened column-wise; on
+extension they are *recomputed* over the full widened list (the cost is
+bounded by the per-nonterminal var caps) so the free-variable corner of
+the pool stays exactly as deduplicated as a cold build would leave it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ...obs.metrics import Registry
+from ..budget import Budget
+from ..dsl import Dsl, Example, LambdaSpec, Signature
+from ..evaluator import (
+    Env,
+    EvaluationError,
+    Fuel,
+    expression_runner,
+)
+from ..expr import (
+    Call,
+    Const,
+    Expr,
+    Lambda,
+    LasyCall,
+    Param,
+    Recurse,
+    Var,
+    free_vars,
+    is_recursive,
+)
+from ..rewrite import Rewriter
+from ..types import Type, types_compatible
+from ..values import ERROR, signature_key
+
+# Fuel for one component evaluation during signature computation.
+_SIGNATURE_FUEL = 30_000
+
+# Expressions larger than this are never pooled; a safety valve against
+# pathological growth (the paper's programs top out ~20 lines).
+_MAX_EXPR_SIZE = 60
+
+
+@dataclass
+class PoolEntry:
+    expr: Expr
+    generation: int
+    # Cached result per example for closed, non-recursive expressions;
+    # None when the expression's value depends on context (free lambda
+    # variables, recursion, lambdas).
+    values: Optional[Tuple[Any, ...]] = None
+    # The semantic fingerprint the entry was admitted under; kept on the
+    # entry so extend_examples can re-key the seen-sets after widening.
+    sig: Optional[Tuple] = None
+
+
+@dataclass
+class PoolOptions:
+    """Feature switches, used by the §6.3 ablation experiments."""
+
+    use_dsl: bool = True
+    semantic_dedup: bool = True
+    signature_fuel: int = _SIGNATURE_FUEL
+    max_expr_size: int = _MAX_EXPR_SIZE
+    # Expressions with free lambda variables evade both the value-vector
+    # fast path and the admission filters, so their corner of the pool is
+    # additionally bounded: a size cap and a per-nonterminal count cap
+    # (generation order means the small, useful bodies arrive first).
+    max_var_expr_size: int = 16
+    max_var_exprs_per_nt: int = 1200
+    # Per-nonterminal cap on remembered semantic-dedup losers (revival
+    # candidates for incremental example extension).
+    max_shadow_entries: int = 2048
+
+
+class PoolStore:
+    """The candidate-expression store; may persist across DBS runs."""
+
+    def __init__(
+        self,
+        dsl: Dsl,
+        signature: Signature,
+        examples: Sequence[Example],
+        lasy_fns: Optional[Mapping[str, Any]] = None,
+        lasy_signatures: Optional[Mapping[str, Signature]] = None,
+        options: Optional[PoolOptions] = None,
+        budget: Optional[Budget] = None,
+        metrics: Optional[Registry] = None,
+    ):
+        self.dsl = dsl
+        self.signature = signature
+        self.examples = list(examples)
+        self.options = options or PoolOptions()
+        self.budget = budget or Budget()
+        # Possibly shared and mutated by the LaSy runner between runs;
+        # refresh_lasy() reconciles cached vectors against it.
+        self.lasy_fns = lasy_fns if lasy_fns is not None else {}
+        self.lasy_signatures = dict(lasy_signatures or {})
+        self.rewriter = Rewriter(dsl)
+        self.generation = 0
+        self.exhausted = False
+        # True while the newest generation's expansion has not run to
+        # completion (budget death, or the caller abandoned the batch
+        # generator after finding a program). A warm run must redo that
+        # generation — syntactic dedup makes the redo idempotent.
+        self.incomplete_generation = False
+        # Published by DBS for composition strategies.
+        self.previous_program: Optional[Expr] = None
+        self.guard_sets: List[frozenset] = []
+
+        self._entries: Dict[str, List[PoolEntry]] = {}
+        self._by_type: Dict[Type, List[PoolEntry]] = {}
+        self._seen_syntactic: set = set()
+        self._seen_semantic: Dict[str, set] = {}
+        self._shadows: Dict[str, List[PoolEntry]] = {}
+        self._var_counts: Dict[str, int] = {}
+        self._constants = dict(dsl.constants_for(self.examples))
+        self._lambda_specs = self._collect_lambda_specs()
+        self._sample_cache: Dict[Type, List[Any]] = {}
+        self._lasy_versions = {
+            name: id(fn) for name, fn in self.lasy_fns.items()
+        }
+
+        self.bind(metrics if metrics is not None else Registry(), self.budget)
+
+    # -- per-run rebinding ---------------------------------------------
+
+    def bind(self, metrics: Registry, budget: Budget) -> None:
+        """Attach the store to a run's registry and budget.
+
+        Metrics registries and budgets are per-DBS-run objects; a
+        persistent store must re-point its counters at the current run
+        before any offers happen, and clear last run's exhaustion state.
+        """
+        self.metrics = metrics
+        self.budget = budget
+        self._detailed = metrics.detailed
+        self._c_offered = metrics.counter("dbs.pool.offered")
+        self._c_added = metrics.counter("dbs.pool.added")
+        self._c_syntactic = metrics.counter("dbs.pool.dedup.syntactic")
+        self._c_semantic = metrics.counter("dbs.pool.dedup.semantic")
+        self._c_rejected = metrics.counter("dbs.pool.rejected")
+        self._c_rewrites = metrics.counter("dbs.rewrite.canonicalized")
+        self._c_vector_evals = metrics.counter("dbs.eval.vector_evals")
+        self._c_applies = metrics.counter("dbs.eval.component_applies")
+        self._c_reused = metrics.counter("pool.entries_reused")
+        self._c_invalidated = metrics.counter("pool.entries_invalidated")
+        self._c_revived = metrics.counter("pool.entries_revived")
+        self._c_refreshed = metrics.counter("pool.entries_refreshed")
+        self._c_pruned = metrics.counter("pool.entries_pruned")
+        self.exhausted = False
+        if self.incomplete_generation:
+            # Redo the interrupted generation: stepping back makes the
+            # next advance re-offer its combinations (cheap no-ops for
+            # the ones already admitted via the syntactic seen-set).
+            self.generation = max(0, self.generation - 1)
+            self.incomplete_generation = False
+
+    def compatible_options(self, options: PoolOptions) -> bool:
+        """Whether a persisted store can serve a run with ``options``."""
+        return (
+            self.options.use_dsl == options.use_dsl
+            and self.options.semantic_dedup == options.semantic_dedup
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def expressions(self, nt: str) -> List[Expr]:
+        """All pooled expressions usable where ``nt`` is expected,
+        following unit productions and single-branch conditionals."""
+        return [entry.expr for entry in self.iter_entries(nt)]
+
+    def iter_entries(self, nt: str) -> Iterator[PoolEntry]:
+        """Lazily iterate entries usable where ``nt`` is expected."""
+        if nt in self.dsl.nonterminals:
+            names = self.dsl.expansion(nt)
+        else:
+            names = (nt,)
+        for name in names:
+            yield from self._entries.get(name, ())
+
+    def expressions_of_type(self, ty: Type) -> List[Expr]:
+        out: List[Expr] = []
+        for pool_ty, entries in self._by_type.items():
+            if types_compatible(ty, pool_ty):
+                out.extend(entry.expr for entry in entries)
+        return out
+
+    def compatible_with_hole(self, hole_nt: str, hole_type: Type) -> List[Expr]:
+        """Expressions that may fill a context hole.
+
+        With the DSL on, the hole's nonterminal must match (§5.1: the
+        grammar, not just types, decides what to build); with the DSL off,
+        any type-compatible expression qualifies.
+        """
+        if self.options.use_dsl:
+            return self.expressions(hole_nt)
+        return self.expressions_of_type(hole_type)
+
+    def total(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def all_expressions(self) -> List[Expr]:
+        """Every pooled expression, across all nonterminals."""
+        return list(self.iter_all())
+
+    def iter_all(self) -> Iterator[Expr]:
+        """Lazily iterate every pooled expression.
+
+        Safe against admissions during iteration (``offer_external``
+        from a strategy running mid-batch): iterates a snapshot of the
+        nonterminal keys and indexes entry lists positionally.
+        """
+        for nt in list(self._entries):
+            entries = self._entries[nt]
+            index = 0
+            while index < len(entries):
+                yield entries[index].expr
+                index += 1
+
+    # -- construction helpers ------------------------------------------
+
+    def _collect_lambda_specs(self) -> List[LambdaSpec]:
+        specs: List[LambdaSpec] = []
+        for prod in self.dsl.productions:
+            for arg in prod.args:
+                if isinstance(arg, LambdaSpec) and arg not in specs:
+                    specs.append(arg)
+        return specs
+
+    @staticmethod
+    def _type_nt(ty: Type) -> str:
+        return f"τ:{ty}"
+
+    def constants_for(self, nt: str) -> Tuple[Any, ...]:
+        return tuple(self._constants.get(nt, ()))
+
+    def all_constants(self) -> Iterator[Any]:
+        for values in self._constants.values():
+            yield from values
+
+    def offer_external(self, expr: Expr) -> Optional[Expr]:
+        """Admit an externally-built expression (composition-strategy
+        candidates) so later generations can compose over it."""
+        try:
+            return self.offer(expr)
+        except Exception:
+            return None
+
+    # -- dedup / admission ---------------------------------------------
+
+    def offer(
+        self, expr: Expr, values: Optional[Tuple[Any, ...]] = None
+    ) -> Optional[Expr]:
+        """Canonicalize, deduplicate, and admit an expression. Returns the
+        admitted (canonical) expression, or None if it was a duplicate."""
+        self.budget.charge_expression()
+        self._c_offered.value += 1
+        if expr.size > self.options.max_expr_size:
+            self._c_rejected.value += 1
+            if self._detailed:
+                self._c_rejected.label(reason="size", nt=expr.nt)
+            return None
+        if not _recursion_shape_ok(expr):
+            self._c_rejected.value += 1
+            if self._detailed:
+                self._c_rejected.label(reason="recursion_shape", nt=expr.nt)
+            return None
+        expr_vars = free_vars(expr)
+        if expr_vars:
+            if expr.size > self.options.max_var_expr_size:
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="var_size", nt=expr.nt)
+                return None
+            if (
+                self._var_counts.get(expr.nt, 0)
+                >= self.options.max_var_exprs_per_nt
+            ):
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="var_cap", nt=expr.nt)
+                return None
+        # Children come from the pool and are already canonical, so only
+        # the root needs rewriting; rewrites are semantics-preserving, so
+        # any computed value vector remains valid.
+        canonical = self.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            self._c_rewrites.value += 1
+            if self._detailed:
+                self._c_rewrites.label(nt=expr.nt)
+            expr = canonical
+        key = (expr.nt, expr)
+        if key in self._seen_syntactic:
+            self._c_syntactic.value += 1
+            if self._detailed:
+                self._c_syntactic.label(nt=expr.nt)
+            return None
+        self._seen_syntactic.add(key)
+        if values is None and self._closed_evaluable(expr):
+            values = self._evaluate_vector(expr)
+        if values is not None:
+            predicate = self.dsl.admission_filters.get(expr.nt)
+            if predicate is not None and not predicate(values, self.examples):
+                self._c_rejected.value += 1
+                if self._detailed:
+                    self._c_rejected.label(reason="filter", nt=expr.nt)
+                return None
+        sig = None
+        if self.options.semantic_dedup:
+            sig = self._semantic_signature(expr, values)
+            if sig is not None:
+                seen = self._seen_semantic.setdefault(expr.nt, set())
+                if sig in seen:
+                    self._c_semantic.value += 1
+                    if self._detailed:
+                        self._c_semantic.label(nt=expr.nt)
+                    if values is not None:
+                        # Remember the loser: it is hash-consed into the
+                        # syntactic seen-set and could otherwise never
+                        # come back, yet a future example may separate
+                        # it from the entry that shadowed it.
+                        self._shadow(
+                            PoolEntry(expr, self.generation, values, sig)
+                        )
+                    return None
+                seen.add(sig)
+        entry = PoolEntry(expr, self.generation, values, sig)
+        if expr_vars:
+            self._var_counts[expr.nt] = self._var_counts.get(expr.nt, 0) + 1
+        self._admit(entry)
+        return expr
+
+    def _admit(self, entry: PoolEntry) -> None:
+        expr = entry.expr
+        self._c_added.value += 1
+        if self._detailed:
+            self._c_added.label(nt=expr.nt, size=expr.size)
+        self._entries.setdefault(expr.nt, []).append(entry)
+        if not isinstance(expr, Lambda):
+            ty = self._expr_type(expr)
+            if ty is not None:
+                self._by_type.setdefault(ty, []).append(entry)
+
+    def _shadow(self, entry: PoolEntry) -> None:
+        bucket = self._shadows.setdefault(entry.expr.nt, [])
+        if len(bucket) < self.options.max_shadow_entries:
+            bucket.append(entry)
+
+    def _closed_evaluable(self, expr: Expr) -> bool:
+        return (
+            bool(self.examples)
+            and not isinstance(expr, Lambda)
+            and not is_recursive(expr)
+            and not free_vars(expr)
+        )
+
+    def _evaluate_vector(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
+        """Full-evaluation fallback for seeds and lambda-bearing calls.
+
+        The expression is compiled once and the closure run per example
+        (see repro.core.compile); on the interpreter mode this degrades
+        to plain ``evaluate`` calls."""
+        return self._evaluate_tail(expr, self.examples)
+
+    def _evaluate_tail(
+        self, expr: Expr, examples: Sequence[Example]
+    ) -> Optional[Tuple[Any, ...]]:
+        """Value vector of ``expr`` over ``examples`` only — the widening
+        primitive: extending a cached vector costs one evaluation per
+        *appended* example, never a recomputation of the prefix."""
+        names = self.signature.param_names
+        out: List[Any] = []
+        self._c_vector_evals.value += len(examples)
+        runner = expression_runner(expr)
+        for example in examples:
+            env = Env(
+                params=dict(zip(names, example.args)),
+                lasy_fns=self.lasy_fns,
+                fuel=Fuel(self.options.signature_fuel),
+            )
+            try:
+                value = runner(env)
+            except EvaluationError:
+                value = ERROR
+            if callable(value):
+                return None
+            out.append(value)
+        return tuple(out)
+
+    def _expr_type(self, expr: Expr) -> Optional[Type]:
+        if isinstance(expr, (Param, Const, Var)):
+            return expr.type
+        if isinstance(expr, Call):
+            return expr.func.return_type
+        if isinstance(expr, Recurse):
+            return self.signature.return_type
+        if isinstance(expr, LasyCall):
+            sig = self.lasy_signatures.get(expr.func_name)
+            return sig.return_type if sig else None
+        if expr.nt in self.dsl.nonterminals:
+            return self.dsl.type_of(expr.nt)
+        return None
+
+    # -- incremental extension -----------------------------------------
+
+    def extend_examples(
+        self, new_examples: Sequence[Example], seeds: Sequence[Expr] = ()
+    ) -> Dict[str, int]:
+        """Append examples, widening every cached value vector by the new
+        columns only, and re-run semantic dedup on the widened vectors.
+
+        ``seeds`` are the expressions the caller is about to re-seed (the
+        current ``P_i``'s subexpressions): constants they mention stay
+        alive through :meth:`_prune_stale_constants`.
+
+        Returns a report dict: ``reused`` entries kept, ``invalidated``
+        entries dropped by an admission filter on the widened vector,
+        ``pruned`` entries dropped for mentioning stale constants,
+        ``revived`` shadow entries readmitted because their fingerprint
+        no longer collides. The same counts land on the bound registry
+        as ``pool.entries_*`` counters.
+        """
+        appended = list(new_examples)
+        report = {"reused": 0, "invalidated": 0, "revived": 0, "pruned": 0}
+        if not appended:
+            return report
+        self.examples.extend(appended)
+        # Example-derived state: constants and variable samples may gain
+        # members from the new examples. The enumerator re-seeds atoms
+        # after an extension so new constants enter the pool.
+        self._constants = dict(self.dsl.constants_for(self.examples))
+        self._sample_cache = {}
+        self._prune_stale_constants(seeds, report)
+        filters = self.dsl.admission_filters
+        dedup = self.options.semantic_dedup
+        for nt, entries in list(self._entries.items()):
+            kept: List[PoolEntry] = []
+            seen: set = set()
+            predicate = filters.get(nt)
+            for entry in entries:
+                if entry.values is not None:
+                    tail = self._evaluate_tail(entry.expr, appended)
+                    if tail is None:
+                        # Stopped being vector-cacheable (callable value
+                        # on a new input); keep the entry uncached.
+                        entry.values = None
+                        entry.sig = None
+                    else:
+                        entry.values = entry.values + tail
+                        if predicate is not None and not predicate(
+                            entry.values, self.examples
+                        ):
+                            report["invalidated"] += 1
+                            self._c_invalidated.value += 1
+                            continue
+                        entry.sig = (
+                            self._semantic_signature(entry.expr, entry.values)
+                            if dedup
+                            else None
+                        )
+                else:
+                    # Sampled fingerprints (free-variable and lambda
+                    # entries) were taken over the shorter example list
+                    # and cannot be widened column-wise; recompute them
+                    # over the full widened list, exactly as a cold
+                    # admission would — otherwise the var corner of the
+                    # pool escapes dedup and bloats every later
+                    # generation's combination space.
+                    entry.sig = (
+                        self._semantic_signature(entry.expr, None)
+                        if dedup
+                        else None
+                    )
+                if entry.sig is not None:
+                    if entry.sig in seen:
+                        self._c_semantic.value += 1
+                        if entry.values is not None:
+                            # Widening appends columns, so distinct
+                            # vectors stay distinct; a collision here
+                            # means the pair was never both vector-keyed
+                            # before. Shadow the loser for revival.
+                            self._shadow(entry)
+                        elif free_vars(entry.expr):
+                            # Sampled-sig losers are dropped outright
+                            # (cold admission never shadows them either);
+                            # free the slot under the per-nt var cap.
+                            self._var_counts[nt] = max(
+                                0, self._var_counts.get(nt, 0) - 1
+                            )
+                        continue
+                    seen.add(entry.sig)
+                kept.append(entry)
+                report["reused"] += 1
+            self._entries[nt] = kept
+            if dedup:
+                self._seen_semantic[nt] = seen
+            else:
+                self._seen_semantic.pop(nt, None)
+        self._rebuild_by_type()
+        self._c_reused.value += report["reused"]
+        if dedup:
+            report["revived"] = self._revive_shadows(appended, filters)
+        else:
+            self._shadows.clear()
+        return report
+
+    def _prune_stale_constants(
+        self, seeds: Sequence[Expr], report: Dict[str, int]
+    ) -> None:
+        """Forget entries built from constants that no longer exist.
+
+        Early iterations derive constants from few examples (often whole
+        output strings); later iterations shrink that set, but a
+        persistent pool would keep every composite built over the stale
+        atoms — expressions a cold rebuild would never enumerate, each
+        one multiplying later generations' combination space. Algorithm 1
+        is explicit that components of earlier programs that no longer
+        appear are *forgotten*; the constants the current ``P_i``'s
+        subexpressions still mention stay (the cold build seeds those
+        too). Pruned expressions leave the seen-sets, so an equivalent
+        admission can happen again if the constant ever returns.
+        """
+        allowed = set()
+        for values in self._constants.values():
+            allowed.update(values)
+        for seed in seeds:
+            for node in seed.walk():
+                if isinstance(node, Const):
+                    allowed.add(node.value)
+        present = set()
+        for entries in self._entries.values():
+            for entry in entries:
+                for node in entry.expr.walk():
+                    if isinstance(node, Const):
+                        present.add(node.value)
+        stale = present - allowed
+        if not stale:
+            return
+
+        def is_stale(expr: Expr) -> bool:
+            return any(
+                isinstance(node, Const) and node.value in stale
+                for node in expr.walk()
+            )
+
+        dropped = False
+        for nt, entries in list(self._entries.items()):
+            kept: List[PoolEntry] = []
+            for entry in entries:
+                if not is_stale(entry.expr):
+                    kept.append(entry)
+                    continue
+                self._seen_syntactic.discard((entry.expr.nt, entry.expr))
+                if entry.sig is not None:
+                    self._seen_semantic.get(nt, set()).discard(entry.sig)
+                report["pruned"] += 1
+                self._c_pruned.value += 1
+                dropped = True
+            self._entries[nt] = kept
+        for nt, bucket in list(self._shadows.items()):
+            survivors = []
+            for entry in bucket:
+                if is_stale(entry.expr):
+                    self._seen_syntactic.discard((entry.expr.nt, entry.expr))
+                else:
+                    survivors.append(entry)
+            self._shadows[nt] = survivors
+        if dropped:
+            self._var_counts = {}
+            for nt, entries in self._entries.items():
+                self._var_counts[nt] = sum(
+                    1 for e in entries if free_vars(e.expr)
+                )
+            # _by_type is rebuilt by extend_examples after widening.
+
+    def _revive_shadows(self, appended, filters) -> int:
+        revived = 0
+        for nt, bucket in list(self._shadows.items()):
+            if not bucket:
+                continue
+            seen = self._seen_semantic.setdefault(nt, set())
+            predicate = filters.get(nt)
+            survivors: List[PoolEntry] = []
+            for entry in bucket:
+                tail = self._evaluate_tail(entry.expr, appended)
+                if tail is None:
+                    continue
+                entry.values = entry.values + tail
+                if predicate is not None and not predicate(
+                    entry.values, self.examples
+                ):
+                    continue
+                sig = self._semantic_signature(entry.expr, entry.values)
+                entry.sig = sig
+                if sig is not None and sig in seen:
+                    survivors.append(entry)
+                    continue
+                if sig is not None:
+                    seen.add(sig)
+                # Revived entries join the current generation so the
+                # next advance() treats them as fresh combination fodder.
+                entry.generation = self.generation
+                self._admit(entry)
+                revived += 1
+                self._c_revived.value += 1
+            self._shadows[nt] = survivors
+        return revived
+
+    def _rebuild_by_type(self) -> None:
+        by_type: Dict[Type, List[PoolEntry]] = {}
+        for entries in self._entries.values():
+            for entry in entries:
+                if isinstance(entry.expr, Lambda):
+                    continue
+                ty = self._expr_type(entry.expr)
+                if ty is not None:
+                    by_type.setdefault(ty, []).append(entry)
+        self._by_type = by_type
+
+    def refresh_lasy(self) -> int:
+        """Re-evaluate cached vectors that mention LaSy functions whose
+        definitions changed since the last run (identity snapshot); the
+        LaSy runner rebinds ``lasy_fns[name]`` whenever another function
+        is re-synthesized, silently staling any vector that called it.
+        Returns the number of entries refreshed."""
+        current = {name: id(fn) for name, fn in self.lasy_fns.items()}
+        if current == self._lasy_versions:
+            return 0
+        changed = {
+            name
+            for name in set(current) | set(self._lasy_versions)
+            if current.get(name) != self._lasy_versions.get(name)
+        }
+        self._lasy_versions = current
+        dedup = self.options.semantic_dedup
+        refreshed = 0
+        dropped_any = False
+        for nt, entries in list(self._entries.items()):
+            touched = False
+            for entry in entries:
+                if not _mentions_lasy(entry.expr, changed):
+                    continue
+                if self._closed_evaluable(entry.expr):
+                    entry.values = self._evaluate_vector(entry.expr)
+                else:
+                    entry.values = None
+                entry.sig = (
+                    self._semantic_signature(entry.expr, entry.values)
+                    if dedup and entry.values is not None
+                    else None
+                )
+                refreshed += 1
+                touched = True
+            if touched and dedup:
+                # Refreshed vectors may now collide with each other (or
+                # with untouched entries); rebuild this nonterminal's
+                # seen-set, shadowing the losers.
+                seen: set = set()
+                kept: List[PoolEntry] = []
+                for entry in entries:
+                    if entry.sig is not None:
+                        if entry.sig in seen:
+                            self._c_semantic.value += 1
+                            self._shadow(entry)
+                            continue
+                        seen.add(entry.sig)
+                    kept.append(entry)
+                if len(kept) != len(entries):
+                    self._entries[nt] = kept
+                    dropped_any = True
+                self._seen_semantic[nt] = seen
+        for nt, bucket in self._shadows.items():
+            # Stale shadows are cheap to drop and expensive to refresh.
+            self._shadows[nt] = [
+                e for e in bucket if not _mentions_lasy(e.expr, changed)
+            ]
+        if dropped_any:
+            self._rebuild_by_type()
+        self._c_refreshed.value += refreshed
+        return refreshed
+
+    # -- semantic fingerprints -----------------------------------------
+
+    # Sample bindings used to fingerprint expressions with free lambda
+    # variables (see module docstring).
+    _VAR_SAMPLES = {
+        "int": (0, 1, 2),
+        "str": ("", "b a", "xy"),
+        "bool": (False, True),
+        "char": ("a", " "),
+    }
+
+    def _var_sample_values(self, ty: Type) -> Tuple[Any, ...]:
+        """Sample bindings for a lambda variable: canned primitives plus
+        values of the right shape harvested from the examples (e.g. the
+        child elements of an XML input for a node-typed loop variable).
+        Returns () when no credible sample exists — the caller must then
+        skip semantic dedup rather than collapse everything."""
+        harvested = self._harvest_samples(ty)
+        canned = self._VAR_SAMPLES.get(ty.name, ())
+        if ty.is_list and not harvested:
+            return ((),)
+        out = list(harvested) + [s for s in canned if s not in harvested]
+        return tuple(out[:3])
+
+    def _harvest_samples(self, ty: Type) -> List[Any]:
+        cache = self._sample_cache
+        if ty in cache:
+            return cache[ty]
+        found: List[Any] = []
+
+        def consider(value: Any, depth: int) -> None:
+            if len(found) >= 3:
+                return
+            if _matches_type(value, ty) and value not in found:
+                found.append(value)
+            if depth <= 0:
+                return
+            if isinstance(value, tuple):
+                for item in value[:4]:
+                    consider(item, depth - 1)
+            elif hasattr(value, "elements"):
+                for item in value.elements()[:4]:
+                    consider(item, depth - 1)
+
+        for example in self.examples:
+            for value in list(example.args) + [example.output]:
+                consider(value, 2)
+        cache[ty] = found
+        return found
+
+    def _sample_bindings(self, names_types) -> List[Dict[str, Any]]:
+        combos: List[Dict[str, Any]] = [{}]
+        for name, ty in names_types:
+            samples = self._var_sample_values(ty)
+            combos = [
+                {**combo, name: sample}
+                for combo in combos
+                for sample in samples
+            ]
+            if len(combos) > 27:
+                combos = combos[:27]
+        return combos
+
+    def _free_var_types(self, expr: Expr) -> Optional[List[Tuple[str, Type]]]:
+        names = sorted(free_vars(expr))
+        out: List[Tuple[str, Type]] = []
+        for name in names:
+            ty = self.dsl.lambda_vars.get(name)
+            if ty is None:
+                return None
+            out.append((name, ty))
+        return out
+
+    def _semantic_signature(
+        self, expr: Expr, values: Optional[Tuple[Any, ...]]
+    ) -> Optional[Tuple]:
+        """The fingerprint driving semantic dedup, or None when exempt."""
+        if is_recursive(expr):
+            return None
+        if not self.examples:
+            return None
+        adapter = self.dsl.signature_adapters.get(expr.nt)
+        if values is not None:
+            out = []
+            for value, example in zip(values, self.examples):
+                if adapter is not None and value is not ERROR:
+                    try:
+                        value = adapter(value, example)
+                    except Exception:
+                        value = ERROR
+                out.append(value)
+            try:
+                return signature_key(out)
+            except TypeError:
+                return None
+        return self._sampled_signature(expr, adapter)
+
+    def _sampled_signature(self, expr: Expr, adapter) -> Optional[Tuple]:
+        """Fingerprint for expressions with free lambda variables (or
+        lambdas): evaluate under sampled bindings."""
+        target = expr
+        binder_vars: List[Tuple[str, Type]] = []
+        if isinstance(expr, Lambda):
+            target = expr.body
+            binder_vars = [(p.name, p.type) for p in expr.params]
+            if adapter is None:
+                adapter = self.dsl.signature_adapters.get(target.nt)
+        var_types = self._free_var_types(target)
+        if var_types is None:
+            return None
+        if any(not self._var_sample_values(ty) for _, ty in var_types):
+            return None  # no credible samples: skip dedup, keep the expr
+        bindings = self._sample_bindings(var_types)
+        values = []
+        names = self.signature.param_names
+        runner = expression_runner(target)
+        for example in self.examples:
+            for binding in bindings:
+                env = Env(
+                    params=dict(zip(names, example.args)),
+                    vars=dict(binding),
+                    lasy_fns=self.lasy_fns,
+                    fuel=Fuel(self.options.signature_fuel),
+                )
+                try:
+                    value = runner(env)
+                    if adapter is not None:
+                        value = adapter(value, example)
+                except EvaluationError:
+                    value = ERROR
+                except Exception:
+                    value = ERROR
+                if callable(value):
+                    return None
+                values.append(value)
+        if binder_vars:
+            values.append(("λ", tuple(str(t) for _, t in binder_vars)))
+        # Two expressions over *different* variables are never the same
+        # component even when the sampled bindings coincide (a two-lambda
+        # production needs bodies for each of its variables).
+        values.append(("vars", tuple(name for name, _ in var_types)))
+        try:
+            return signature_key(values)
+        except TypeError:
+            return None
+
+
+def _mentions_lasy(expr: Expr, names) -> bool:
+    return any(
+        isinstance(node, LasyCall) and node.func_name in names
+        for node in expr.walk()
+    )
+
+
+def _value_type(value: Any, dsl: Dsl) -> Type:
+    """Best-effort runtime type of a constant (for the no-DSL mode)."""
+    from ..types import BOOL, INT, STRING, Type as _Type, list_of
+
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, tuple):
+        if value and isinstance(value[0], str):
+            return list_of(STRING)
+        if value and isinstance(value[0], int):
+            return list_of(INT)
+        return list_of(_Type("any"))
+    type_name = type(value).__name__.lower()
+    for ty in dsl.nonterminals.values():
+        if ty.name == type_name:
+            return ty
+    return _Type("any")
+
+
+def _recursion_shape_ok(expr: Expr) -> bool:
+    """Structural sanity for recursive expressions: at most two self-calls,
+    no nested self-calls, and every self-call must mention a parameter or
+    variable (a constant-argument self-call either diverges or is a
+    constant). These exemptions keep the un-deduplicated recursive corner
+    of the pool from exploding."""
+    recurse_nodes = [n for n in expr.walk() if isinstance(n, Recurse)]
+    if not recurse_nodes:
+        return True
+    if len(recurse_nodes) > 2:
+        return False
+    for node in recurse_nodes:
+        inner = [
+            d
+            for arg in node.args
+            for d in arg.walk()
+            if isinstance(d, Recurse)
+        ]
+        if inner:
+            return False
+        mentions_input = any(
+            isinstance(d, (Param, Var))
+            for arg in node.args
+            for d in arg.walk()
+        )
+        if not mentions_input:
+            return False
+    return True
+
+
+def _matches_type(value: Any, ty: Type) -> bool:
+    """Shallow runtime type check used when harvesting var samples."""
+    if ty.name == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if ty.name in ("str", "char"):
+        return isinstance(value, str)
+    if ty.name == "bool":
+        return isinstance(value, bool)
+    if ty.is_list:
+        return isinstance(value, tuple) and all(
+            _matches_type(v, ty.element_type()) for v in value[:3]
+        )
+    if ty.name == "xml":
+        return hasattr(value, "elements") and hasattr(value, "tag")
+    if ty.name == "table":
+        return isinstance(value, tuple)
+    return False

@@ -1,0 +1,288 @@
+"""The cross-run synthesis session (orchestration layer).
+
+A :class:`SynthesisSession` owns the persistent :class:`~.pool.PoolStore`
+and :class:`~.enumerator.Enumerator` and threads them — together with
+the per-run tester, budget, metrics registry, and tracer — through
+consecutive DBS invocations of one TDS example sequence (Algorithm 1).
+
+Per run, :meth:`SynthesisSession.begin_run` either
+
+* builds the store cold (first run, or the run's options/examples are
+  incompatible with what the store holds), or
+* *extends* it: rebinds counters and budget, reconciles LaSy-function
+  staleness, widens every cached value vector by the newly appended
+  examples only (``PoolStore.extend_examples``), and re-seeds atoms and
+  the current ``P_i``'s subexpressions into the store at the current
+  generation — so iteration ``i+1`` starts from iteration ``i``'s
+  enumeration frontier instead of from scratch.
+
+The T(p)/B(g) conditional store and the tester are per-run (they depend
+on the full example list and the run's budget); only the expression
+store survives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..conditionals import ConditionalStore, guard_nts
+from ..contexts import Context, hole_type
+from ..dsl import Dsl, Example, Signature
+from ..expr import Expr, free_vars
+from ..types import types_compatible
+from .enumerator import Enumerator
+from .pool import PoolOptions, PoolStore
+from .registry import StrategyRegistry, default_registry
+from .testing import Tester
+
+REUSE_KEYS = ("reused", "invalidated", "revived", "refreshed", "pruned")
+
+
+def acceptable_nts(
+    contexts: Sequence[Context], dsl: Dsl, options
+) -> Dict[int, frozenset]:
+    """Per context (by position), the nonterminal tags it accepts."""
+    table: Dict[int, frozenset] = {}
+    for i, ctx in enumerate(contexts):
+        if ctx.hole_nt in dsl.nonterminals:
+            table[i] = frozenset(dsl.expansion(ctx.hole_nt))
+        else:
+            table[i] = frozenset((ctx.hole_nt,))
+    return table
+
+
+class SynthesisSession:
+    """Pool, tester, budget, metrics, and tracer for a DBS run — with
+    the pool (and enumerator) persisting across runs."""
+
+    def __init__(
+        self,
+        dsl: Dsl,
+        signature: Signature,
+        *,
+        lasy_fns: Optional[Mapping[str, Any]] = None,
+        lasy_signatures: Optional[Mapping[str, Signature]] = None,
+        registry: Optional[StrategyRegistry] = None,
+    ):
+        self.dsl = dsl
+        self.signature = signature
+        # Shared with (and mutated by) the LaSy runner; the store's
+        # refresh_lasy reconciles cached vectors against it per run.
+        self.lasy_fns = lasy_fns if lasy_fns is not None else {}
+        self.lasy_signatures = dict(lasy_signatures or {})
+        self.registry = registry or default_registry()
+
+        self.pool: Optional[PoolStore] = None
+        self.enumerator: Optional[Enumerator] = None
+        self.runs = 0
+        # Lifetime pool.entries_* totals across runs (benchmarks and the
+        # differential tests read these; per-run values live on each
+        # run's metrics registry).
+        self.reuse_totals: Dict[str, int] = {k: 0 for k in REUSE_KEYS}
+
+        # Per-run state, populated by begin_run.
+        self.contexts: List[Context] = []
+        self.examples: List[Example] = []
+        self.budget = None
+        self.options = None
+        self.stats = None
+        self.tracer = None
+        self.tester: Optional[Tester] = None
+        self.store: Optional[ConditionalStore] = None
+        self.guard_nts: frozenset = frozenset()
+        self.acceptable: Dict[int, frozenset] = {}
+        self.root_nt: Optional[str] = None
+        self.all_set: frozenset = frozenset()
+        self.max_branches = 1
+        self.previous_program: Optional[Expr] = None
+        self.last_store_size = (-1, -1)
+        self.cancel: Optional[threading.Event] = None
+
+    # -- run lifecycle -------------------------------------------------
+
+    def begin_run(
+        self,
+        *,
+        contexts: Sequence[Context],
+        examples: Sequence[Example],
+        seeds: Sequence[Expr],
+        budget,
+        options,
+        stats,
+        tracer,
+        previous_program: Optional[Expr] = None,
+        max_branches: int = 1,
+    ) -> "SynthesisSession":
+        self.contexts = list(contexts)
+        self.examples = list(examples)
+        self.budget = budget
+        self.options = options
+        self.stats = stats
+        self.tracer = tracer
+        self.previous_program = previous_program
+        self.max_branches = max_branches
+        self.cancel = None
+        self.last_store_size = (-1, -1)
+
+        pool_options = PoolOptions(
+            use_dsl=options.use_dsl,
+            semantic_dedup=options.semantic_dedup,
+        )
+        pool = self.pool
+        if pool is not None and not pool.compatible_options(pool_options):
+            pool = self.pool = None
+        suffix = self._extension_suffix(pool) if pool is not None else None
+        if pool is None or suffix is None:
+            self._build_cold(seeds, pool_options)
+        else:
+            self._extend_warm(suffix, seeds)
+        pool = self.pool
+        assert pool is not None
+        pool.previous_program = previous_program
+        pool.guard_sets = []
+
+        self.store = ConditionalStore(len(self.examples))
+        self.guard_nts = guard_nts(self.dsl)
+        self.all_set = frozenset(range(len(self.examples)))
+        self.acceptable = acceptable_nts(self.contexts, self.dsl, options)
+        self.root_nt = next(
+            (ctx.hole_nt for ctx in self.contexts if ctx.is_trivial),
+            self.dsl.start,
+        )
+        self.tester = Tester(
+            self.signature,
+            self.examples,
+            self.lasy_fns,
+            options,
+            stats,
+            budget,
+            previous_program=previous_program,
+        )
+        self.runs += 1
+        return self
+
+    def _extension_suffix(self, pool: PoolStore) -> Optional[List[Example]]:
+        """The examples to append, or None when the run's example list is
+        not an extension of the store's (the store only ever widens)."""
+        held = pool.examples
+        if len(self.examples) < len(held):
+            return None
+        if self.examples[: len(held)] != held:
+            return None
+        return self.examples[len(held):]
+
+    def _build_cold(self, seeds: Sequence[Expr], pool_options) -> None:
+        with self.tracer.span(
+            "dbs.enumerate", generation=0, production="<atoms>"
+        ) as span:
+            self.pool = PoolStore(
+                self.dsl,
+                self.signature,
+                self.examples,
+                lasy_fns=self.lasy_fns,
+                lasy_signatures=self.lasy_signatures,
+                options=pool_options,
+                budget=self.budget,
+                metrics=self.stats.registry,
+            )
+            self.enumerator = Enumerator(self.pool)
+            self.enumerator.seed(seeds)
+            span.set(
+                offered=self.budget.expressions, added=self.pool.total()
+            )
+
+    def _extend_warm(self, suffix: Sequence[Example], seeds) -> None:
+        pool = self.pool
+        pool.bind(self.stats.registry, self.budget)
+        with self.tracer.span(
+            "pool.extend",
+            examples=len(self.examples),
+            appended=len(suffix),
+            entries=pool.total(),
+        ) as span:
+            refreshed = pool.refresh_lasy()
+            report = pool.extend_examples(suffix, seeds=seeds)
+            offered_before = self.budget.expressions
+            # Re-seed: constants derived from the appended examples and
+            # P_i's subexpressions enter at the current generation, so
+            # the next advance composes over them (Algorithm 1: "the
+            # effort to build it in previous iterations is not wasted").
+            # The nested span keeps the report invariant that every
+            # budget expression charge falls inside a dbs.enumerate (or
+            # dbs.strategies) span.
+            with self.tracer.span(
+                "dbs.enumerate",
+                generation=pool.generation,
+                production="<atoms>",
+            ) as seed_span:
+                self.enumerator.seed(seeds)
+                seed_span.set(
+                    offered=self.budget.expressions - offered_before,
+                    added=pool.total(),
+                )
+            span.set(
+                seeded=self.budget.expressions - offered_before,
+                refreshed=refreshed,
+                **report,
+            )
+        report["refreshed"] = refreshed
+        for key in REUSE_KEYS:
+            self.reuse_totals[key] += report.get(key, 0)
+
+    def cancelled(self) -> bool:
+        return self.cancel is not None and self.cancel.is_set()
+
+    # -- candidate testing ---------------------------------------------
+
+    def test_batch(self, exprs, span=None) -> Optional[Expr]:
+        """Plug each expression into each compatible context; return a
+        program satisfying every example, else record T(p)/B(g) and None.
+
+        ``exprs`` may be any iterable (including a lazy pool view); the
+        batch size is attached to ``span`` as it becomes known.
+        """
+        options = self.options
+        tester = self.tester
+        store = self.store
+        contexts = self.contexts
+        acceptable = self.acceptable
+        use_dsl = options.use_dsl
+        guards = self.guard_nts
+        count = 0
+        try:
+            for expr in exprs:
+                count += 1
+                expr_free = free_vars(expr)
+                is_guard = (
+                    expr.nt in guards if use_dsl else expr.nt == "τ:bool"
+                )
+                if is_guard and not expr_free:
+                    true_set, errors = tester.guard_sets(expr)
+                    store.record_guard(expr, true_set, errors)
+                    tester._guard_records.value += 1
+                for i, ctx in enumerate(contexts):
+                    if use_dsl:
+                        if expr.nt not in acceptable[i]:
+                            continue
+                    else:
+                        expr_type = hole_type(self.dsl, expr)
+                        if expr_type is None or not types_compatible(
+                            ctx.hole_type, expr_type
+                        ):
+                            continue
+                    program = ctx.plug(expr)
+                    if free_vars(program):
+                        continue
+                    passed = tester.passed_set(program)
+                    if len(passed) == len(tester.examples) and tester.examples:
+                        return program
+                    store.record_program(program, passed)
+                    tester._program_records.value += 1
+                    angelic = tester.angelic_passed_set(program)
+                    if angelic and angelic != passed:
+                        store.record_program(program, angelic)
+        finally:
+            if span is not None:
+                span.set(batch=count)
+        return None

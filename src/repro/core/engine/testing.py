@@ -1,0 +1,150 @@
+"""Candidate testing against the example suite (testing layer).
+
+:class:`Tester` evaluates candidate programs, computing the paper's
+T(p) sets (§5.2) and guard B(g) sets, with the angelic-recursion oracle
+for branch bodies of recursive programs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..budget import Budget, BudgetExhausted
+from ..dsl import Example, Signature
+from ..evaluator import EvaluationError, run_program
+from ..expr import Expr, is_recursive
+from ..values import ERROR, structurally_equal
+
+# Metric names shared with DbsStats (kept as literals to avoid a
+# circular import with repro.core.dbs).
+PROGRAMS_TESTED = "dbs.programs_tested"
+
+
+class Tester:
+    """Evaluates candidate programs against the examples."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        examples: Sequence[Example],
+        lasy_fns: Mapping,
+        options,
+        stats,
+        budget: Budget,
+        previous_program: Optional[Expr] = None,
+    ):
+        self.signature = signature
+        self.examples = list(examples)
+        self.lasy_fns = lasy_fns
+        self.options = options
+        self.stats = stats
+        self.budget = budget
+        self.previous_program = previous_program
+        self._tested = stats.registry.counter(PROGRAMS_TESTED)
+        self._guard_records = stats.registry.counter(
+            "dbs.cond.guards_recorded"
+        )
+        self._program_records = stats.registry.counter(
+            "dbs.cond.programs_recorded"
+        )
+        # Once the generation budget is exhausted we still want to test
+        # whatever the pool already built (the partial last generation);
+        # the grace counter bounds that final sweep.
+        self._grace = 8_000
+
+    def _charge(self) -> None:
+        self._tested.value += 1
+        try:
+            self.budget.charge_program()
+        except BudgetExhausted:
+            self._grace -= 1
+            if self._grace < 0:
+                raise
+
+    def passed_set(self, program: Expr) -> frozenset:
+        """T(p): indices of examples the program handles."""
+        self._charge()
+        passed = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(program, example)
+            if value is not ERROR and structurally_equal(value, example.output):
+                passed.add(index)
+        return frozenset(passed)
+
+    def angelic_passed_set(self, program: Expr) -> frozenset:
+        """T(p) with recursive calls answered angelically: from the
+        example table first (the examples are ground truth for the
+        function being synthesized), then by running the previous
+        program. A recursive branch body without its base case diverges
+        under true self-recursion; this lets the conditional strategy
+        still observe which examples the branch would handle."""
+        if not is_recursive(program):
+            return frozenset()
+        self._charge()
+        oracle = self._recursion_oracle()
+        passed = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(program, example, recursion_oracle=oracle)
+            if value is not ERROR and structurally_equal(value, example.output):
+                passed.add(index)
+        return frozenset(passed)
+
+    def _recursion_oracle(self):
+        from ..evaluator import EvaluationError as _EE
+        from ..values import freeze as _freeze
+
+        table = {
+            _freeze(example.args): _freeze(example.output)
+            for example in self.examples
+        }
+        previous = self.previous_program
+
+        def oracle(args):
+            if args in table:
+                return table[args]
+            if previous is not None:
+                return run_program(
+                    previous,
+                    self.signature.param_names,
+                    args,
+                    lasy_fns=self.lasy_fns,
+                    fuel=self.options.evaluation_fuel,
+                    max_depth=self.options.max_recursion_depth,
+                )
+            raise _EE("angelic recursion: input not in example table")
+
+        return oracle
+
+    def passes_all(self, program: Expr) -> bool:
+        self._charge()
+        for example in self.examples:
+            value = self._run(program, example)
+            if value is ERROR or not structurally_equal(value, example.output):
+                return False
+        return True
+
+    def _run(self, program: Expr, example: Example, recursion_oracle=None):
+        try:
+            return run_program(
+                program,
+                self.signature.param_names,
+                example.args,
+                lasy_fns=self.lasy_fns,
+                fuel=self.options.evaluation_fuel,
+                max_depth=self.options.max_recursion_depth,
+                recursion_oracle=recursion_oracle,
+            )
+        except EvaluationError:
+            return ERROR
+
+    def guard_sets(self, guard: Expr) -> Tuple[frozenset, frozenset]:
+        """(B(g), error set) for a boolean expression."""
+        true_set = set()
+        errors = set()
+        for index, example in enumerate(self.examples):
+            value = self._run(guard, example)
+            if value is ERROR:
+                errors.add(index)
+            elif value is True:
+                true_set.add(index)
+        return frozenset(true_set), frozenset(errors)

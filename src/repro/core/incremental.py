@@ -12,6 +12,12 @@ satisfies cost nothing; the first disagreement triggers a DBS call whose
 contexts and components come from the old program, so the repair is a
 subexpression replacement whenever one suffices — exactly the paper's
 "program repair as synthesis-from-a-previous-program" reading.
+
+Warm sessions inherit :class:`~repro.core.tds.TdsSession`'s persistent
+engine: the component pool built while repairing against the first
+disagreement carries into every later DBS call of the same session
+(extended example-by-example), so repeated repairs amortize enumeration
+exactly like a cold TDS run does.
 """
 
 from __future__ import annotations

@@ -43,6 +43,56 @@ from .values import freeze
 # The sub-synthesis callback: (signature, examples, start_nt) -> program
 SubSynthesizer = Callable[[Signature, Sequence[Example], str], Optional[Expr]]
 
+
+def make_body_synthesizer(
+    dsl: Dsl,
+    options,
+    budget,
+    lasy_fns,
+    lasy_signatures,
+    cancel=None,
+) -> SubSynthesizer:
+    """The standard :data:`SubSynthesizer`: a nested DBS call over a
+    fresh trivial context at the body's start nonterminal, on a spawned
+    slice of the parent budget, with loop strategies disabled (no nested
+    loops). ``cancel`` is the concurrent-loops cooperative-cancellation
+    event; checked between candidate sub-syntheses."""
+    from dataclasses import replace
+
+    def synthesize_body(
+        body_sig: Signature, body_examples: Sequence[Example], start_nt: str
+    ) -> Optional[Expr]:
+        from .contexts import Context
+        from .dbs import dbs  # deferred: loops is imported by dbs
+        from .expr import Hole
+
+        if cancel is not None and cancel.is_set():
+            return None
+        sub_context = Context(
+            root=Hole(start_nt),
+            path=(),
+            hole_nt=start_nt,
+            hole_type=dsl.type_of(start_nt),
+        )
+        sub_options = replace(
+            options, enable_loops=False, concurrent_loops=False
+        )
+        result = dbs(
+            contexts=[sub_context],
+            examples=body_examples,
+            seeds=[],
+            dsl=dsl,
+            signature=body_sig,
+            max_branches=3,
+            budget=budget.spawn(0.35),
+            lasy_fns=lasy_fns,
+            lasy_signatures=lasy_signatures,
+            options=sub_options,
+        )
+        return result.program
+
+    return synthesize_body
+
 # Delimiters tried by the 'split' variant.
 _SPLIT_DELIMITERS = ("\n", " ", ",", ", ", ";", "\t", "|", "-")
 

@@ -162,7 +162,7 @@ def _string_pieces(
     out: List[Tuple[Expr, Tuple[str, ...]]] = []
     angelic_budget = 400
     for name in names:
-        for entry in pool._entries.get(name, []):
+        for entry in pool.iter_entries(name):
             values = entry.values
             if values is None:
                 if not is_recursive(entry.expr) or angelic_budget <= 0:

@@ -53,6 +53,11 @@ class TdsOptions:
     # Angelic context pruning (§7 related work; see repro.core.angelic).
     angelic_pruning: bool = False
     final_retries: int = 1
+    # Carry one component pool across the whole example sequence: each
+    # iteration's DBS extends the previous pool by the newly appended
+    # example (widening cached value vectors, re-running semantic dedup)
+    # instead of rebuilding it from scratch. Off = pre-engine behavior.
+    reuse_pool: bool = True
     dbs: DbsOptions = field(default_factory=DbsOptions)
 
 
@@ -119,6 +124,9 @@ class TdsSession:
         self.examples: List[Example] = []
         self.steps: List[TdsStep] = []
         self._started = time.monotonic()
+        # The persistent synthesis engine (pool + enumerator) shared by
+        # every DBS call of this session; built lazily on first use.
+        self._engine: Optional["SynthesisSession"] = None
 
     # -- the TDS loop body -------------------------------------------------
 
@@ -281,7 +289,39 @@ class TdsSession:
             lasy_signatures=self.lasy_signatures,
             options=options.dbs,
             previous_program=program,
+            session=self._engine_session(),
         )
+
+    def _engine_session(self) -> Optional["SynthesisSession"]:
+        """The session's persistent engine (None when pool reuse is off).
+
+        All iterations share it, so iteration ``i+1``'s DBS starts from
+        iteration ``i``'s expression pool, extended by the new example."""
+        if not self.options.reuse_pool:
+            return None
+        if self._engine is None:
+            from .engine.session import SynthesisSession
+
+            self._engine = SynthesisSession(
+                self.dsl,
+                self.signature,
+                lasy_fns=self.lasy_fns,
+                lasy_signatures=self.lasy_signatures,
+            )
+        return self._engine
+
+    # -- pickling (the parallel experiment runner ships sessions) ---------
+
+    def __getstate__(self):
+        # The engine holds unpicklable state (compiled closures, tracer
+        # and budget references); drop it and rebuild cold after
+        # transport. Correctness is unaffected — only warm-start reuse.
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 def tds(

@@ -19,6 +19,12 @@ single-threaded streams. This module makes fan-out safe on both fronts:
 Fallback is graceful: ``jobs <= 1``, a single item, or an infrastructure
 failure (unpicklable work, a broken pool) degrades to a plain serial
 loop with identical results and in-process metrics/tracing.
+
+Engine state crosses the process boundary gracefully too: a
+:class:`~repro.core.tds.TdsSession` drops its persistent synthesis
+engine (warm pool, compiled closures) on pickling and rebuilds it cold
+in the worker — shipping a session costs warm-start reuse, never
+correctness.
 """
 
 from __future__ import annotations

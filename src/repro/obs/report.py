@@ -31,6 +31,9 @@ class TraceParseError(ValueError):
 _PHASES = {
     "dbs": "dbs dispatch/other",
     "dbs.enumerate": "enumerate",
+    # Warm-pool extension between TDS iterations (widening cached value
+    # vectors, reviving shadows, re-seeding atoms).
+    "pool.extend": "pool",
     "dbs.test": "test",
     "dbs.strategies": "strategies",
     "dbs.conditionals": "conditionals",
@@ -130,7 +133,7 @@ def build_report(events: Sequence[dict]) -> TraceReport:
         parent = record.get("parent")
         child_time[parent] = child_time.get(parent, 0.0) + dur
 
-        if name.startswith("dbs"):
+        if name.startswith("dbs") or name in _PHASES:
             phase = _PHASES.get(name, name)
             row = phases.get(phase)
             if row is None:

@@ -1,0 +1,293 @@
+"""Unit tests for the layered synthesis engine (repro.core.engine):
+PoolStore example extension, the strategy registry, and session reuse."""
+
+import pickle
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.contexts import trivial_context
+from repro.core.dbs import DbsOptions, DbsStats
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.engine import (
+    Enumerator,
+    PoolStore,
+    StrategyRegistry,
+    SynthesisSession,
+    default_registry,
+)
+from repro.core.expr import Call, Const, Param
+from repro.core.tds import TdsOptions, TdsSession
+from repro.core.types import INT
+from repro.obs.trace import NULL_TRACER
+
+SIG = Signature("f", (("x", INT),), INT)
+
+
+# Module-level so a DSL built over them stays picklable (the TdsSession
+# pickling test ships the whole session).
+def _neg(v):
+    return -v
+
+
+def _add(a, c):
+    return a + c
+
+
+def _default_constants(examples):
+    return {"e": [0, 1]}
+
+
+def tiny_dsl(constants=_default_constants, admission=None):
+    b = DslBuilder("tiny", start="e")
+    b.nt("e", INT)
+    b.fn("e", "Neg", ["e"], _neg)
+    b.fn("e", "Add", ["e", "e"], _add)
+    b.param("e")
+    b.constant("e")
+    b.constants_from(constants)
+    if admission is not None:
+        b.admission_filter("e", admission)
+    return b.build()
+
+
+def make_pool(dsl, examples):
+    stats = DbsStats()
+    budget = Budget(max_seconds=30.0, max_expressions=10**7)
+    pool = PoolStore(
+        dsl, SIG, list(examples), budget=budget, metrics=stats.registry
+    )
+    return pool, Enumerator(pool), stats
+
+
+class TestPoolExtend:
+    def test_widening_reuses_every_entry(self):
+        dsl = tiny_dsl()
+        pool, enumerator, stats = make_pool(dsl, [Example((1,), 0)])
+        enumerator.seed([])
+        enumerator.advance()
+        before = pool.total()
+        assert before > 0
+
+        report = pool.extend_examples([Example((2,), 0)])
+        # Static constants, no admission filter, separating input: every
+        # entry survives the widening (shadows that the new example
+        # separates may additionally revive — e.g. Const 1 vs x on the
+        # input 1).
+        assert report["reused"] == before
+        assert report["invalidated"] == 0
+        assert report["pruned"] == 0
+        assert pool.total() == before + report["revived"]
+        assert len(pool.examples) == 2
+        for nt in ("e",):
+            for entry in pool.iter_entries(nt):
+                if entry.values is not None:
+                    assert len(entry.values) == 2
+        # The report lands on the bound registry as pool.entries_*.
+        assert stats.registry.value("pool.entries_reused") == before
+        assert stats.registry.value("pool.entries_invalidated") == 0
+
+    def test_admission_filter_invalidates_on_widened_vector(self):
+        # Entries are admitted while every value is small, then the
+        # appended example blows some vectors past the filter.
+        dsl = tiny_dsl(admission=lambda values, examples: all(
+            v < 50 for v in values
+        ))
+        pool, enumerator, stats = make_pool(dsl, [Example((1,), 0)])
+        enumerator.seed([])
+        enumerator.advance()
+        assert pool.total() > 0
+
+        report = pool.extend_examples([Example((40,), 0)])
+        # Add(x, x) = 80 > 50 on the new example (at minimum).
+        assert report["invalidated"] >= 1
+        assert (
+            stats.registry.value("pool.entries_invalidated")
+            == report["invalidated"]
+        )
+        for entry in pool.iter_entries("e"):
+            if entry.values is not None:
+                assert all(v < 50 for v in entry.values)
+
+    def test_semantic_collision_shadows_then_revives(self):
+        dsl = tiny_dsl()
+        fns = {f.name: f for f in dsl.functions()}
+        pool, _, stats = make_pool(dsl, [Example((0,), 0)])
+        x = Param("x", INT, "e")
+        neg_x = Call(fns["Neg"], (x,), "e")
+        assert pool.offer(x) is not None
+        # Neg(x) == x on the input 0: semantically rejected, remembered
+        # as a shadow (it is hash-consed and could never be re-offered).
+        assert pool.offer(neg_x) is None
+        assert neg_x not in pool.expressions("e")
+
+        report = pool.extend_examples([Example((3,), 0)])
+        # On (0, 3) the vectors are (0, 3) vs (0, -3): separated, so the
+        # shadow is revived into the pool.
+        assert report["revived"] == 1
+        assert stats.registry.value("pool.entries_revived") == 1
+        assert neg_x in pool.expressions("e")
+        revived = next(
+            e for e in pool.iter_entries("e") if e.expr == neg_x
+        )
+        assert revived.values == (0, -3)
+
+    def test_stale_constants_pruned_unless_seeded(self):
+        # Constants track the latest example, so extension retires the
+        # old atom; everything built over it is forgotten (Algorithm 1)
+        # unless the constant survives in the re-seeded P_i. The offset
+        # keeps the constant from colliding semantically with Param x.
+        constants = lambda examples: {"e": [examples[-1].args[0] + 1]}
+        for seeds, expect_pruned in ((), True), ((Const(5, INT, "e"),), False):
+            dsl = tiny_dsl(constants=constants)
+            pool, enumerator, stats = make_pool(dsl, [Example((4,), 0)])
+            enumerator.seed([])
+            enumerator.advance()
+            assert any(
+                isinstance(node, Const) and node.value == 5
+                for entry in pool.iter_entries("e")
+                for node in entry.expr.walk()
+            )
+
+            report = pool.extend_examples([Example((6,), 0)], seeds=seeds)
+            has_stale = any(
+                isinstance(node, Const) and node.value == 5
+                for entry in pool.iter_entries("e")
+                for node in entry.expr.walk()
+            )
+            if expect_pruned:
+                assert report["pruned"] >= 1
+                assert not has_stale
+            else:
+                assert has_stale
+            assert (
+                stats.registry.value("pool.entries_pruned")
+                == report["pruned"]
+            )
+
+    def test_empty_extension_is_a_no_op(self):
+        dsl = tiny_dsl()
+        pool, enumerator, _ = make_pool(dsl, [Example((1,), 0)])
+        enumerator.seed([])
+        before = pool.total()
+        report = pool.extend_examples([])
+        assert report == {
+            "reused": 0, "invalidated": 0, "revived": 0, "pruned": 0
+        }
+        assert pool.total() == before and len(pool.examples) == 1
+
+
+class TestStrategyRegistry:
+    def test_default_registry_stages(self):
+        registry = default_registry()
+        assert registry.names() == ["composition", "conditionals", "loops"]
+        assert [e.name for e in registry.for_stage("startup")] == ["loops"]
+        assert [e.name for e in registry.for_stage("round")] == [
+            "composition",
+            "conditionals",
+        ]
+
+    def test_final_only_filters_round_stage(self):
+        registry = default_registry()
+        finals = registry.for_stage("round", final_only=True)
+        assert [e.name for e in finals] == ["composition"]
+
+    def test_order_then_name_breaks_ties(self):
+        registry = StrategyRegistry()
+        registry.register("b", lambda *a: None, order=10)
+        registry.register("a", lambda *a: None, order=10)
+        registry.register("z", lambda *a: None, order=5)
+        assert [e.name for e in registry.for_stage("round")] == [
+            "z", "a", "b"
+        ]
+
+    def test_duplicate_and_bad_stage_rejected(self):
+        registry = StrategyRegistry()
+        registry.register("s", lambda *a: None)
+        with pytest.raises(ValueError):
+            registry.register("s", lambda *a: None)
+        registry.register("s", lambda *a: None, replace=True)
+        with pytest.raises(ValueError):
+            registry.register("t", lambda *a: None, stage="nope")
+
+    def test_clone_is_independent(self):
+        registry = default_registry()
+        clone = registry.clone()
+        clone.unregister("loops")
+        assert clone.get("loops") is None
+        assert registry.get("loops") is not None
+
+
+def _begin(session, examples, stats=None):
+    return session.begin_run(
+        contexts=[trivial_context(session.dsl)],
+        examples=examples,
+        seeds=[],
+        budget=Budget(max_seconds=30.0, max_expressions=10**7),
+        options=DbsOptions(),
+        stats=stats or DbsStats(),
+        tracer=NULL_TRACER,
+    )
+
+
+class TestSynthesisSession:
+    def test_prefix_extension_keeps_the_pool(self):
+        session = SynthesisSession(tiny_dsl(), SIG)
+        _begin(session, [Example((1,), 0)])
+        first_pool = session.pool
+        _begin(session, [Example((1,), 0), Example((2,), 0)])
+        assert session.pool is first_pool
+        assert session.runs == 2
+        assert len(session.pool.examples) == 2
+        assert session.reuse_totals["reused"] > 0
+
+    def test_non_prefix_examples_rebuild_cold(self):
+        session = SynthesisSession(tiny_dsl(), SIG)
+        _begin(session, [Example((1,), 0)])
+        first_pool = session.pool
+        _begin(session, [Example((9,), 0)])
+        assert session.pool is not first_pool
+        assert session.reuse_totals["reused"] == 0
+
+
+def _small_budget():
+    return Budget(max_seconds=10.0, max_expressions=50_000)
+
+
+class TestTdsSessionEngine:
+    def _session(self, reuse=True):
+        return TdsSession(
+            SIG,
+            tiny_dsl(),
+            budget_factory=_small_budget,
+            options=TdsOptions(reuse_pool=reuse),
+        )
+
+    def test_engine_persists_across_examples(self):
+        session = self._session()
+        session.add_example(Example((3,), 4))
+        engine = session._engine
+        assert engine is not None and engine.runs == 1
+        session.add_example(Example((5,), 6))
+        assert session._engine is engine
+        assert session.satisfies_all()
+
+    def test_reuse_pool_off_means_no_engine(self):
+        session = self._session(reuse=False)
+        session.add_example(Example((3,), 4))
+        assert session._engine is None
+        assert session.satisfies_all()
+
+    def test_pickling_drops_the_engine_but_not_progress(self):
+        session = self._session()
+        session.add_example(Example((3,), 4))
+        assert session._engine is not None
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone._engine is None
+        assert clone.program == session.program
+        # The clone keeps working: the engine is rebuilt (cold) on the
+        # next DBS call, and progress is intact.
+        assert clone._engine_session() is not None
+        assert clone._engine is not session._engine
+        clone.add_example(Example((-2,), -1))
+        assert clone.satisfies_all()

@@ -1,0 +1,151 @@
+"""Cold-vs-warm differential tests for the persistent synthesis engine.
+
+``TdsOptions.reuse_pool`` (default on) carries one component pool across
+the whole TDS example sequence; off rebuilds it inside every DBS call
+(the pre-engine behavior). Warm reuse is a performance feature only:
+across all four domains a warm run must still solve (and generalize on)
+what a cold run solves, and its traces must show the pool actually
+being reused (``pool.extend`` spans, ``pool.entries_reused`` counters).
+"""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.tds import TdsOptions, TdsSession
+from repro.core.types import BOOL, INT
+from repro.suites import ALL_SUITES
+
+
+def fast_budget():
+    return Budget(max_seconds=20, max_expressions=250_000)
+
+
+def cold_options():
+    return TdsOptions(reuse_pool=False)
+
+
+def by_name(suite, name):
+    return next(b for b in suite if b.name == name)
+
+
+@pytest.mark.parametrize(
+    "suite_name, bench_name",
+    [
+        ("strings", "extract-domain"),
+        ("tables", "transpose"),
+        ("xml", "add-classes"),
+    ],
+)
+def test_suite_benchmarks_warm_matches_cold(suite_name, bench_name):
+    benchmark = by_name(ALL_SUITES[suite_name], bench_name)
+    warm = benchmark.run(budget_factory=fast_budget)  # reuse_pool default
+    cold = benchmark.run(budget_factory=fast_budget, options=cold_options())
+    assert warm.success, f"{bench_name} failed warm"
+    assert cold.success, f"{bench_name} failed cold"
+    assert benchmark.check_holdout(warm), f"{bench_name} overfitted warm"
+    assert benchmark.check_holdout(cold), f"{bench_name} overfitted cold"
+
+
+def test_pexfun_puzzle_warm_matches_cold():
+    from repro.pex import PUZZLES, play
+
+    puzzle = next(p for p in PUZZLES if p.name == "max-of-two")
+    budget = lambda: Budget(max_seconds=8, max_expressions=80_000)
+    warm = play(puzzle, budget_factory=budget)
+    cold = play(puzzle, budget_factory=budget, options=cold_options())
+    assert warm.solved and cold.solved
+
+
+# -- the warm engine's observability, end to end -----------------------
+
+
+def _staircase_session(options=None):
+    """A small conditional-arithmetic task whose later iterations must
+    re-synthesize, so a warm session demonstrably extends its pool."""
+    b = DslBuilder("arith", start="P")
+    b.nt("P", INT).nt("e", INT).nt("b", BOOL)
+    b.conditional("P", guard_nt="b", branch_nt="e")
+    b.fn("e", "Neg", ["e"], lambda v: -v)
+    b.fn("e", "Add", ["e", "e"], lambda a, c: a + c)
+    b.fn("b", "Lt", ["e", "e"], lambda a, c: a < c)
+    b.param("e")
+    b.constant("e")
+    b.constants_from(lambda examples: {"e": [0, 1]})
+    session = TdsSession(
+        Signature("f", (("x", INT),), INT),
+        b.build(),
+        budget_factory=lambda: Budget(
+            max_seconds=15.0, max_expressions=40_000
+        ),
+        options=options,
+    )
+    examples = [
+        Example((3,), 6),
+        Example((7,), 14),
+        Example((-4,), 4),
+        Example((-9,), 9),
+        Example((5,), 10),
+        Example((-2,), 2),
+    ]
+    return session, examples
+
+
+@pytest.mark.trace_smoke
+def test_warm_run_traces_pool_reuse(tmp_path):
+    from repro.obs import JsonlTracer, report_from_file, tracing
+
+    path = str(tmp_path / "warm.jsonl")
+    tracer = JsonlTracer(path)
+    session, examples = _staircase_session()
+    with tracing(tracer):
+        for example in examples:
+            session.add_example(example)
+        result = session.finalize()
+    tracer.flush()
+    assert result.success
+
+    # The live engine counted its reuse...
+    assert session._engine is not None
+    totals = session._engine.reuse_totals
+    assert totals["reused"] > 0
+
+    # ...and the same numbers reached the trace: pool.extend spans carry
+    # the per-run report, and the metrics events carry the counters.
+    report = report_from_file(path)
+    pool_rows = [row for row in report.phases if row.phase == "pool"]
+    assert pool_rows, "no pool.extend spans in the trace"
+    assert report.counters.get("pool.entries_reused", 0) == totals["reused"]
+
+
+def test_cold_run_has_no_pool_reuse(tmp_path):
+    from repro.obs import JsonlTracer, report_from_file, tracing
+
+    path = str(tmp_path / "cold.jsonl")
+    tracer = JsonlTracer(path)
+    session, examples = _staircase_session(options=cold_options())
+    with tracing(tracer):
+        for example in examples:
+            session.add_example(example)
+        result = session.finalize()
+    tracer.flush()
+    assert result.success
+    assert session._engine is None
+    report = report_from_file(path)
+    assert not any(row.phase == "pool" for row in report.phases)
+    assert report.counters.get("pool.entries_reused", 0) == 0
+
+
+def test_warm_and_cold_agree_on_the_staircase():
+    warm_session, examples = _staircase_session()
+    cold_session, _ = _staircase_session(options=cold_options())
+    for example in examples:
+        warm_session.add_example(example)
+        cold_session.add_example(example)
+    warm = warm_session.finalize()
+    cold = cold_session.finalize()
+    assert warm.success and cold.success
+    # Same semantics on every example, program syntax may differ.
+    for example in examples:
+        assert warm_session._satisfies(warm.program, example)
+        assert cold_session._satisfies(cold.program, example)
