@@ -1,0 +1,119 @@
+"""Benchmark regression gate: compare freshly-generated benchmark JSON
+against the committed baseline and fail CI on a slowdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eval.py          # writes BENCH_eval.json
+    python benchmarks/check_regression.py BASELINE CURRENT  # e.g. the
+        # git-committed BENCH_eval.json vs the regenerated one
+
+Only metric keys are compared — ``*_ops_per_sec`` and ``speedup`` must
+not drop, ``*_seconds`` / ``*_ms`` must not grow. Environment
+descriptors (``host``) and raw per-iteration/per-rep samples
+(``iterations``, ``totals_seconds``) are ignored: they describe the
+run, they aren't the contract. The default tolerance is 25% — generous
+because CI runners are noisy — and can be overridden with
+``REPRO_BENCH_TOLERANCE`` (a fraction, e.g. ``0.4``).
+
+A key present in the baseline but missing from the regenerated file is
+an error: renaming a metric requires re-committing the baseline in the
+same change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Iterator, Tuple
+
+DEFAULT_TOLERANCE = 0.25
+ENV_TOLERANCE = "REPRO_BENCH_TOLERANCE"
+
+# Subtrees that describe the run rather than benchmark performance.
+SKIP_KEYS = {"host", "iterations", "totals_seconds", "tasks"}
+
+HIGHER_BETTER_SUFFIXES = ("_ops_per_sec", "speedup")
+LOWER_BETTER_SUFFIXES = ("_seconds", "_ms")
+
+
+def _direction(key: str) -> int:
+    """+1 if larger is better, -1 if smaller is better, 0 if not a metric."""
+    if key.endswith(HIGHER_BETTER_SUFFIXES) or key == "speedup":
+        return 1
+    if key.endswith(LOWER_BETTER_SUFFIXES):
+        return -1
+    return 0
+
+
+def _walk(node, path: str = "") -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(path, leaf_key, value)`` for every metric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in SKIP_KEYS:
+                continue
+            child = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from _walk(value, child)
+            elif isinstance(value, (int, float)) and _direction(key):
+                yield child, key, float(value)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _walk(value, f"{path}[{index}]")
+
+
+def compare(baseline: dict, current: dict, tolerance: float):
+    """Return ``(regressions, missing, checked)`` comparing metric leaves."""
+    current_leaves = {p: v for p, _, v in _walk(current)}
+    regressions, missing, checked = [], [], []
+    for path, key, base in _walk(baseline):
+        if path not in current_leaves:
+            missing.append(path)
+            continue
+        now = current_leaves[path]
+        direction = _direction(key)
+        if direction > 0:
+            bad = now < base * (1.0 - tolerance)
+        else:
+            bad = now > base * (1.0 + tolerance)
+        ratio = (now / base) if base else float("inf")
+        checked.append((path, base, now, ratio, bad))
+        if bad:
+            regressions.append((path, base, now, ratio))
+    return regressions, missing, checked
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        print(f"usage: {argv[0]} BASELINE.json CURRENT.json", file=sys.stderr)
+        return 2
+    tolerance = float(os.environ.get(ENV_TOLERANCE, DEFAULT_TOLERANCE))
+    with open(argv[1]) as fh:
+        baseline = json.load(fh)
+    with open(argv[2]) as fh:
+        current = json.load(fh)
+
+    regressions, missing, checked = compare(baseline, current, tolerance)
+
+    print(f"comparing {argv[2]} against baseline {argv[1]} "
+          f"(tolerance {tolerance:.0%})")
+    for path, base, now, ratio, bad in checked:
+        marker = "REGRESSION" if bad else "ok"
+        print(f"  {marker:>10}  {path}: {base:g} -> {now:g} ({ratio:.2f}x)")
+    for path in missing:
+        print(f"     MISSING  {path}: present in baseline, absent now")
+
+    if regressions or missing:
+        print(
+            f"FAIL: {len(regressions)} regression(s), "
+            f"{len(missing)} missing metric(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: {len(checked)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,7 +7,11 @@ Subcommands:
   generated source);
 * ``experiment NAME`` — run one of the paper's experiment drivers
   (e1 strings, e2 tables, e3 xml, e4 pexfun, f7f8 ordering, f9 ablation,
-  f10 cdf, a1 dslsize) and print its table/series;
+  f10 cdf, a1 dslsize) and print its table/series. ``--checkpoint
+  JOURNAL.jsonl`` journals each completed benchmark durably;
+  ``--resume`` restarts an interrupted run from the journal;
+  ``--task-timeout S`` bounds each benchmark's wall clock (stuck
+  workers are killed and retried — see docs/robustness.md);
 * ``report-trace FILE.jsonl`` — render the per-phase attribution report
   for a trace captured with the global ``--trace`` option;
 * ``domains`` — list the registered LaSy domains;
@@ -120,11 +124,17 @@ def cmd_experiment(args) -> int:
             open(args.trace, "w", encoding="utf-8").close()
         except OSError as exc:
             raise CliError(f"cannot open trace file {args.trace!r}: {exc}")
+    if args.resume and not args.checkpoint:
+        raise CliError("--resume requires --checkpoint JOURNAL.jsonl")
     config = ExperimentConfig(
         budget_seconds=args.timeout,
         budget_expressions=args.max_expressions,
         trace_path=args.trace,
         jobs=max(1, args.jobs),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        task_timeout_s=args.task_timeout,
+        limit=args.limit,
     )
     result = module.run(config)
     print(module.report(result))
@@ -224,6 +234,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    p.add_argument(
+        "--checkpoint",
+        metavar="JOURNAL.jsonl",
+        default=None,
+        help="journal each completed benchmark to this JSONL file "
+        "(durable: fsync per record); combine with --resume to pick "
+        "an interrupted run back up",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip benchmarks already recorded in the --checkpoint "
+        "journal, restoring their results and metrics",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-benchmark wall limit; with --jobs > 1 a stuck worker "
+        "is killed and the benchmark retried on a fresh one",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only the first N benchmarks of each suite (smoke "
+        "runs and CI; not for reported results)",
+    )
     p.set_defaults(fn=cmd_experiment)
 
     p = sub.add_parser(

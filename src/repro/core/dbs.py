@@ -37,7 +37,7 @@ from typing import Mapping, Optional, Sequence
 
 from ..obs.metrics import Registry
 from ..obs.trace import get_tracer
-from .budget import Budget, BudgetExhausted, default_budget
+from .budget import Budget, BudgetExhausted, CancelToken, Deadline, default_budget
 from .contexts import Context, trivial_context
 from .dsl import Dsl, Example, Signature
 from .engine.session import SynthesisSession
@@ -59,6 +59,11 @@ class DbsOptions:
     max_generations: int = 24
     evaluation_fuel: int = 60_000
     max_recursion_depth: int = 40
+    # Hard per-run wall-clock deadline (seconds). Unlike the soft
+    # Budget.max_seconds it allows no grace sweep: the run truncates
+    # with a structured SynthesisTimeout within one cooperative check
+    # interval of the wall (see docs/robustness.md). None/0 = off.
+    timeout_s: Optional[float] = None
 
 
 class _Metric:
@@ -152,11 +157,38 @@ class DbsStats:
 
 
 @dataclass
+class SynthesisTimeout:
+    """Structured record of a truncated run (``DbsResult.timeout``).
+
+    ``reason`` is what ended the search first: ``"deadline"`` (hard
+    wall), ``"cancelled: ..."``, ``"time"`` / ``"expressions"`` /
+    ``"programs"`` (soft budget), ``"max_generations"``, or
+    ``"search_exhausted"`` (the language ran dry below the size cap).
+    The partial component pool survives in the run's
+    :class:`~repro.core.engine.session.SynthesisSession` for warm
+    reuse, and ``pool_entries`` records its size at truncation.
+    """
+
+    reason: str
+    elapsed: float
+    expressions: int
+    pool_entries: int
+    budget_seconds: Optional[float] = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"SynthesisTimeout({self.reason} after {self.elapsed:.3f}s, "
+            f"{self.expressions} expressions, {self.pool_entries} pooled)"
+        )
+
+
+@dataclass
 class DbsResult:
-    """``program is None`` means TIMEOUT."""
+    """``program is None`` means TIMEOUT (``timeout`` says why)."""
 
     program: Optional[Expr]
     stats: DbsStats
+    timeout: Optional[SynthesisTimeout] = None
 
     @property
     def timed_out(self) -> bool:
@@ -195,6 +227,8 @@ def dbs(
     options = options or DbsOptions()
     budget = budget or default_budget()
     budget.restart_clock()
+    if options.timeout_s:
+        budget.add_deadline(Deadline.after(options.timeout_s))
     tracer = get_tracer()
     stats = DbsStats(registry=Registry(detailed=tracer.enabled))
     if session is not None and (
@@ -229,6 +263,8 @@ def dbs(
                 root_span.set(
                     outcome="timeout" if result.timed_out else "solved"
                 )
+                if result.timeout is not None:
+                    root_span.set(timeout_reason=result.timeout.reason)
                 tracer.event(
                     "dbs.metrics",
                     nested=nested,
@@ -277,13 +313,29 @@ def _run_dbs(
         )
     loop_state: Optional[_ConcurrentLoops] = None
 
-    def finish(program: Optional[Expr]) -> DbsResult:
+    def finish(
+        program: Optional[Expr], reason: Optional[str] = None
+    ) -> DbsResult:
         if loop_state is not None:
             program = loop_state.finish(program, tracer)
         session.cancel = None
         stats.elapsed = time.monotonic() - start_time
         stats.expressions = budget.expressions
-        return DbsResult(program, stats)
+        timeout = None
+        if program is None:
+            timeout = SynthesisTimeout(
+                reason=budget.exhausted_reason or reason or "search_exhausted",
+                elapsed=stats.elapsed,
+                expressions=budget.expressions,
+                pool_entries=session.pool.total() if session.pool else 0,
+                budget_seconds=(
+                    options.timeout_s
+                    if options.timeout_s
+                    else budget.max_seconds
+                ),
+            )
+            stats.registry.counter("dbs.timeout").inc(1, reason=timeout.reason)
+        return DbsResult(program, stats, timeout=timeout)
 
     try:
         session.begin_run(
@@ -355,11 +407,14 @@ def _run_dbs(
                 # pass over it (under the tester's grace window) before
                 # reporting TIMEOUT: a solution assembled from
                 # already-enumerated pieces should not be lost to the
-                # enumeration cutoff.
-                for entry in registry.for_stage("round", final_only=True):
-                    program = entry.fn(session, budget, tracer)
-                    if program is not None:
-                        return finish(program)
+                # enumeration cutoff. The grace sweep only applies to
+                # soft budgets — past the hard deadline the run must
+                # truncate immediately.
+                if not budget.hard_expired():
+                    for entry in registry.for_stage("round", final_only=True):
+                        program = entry.fn(session, budget, tracer)
+                        if program is not None:
+                            return finish(program)
                 break
             # 2. Round strategies (Algorithm 2, lines 6-7): composition
             # strategies, then the conditional pass.
@@ -368,7 +423,7 @@ def _run_dbs(
                 if program is not None:
                     return finish(program)
             if stats.generations >= options.max_generations:
-                break
+                return finish(None, reason="max_generations")
             if pool.exhausted:
                 break  # budget died mid-generation; partial batch tested
             if stats.generations > 0 and pool.total() == last_size:
@@ -407,7 +462,7 @@ class _ConcurrentLoops:
     """
 
     def __init__(self, parent_traced: bool, runner) -> None:
-        self.cancel = threading.Event()
+        self.cancel = CancelToken()
         self.program: Optional[Expr] = None
         self.error: Optional[BaseException] = None
         self.seconds = 0.0
@@ -452,7 +507,7 @@ class _ConcurrentLoops:
     def finish(self, program: Optional[Expr], tracer) -> Optional[Expr]:
         """Join the thread, splice its trace, and pick the winner:
         enumeration's program when it found one, else the thread's."""
-        self.cancel.set()
+        self.cancel.cancel("cancelled: enumeration finished first")
         self._thread.join()
         if self._buffer is not None:
             absorb = getattr(tracer, "absorb_shard", None)

@@ -137,6 +137,9 @@ def composition_plugin(session, budget, tracer) -> Optional[Expr]:
         tried = 0
         try:
             for strategy in session.dsl.composition_strategies:
+                if session.cancelled():
+                    return None
+                budget.check_deadline()
                 candidates = strategy(
                     pool, session.examples, session.signature, session.dsl
                 )

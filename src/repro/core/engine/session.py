@@ -23,9 +23,9 @@ store survives.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from ..budget import BudgetExhausted, CancelToken
 from ..conditionals import ConditionalStore, guard_nts
 from ..contexts import Context, hole_type
 from ..dsl import Dsl, Example, Signature
@@ -97,7 +97,7 @@ class SynthesisSession:
         self.max_branches = 1
         self.previous_program: Optional[Expr] = None
         self.last_store_size = (-1, -1)
-        self.cancel: Optional[threading.Event] = None
+        self.cancel: Optional[CancelToken] = None
 
     # -- run lifecycle -------------------------------------------------
 
@@ -136,7 +136,15 @@ class SynthesisSession:
         if pool is None or suffix is None:
             self._build_cold(seeds, pool_options)
         else:
-            self._extend_warm(suffix, seeds)
+            try:
+                self._extend_warm(suffix, seeds)
+            except BudgetExhausted:
+                # A deadline that fires mid-extension leaves the store
+                # half-widened; drop it so the next run rebuilds cold
+                # instead of reusing inconsistent vectors.
+                self.pool = None
+                self.enumerator = None
+                raise
         pool = self.pool
         assert pool is not None
         pool.previous_program = previous_program
@@ -249,10 +257,16 @@ class SynthesisSession:
         acceptable = self.acceptable
         use_dsl = options.use_dsl
         guards = self.guard_nts
+        budget = self.budget
         count = 0
         try:
             for expr in exprs:
                 count += 1
+                if not count & 63:
+                    # Guard-only stretches of a batch never charge the
+                    # budget; this periodic check bounds the hard
+                    # deadline's overshoot to 64 guard evaluations.
+                    budget.check_deadline()
                 expr_free = free_vars(expr)
                 is_guard = (
                     expr.nt in guards if use_dsl else expr.nt == "τ:bool"

@@ -57,6 +57,10 @@ class Tester:
         try:
             self.budget.charge_program()
         except BudgetExhausted:
+            # The grace window only outlives *soft* budgets; the hard
+            # deadline (DbsOptions.timeout_s, cancellation) truncates
+            # the sweep immediately.
+            self.budget.check_deadline()
             self._grace -= 1
             if self._grace < 0:
                 raise

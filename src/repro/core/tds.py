@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Mapping, MutableMapping, Optional, Sequence
 
 from ..obs.trace import get_tracer
-from .budget import Budget, default_budget
+from .budget import Budget, CancelToken, Deadline, default_budget
 from .contexts import contexts_of, prune_contexts, subexpressions_of, trivial_context
 from .dbs import DbsOptions, DbsResult, dbs
 from .dsl import Dsl, Example, Signature
@@ -58,6 +58,12 @@ class TdsOptions:
     # example (widening cached value vectors, re-running semantic dedup)
     # instead of rebuilding it from scratch. Off = pre-engine behavior.
     reuse_pool: bool = True
+    # Hard wall-clock deadline (seconds) over the *whole* example
+    # sequence. Armed when the first example arrives; once it expires,
+    # every remaining DBS call truncates immediately with a
+    # SynthesisTimeout and finalize() skips its retries. Composes with
+    # DbsOptions.timeout_s (per DBS call); the tighter wall wins.
+    timeout_s: Optional[float] = None
     dbs: DbsOptions = field(default_factory=DbsOptions)
 
 
@@ -71,6 +77,8 @@ class TdsStep:
     expressions: int = 0
     programs_tested: int = 0
     branch_budget: int = 1
+    # Why the DBS call truncated, when it did (SynthesisTimeout.reason).
+    timeout_reason: Optional[str] = None
 
 
 @dataclass
@@ -109,6 +117,7 @@ class TdsSession:
         lasy_fns: Optional[MutableMapping] = None,
         lasy_signatures: Optional[Mapping[str, Signature]] = None,
         options: Optional[TdsOptions] = None,
+        cancel: Optional[CancelToken] = None,
     ):
         self.signature = signature
         self.dsl = dsl
@@ -118,12 +127,21 @@ class TdsSession:
         self.lasy_fns = lasy_fns if lasy_fns is not None else {}
         self.lasy_signatures = dict(lasy_signatures or {})
         self.options = options or TdsOptions()
+        # Cooperative cancellation: a driver cancels this token and the
+        # session's current (and any future) DBS call truncates with a
+        # SynthesisTimeout at its next cooperative check.
+        self.cancel = cancel
 
         self.program: Optional[Expr] = None  # P_0 = ⊥
         self.failures_in_a_row = 0
         self.examples: List[Example] = []
         self.steps: List[TdsStep] = []
         self._started = time.monotonic()
+        # The session-wide hard deadline (TdsOptions.timeout_s); armed
+        # lazily by the first DBS call so transported sessions re-arm on
+        # their own monotonic clock.
+        self._deadline: Optional[Deadline] = None
+        self._deadline_armed = False
         # The persistent synthesis engine (pool + enumerator) shared by
         # every DBS call of this session; built lazily on first use.
         self._engine: Optional["SynthesisSession"] = None
@@ -145,6 +163,15 @@ class TdsSession:
                 self.steps.append(step)
                 span.set(action="satisfied")
                 return step
+            if self._truncated():
+                # The whole-sequence wall already passed: don't touch
+                # the engine, record the truncation and move on.
+                reason = self._deadline.why_expired() or "deadline"
+                self.failures_in_a_row += 1
+                step = TdsStep(index, "timeout", timeout_reason=reason)
+                self.steps.append(step)
+                span.set(action="timeout", timeout_reason=reason)
+                return step
             result = self._dbs_step(self.examples)
             branch_budget = (
                 count_branches(self.program) + self.failures_in_a_row
@@ -163,6 +190,9 @@ class TdsSession:
                 expressions=result.stats.expressions,
                 programs_tested=result.stats.programs_tested,
                 branch_budget=branch_budget,
+                timeout_reason=(
+                    result.timeout.reason if result.timeout else None
+                ),
             )
             self.steps.append(step)
             span.set(
@@ -171,6 +201,8 @@ class TdsSession:
                 expressions=step.expressions,
                 branch_budget=branch_budget,
             )
+            if step.timeout_reason is not None:
+                span.set(timeout_reason=step.timeout_reason)
             return step
 
     def finalize(self) -> TdsResult:
@@ -184,6 +216,7 @@ class TdsSession:
         while (
             retries > 0
             and self.failures_in_a_row > 0
+            and not self._truncated()
             and not self.satisfies_all()
         ):
             retries -= 1
@@ -210,6 +243,9 @@ class TdsSession:
                         dbs_time=result.stats.elapsed,
                         expressions=result.stats.expressions,
                         programs_tested=result.stats.programs_tested,
+                        timeout_reason=(
+                            result.timeout.reason if result.timeout else None
+                        ),
                     )
                 )
         return TdsResult(
@@ -277,6 +313,8 @@ class TdsSession:
         else:
             seeds = subexpressions_of(program)
         max_branches = count_branches(program) + self.failures_in_a_row
+        budget = self.budget_factory()
+        budget.add_deadline(self._session_deadline())
         return dbs(
             contexts=contexts,
             examples=prefix,
@@ -284,13 +322,52 @@ class TdsSession:
             dsl=self.dsl,
             signature=self.signature,
             max_branches=max_branches,
-            budget=self.budget_factory(),
+            budget=budget,
             lasy_fns=self.lasy_fns,
             lasy_signatures=self.lasy_signatures,
             options=options.dbs,
             previous_program=program,
             session=self._engine_session(),
         )
+
+    def _session_deadline(self) -> Optional[Deadline]:
+        """The whole-sequence hard wall (TdsOptions.timeout_s) plus the
+        session's cancel token, armed by the first DBS call."""
+        if not self._deadline_armed:
+            self._deadline_armed = True
+            seconds = self.options.timeout_s or None
+            if seconds is not None or self.cancel is not None:
+                self._deadline = Deadline.after(seconds, token=self.cancel)
+        return self._deadline
+
+    def _truncated(self) -> bool:
+        """True once the session-wide deadline expired (or the session
+        was cancelled) — further DBS calls would truncate immediately."""
+        deadline = self._session_deadline()
+        return deadline is not None and deadline.expired()
+
+    def resume(
+        self,
+        budget_factory: Optional[BudgetFactory] = None,
+        timeout_s: Optional[float] = None,
+    ) -> TdsResult:
+        """Continue a deadline-truncated session under a new budget.
+
+        The partial component pool built before truncation is still in
+        the session's engine, so the re-run DBS calls start warm (see
+        docs/robustness.md). ``budget_factory`` replaces the per-DBS
+        budget; ``timeout_s`` re-arms the whole-sequence wall (pass
+        ``0`` to lift it). Returns the usual :meth:`finalize` result.
+        """
+        if budget_factory is not None:
+            self.budget_factory = budget_factory
+        if timeout_s is not None:
+            self.options.timeout_s = timeout_s or None
+            self._deadline = None
+            self._deadline_armed = False
+        if not self.satisfies_all():
+            self.failures_in_a_row = max(1, self.failures_in_a_row)
+        return self.finalize()
 
     def _engine_session(self) -> Optional["SynthesisSession"]:
         """The session's persistent engine (None when pool reuse is off).
@@ -316,8 +393,14 @@ class TdsSession:
         # The engine holds unpicklable state (compiled closures, tracer
         # and budget references); drop it and rebuild cold after
         # transport. Correctness is unaffected — only warm-start reuse.
+        # Deadlines (monotonic clock) and cancel tokens (locks) cannot
+        # cross a process boundary either: the transported session
+        # re-arms a fresh timeout_s wall on first use.
         state = self.__dict__.copy()
         state["_engine"] = None
+        state["_deadline"] = None
+        state["_deadline_armed"] = False
+        state["cancel"] = None
         return state
 
     def __setstate__(self, state) -> None:

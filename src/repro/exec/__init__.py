@@ -1,11 +1,32 @@
 """Parallel execution for independent synthesis tasks.
 
 The paper runs suite tasks (and loop strategies) concurrently; this
-package provides the process-pool fan-out the experiment drivers use,
-including the observability plumbing — per-worker ``JsonlTracer``
-shards and evaluator-metrics merge-back. See docs/performance.md.
+package provides the fault-tolerant process fan-out the experiment
+drivers use — worker-crash recovery, bounded retry, per-task timeouts,
+poison-task quarantine (:mod:`.parallel`), deterministic fault
+injection for testing it (:mod:`.faults`), and checkpoint/resume over
+a durable completed-task journal (:mod:`.checkpoint`) — including the
+observability plumbing: per-worker ``JsonlTracer`` shards and
+evaluator-metrics merge-back. See docs/robustness.md and
+docs/performance.md.
 """
 
-from .parallel import ParallelOutcome, parallel_map
+from .checkpoint import Journal, checkpointed_map
+from .faults import FaultPlan, SimulatedCrash
+from .parallel import (
+    ParallelOutcome,
+    RetryPolicy,
+    TaskFailure,
+    parallel_map,
+)
 
-__all__ = ["ParallelOutcome", "parallel_map"]
+__all__ = [
+    "FaultPlan",
+    "Journal",
+    "ParallelOutcome",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TaskFailure",
+    "checkpointed_map",
+    "parallel_map",
+]

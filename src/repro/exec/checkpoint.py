@@ -1,0 +1,203 @@
+"""Checkpoint/resume for experiment suites.
+
+A long suite run that dies (OOM, SIGKILL, a pulled plug) should not
+restart from zero. :class:`Journal` is an append-only JSONL file of
+completed task results — one fsync'd record per task, written from
+:func:`parallel_map`'s ``on_result`` hook the moment the task finishes —
+and :func:`checkpointed_map` is the resumable map built on it: rerun
+with ``resume=True`` and every journaled task is skipped, its result
+restored, and its metrics snapshot re-merged into the process-global
+registries, so the merged results and metrics of an interrupted+resumed
+run match an uninterrupted one.
+
+Records are keyed by caller-supplied strings (the experiment drivers
+use ``"suite-{i}/{benchmark}"``), not positional indices, so a resumed
+run tolerates reordering-free edits to the task list and a journal is
+self-describing in logs. A record whose final line was torn by the kill
+is dropped on load (everything before it was fsync'd and is intact).
+
+Failures are *not* journaled: a task quarantined as a
+:class:`~repro.exec.parallel.TaskFailure` gets retried from scratch on
+resume — transient infrastructure trouble should not be sticky.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core import evaluator
+from ..obs import metrics as obs_metrics
+from .parallel import ParallelOutcome, TaskFailure, parallel_map
+
+Encoder = Callable[[Any], Any]
+Decoder = Callable[[Any], Any]
+
+
+class Journal:
+    """Append-only JSONL journal of completed task records."""
+
+    def __init__(self, path: str, mode: str = "a"):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, mode, encoding="utf-8")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record durably (flush + fsync) so a SIGKILL at any
+        later point cannot lose it."""
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @staticmethod
+    def scan(path: str) -> "tuple[List[Dict[str, Any]], int]":
+        """``(records, valid_bytes)``: all intact records plus the byte
+        offset past the last one. A torn *final* line (the write the
+        kill interrupted) is excluded from both; corruption anywhere
+        else is an error — that is not what an append-only crash leaves
+        behind."""
+        records: List[Dict[str, Any]] = []
+        if not os.path.exists(path):
+            return records, 0
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        valid_bytes = 0
+        offset = 0
+        lines = raw.split(b"\n")
+        for lineno, bline in enumerate(lines):
+            last = lineno == len(lines) - 1
+            end = offset + len(bline) + (0 if last else 1)
+            text = bline.decode("utf-8", errors="replace").strip()
+            if text:
+                try:
+                    records.append(json.loads(text))
+                except json.JSONDecodeError:
+                    if last or all(not l.strip() for l in lines[lineno + 1:]):
+                        break
+                    raise ValueError(
+                        f"{path}:{lineno + 1}: corrupt journal record"
+                    ) from None
+                valid_bytes = end
+            offset = end
+        return records, valid_bytes
+
+    @staticmethod
+    def load(path: str) -> List[Dict[str, Any]]:
+        """All intact records (see :meth:`scan`)."""
+        return Journal.scan(path)[0]
+
+
+def checkpointed_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    keys: Sequence[str],
+    journal_path: str,
+    *,
+    resume: bool = False,
+    encode: Optional[Encoder] = None,
+    decode: Optional[Decoder] = None,
+    jobs: int = 1,
+    **parallel_kwargs: Any,
+) -> ParallelOutcome:
+    """:func:`parallel_map` with a completed-task journal.
+
+    ``keys`` names each item (same length as ``items``, unique).
+    ``encode``/``decode`` convert task results to/from JSON-able form
+    for the journal (default: identity — results must then be JSON-able
+    themselves).
+
+    With ``resume=False`` any existing journal is truncated and the map
+    runs in full. With ``resume=True`` journaled tasks are skipped:
+    their decoded results land in order in ``ParallelOutcome.results``
+    and their journaled metrics snapshots are re-merged into the
+    process-global registries exactly as a live worker's would be, so
+    downstream metrics reports match an uninterrupted run.
+    """
+    items = list(items)
+    keys = list(keys)
+    if len(keys) != len(items):
+        raise ValueError("keys and items must have the same length")
+    if len(set(keys)) != len(keys):
+        raise ValueError("journal keys must be unique")
+    encode = encode or (lambda value: value)
+    decode = decode or (lambda value: value)
+
+    done: Dict[str, Dict[str, Any]] = {}
+    if resume:
+        records, valid_bytes = Journal.scan(journal_path)
+        if os.path.exists(journal_path):
+            # Drop the torn tail so the records appended below keep the
+            # journal parseable end to end.
+            with open(journal_path, "rb+") as fh:
+                fh.truncate(valid_bytes)
+        by_key = {r["key"]: r for r in records if "key" in r}
+        done = {key: by_key[key] for key in keys if key in by_key}
+        for record in done.values():
+            snaps = record.get("metrics")
+            if snaps:
+                evaluator.METRICS.merge(snaps.get("evaluator", {}))
+                obs_metrics.GLOBAL.merge(snaps.get("global", {}))
+
+    remaining = [
+        (index, item)
+        for index, item in enumerate(items)
+        if keys[index] not in done
+    ]
+    remaining_items = [item for _i, item in remaining]
+    caller_hook = parallel_kwargs.pop("on_result", None)
+
+    with Journal(journal_path, mode="a" if resume else "w") as journal:
+
+        def on_result(sub_index: int, result: Any, snapshots) -> None:
+            index = remaining[sub_index][0]
+            journal.append(
+                {
+                    "key": keys[index],
+                    "result": encode(result),
+                    "metrics": snapshots,
+                }
+            )
+            if caller_hook is not None:
+                caller_hook(index, result, snapshots)
+
+        outcome = parallel_map(
+            fn,
+            remaining_items,
+            jobs=jobs,
+            on_result=on_result,
+            **parallel_kwargs,
+        )
+
+    results: List[Any] = [None] * len(items)
+    for index, key in enumerate(keys):
+        if key in done:
+            results[index] = decode(done[key]["result"])
+    failures: List[TaskFailure] = []
+    for sub_index, (index, _item) in enumerate(remaining):
+        value = outcome.results[sub_index]
+        if isinstance(value, TaskFailure):
+            value = TaskFailure(
+                index, value.kind, value.message, value.attempts
+            )
+            failures.append(value)
+        results[index] = value
+    return ParallelOutcome(
+        results=results,
+        jobs_used=outcome.jobs_used,
+        shards=outcome.shards,
+        task_metrics=outcome.task_metrics,
+        failures=failures,
+    )

@@ -1,0 +1,144 @@
+"""Deterministic fault injection for the execution layer.
+
+The robustness machinery in :mod:`repro.exec.parallel` — crash
+detection, bounded retry, poison-task quarantine, per-task timeouts —
+is only testable if faults can be produced *on demand and
+reproducibly*. This module injects them deterministically: a
+:class:`FaultPlan` is a parsed list of clauses matched purely on
+``(task_index, attempt)``, so the same plan against the same task list
+always fails the same tasks at the same points. No randomness is
+involved anywhere.
+
+Plans come from the ``REPRO_FAULTS`` environment variable (the CI
+robustness job sets it) or are passed explicitly in tests. The clause
+grammar, ``kind:target[:seconds][@attempt]`` joined by ``;``:
+
+* ``kind`` — ``crash`` (kill the worker process with ``os._exit``, or
+  raise :class:`SimulatedCrash` on the serial path), ``hang`` (sleep
+  until the per-task timeout kills the worker; default 3600 s), or
+  ``slow`` (sleep ``seconds`` then proceed).
+* ``target`` — which task indices match: ``%m`` for every m-th task
+  (``index % m == 0``), a literal index, or ``*`` for all.
+* ``seconds`` — sleep duration for ``hang``/``slow``.
+* ``@attempt`` — which retry attempt fires: a literal attempt number
+  (default ``0``, the first try only — so a retry succeeds), or ``@*``
+  for every attempt (so the task quarantines).
+
+Examples: ``crash:%4`` crashes the worker on tasks 0, 4, 8, ... on
+their first attempt; ``hang:2:30`` hangs task 2 for 30 s once;
+``crash:1@*`` makes task 1 a poison task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+ENV_VAR = "REPRO_FAULTS"
+
+# The exit code a fault-injected worker dies with; distinctive enough
+# to recognize in CI logs.
+CRASH_EXIT_CODE = 173
+
+
+class SimulatedCrash(RuntimeError):
+    """Serial-path stand-in for a worker process dying mid-task."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed clause of a fault plan."""
+
+    kind: str  # "crash" | "hang" | "slow"
+    every: Optional[int] = None  # %m modulo target
+    index: Optional[int] = None  # literal task index ('*' leaves both None)
+    attempt: Optional[int] = 0  # None means every attempt ('@*')
+    seconds: float = 0.0
+
+    KINDS = ("crash", "hang", "slow")
+
+    def matches(self, task_index: int, attempt: int) -> bool:
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        if self.every is not None:
+            return task_index % self.every == 0
+        if self.index is not None:
+            return task_index == self.index
+        return True
+
+    @classmethod
+    def parse(cls, clause: str) -> "FaultSpec":
+        clause = clause.strip()
+        body, _, attempt_part = clause.partition("@")
+        attempt: Optional[int] = 0
+        if attempt_part:
+            attempt = None if attempt_part == "*" else int(attempt_part)
+        parts = body.split(":")
+        if not 2 <= len(parts) <= 3:
+            raise ValueError(f"malformed fault clause {clause!r}")
+        kind = parts[0].strip()
+        if kind not in cls.KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} in {clause!r}")
+        target = parts[1].strip()
+        seconds = float(parts[2]) if len(parts) == 3 else 0.0
+        every = index = None
+        if target.startswith("%"):
+            every = int(target[1:])
+            if every <= 0:
+                raise ValueError(f"bad modulo target in {clause!r}")
+        elif target != "*":
+            index = int(target)
+        return cls(
+            kind=kind, every=every, index=index, attempt=attempt,
+            seconds=seconds,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` plan.
+
+    ``spec`` keeps the original string so the plan can be shipped to
+    worker processes as a plain string and re-parsed there.
+    """
+
+    spec: str
+    faults: tuple
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        clauses = [c for c in spec.replace(",", ";").split(";") if c.strip()]
+        return cls(spec=spec, faults=tuple(FaultSpec.parse(c) for c in clauses))
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> Optional["FaultPlan"]:
+        spec = environ.get(ENV_VAR, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def matching(self, task_index: int, attempt: int) -> List[FaultSpec]:
+        return [f for f in self.faults if f.matches(task_index, attempt)]
+
+    def inject(
+        self, task_index: int, attempt: int, *, process_level: bool = False
+    ) -> None:
+        """Fire every matching fault, in clause order.
+
+        ``process_level`` selects how a ``crash`` manifests: in a worker
+        process it is an abrupt ``os._exit`` (no cleanup, no exception —
+        exactly what crash *recovery* must survive); on the serial path
+        it raises :class:`SimulatedCrash` instead, which the retry loop
+        treats like a worker death.
+        """
+        for fault in self.matching(task_index, attempt):
+            if fault.kind == "slow":
+                time.sleep(fault.seconds or 0.01)
+            elif fault.kind == "hang":
+                time.sleep(fault.seconds or 3600.0)
+            elif fault.kind == "crash":
+                if process_level:
+                    os._exit(CRASH_EXIT_CODE)
+                raise SimulatedCrash(
+                    f"injected crash (task {task_index}, attempt {attempt})"
+                )

@@ -30,6 +30,14 @@ class ExperimentConfig:
     processes (``repro.exec.parallel_map``); 1 keeps everything
     in-process. Worker traces and evaluator metrics are merged back, so
     reports look the same either way (see docs/performance.md).
+
+    ``checkpoint_path`` enables the completed-task journal: each
+    benchmark outcome is fsync'd to that JSONL file the moment it
+    finishes, and a rerun with ``resume=True`` skips journaled tasks,
+    restoring their results and metrics (``--checkpoint``/``--resume``
+    on the CLI). ``task_timeout_s`` is the per-benchmark wall limit the
+    parallel scheduler enforces by killing and replacing stuck workers;
+    see docs/robustness.md.
     """
 
     budget_seconds: float = 20.0
@@ -37,7 +45,17 @@ class ExperimentConfig:
     hard_multiplier: float = 2.0
     trace_path: Optional[str] = None
     jobs: int = 1
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    task_timeout_s: Optional[float] = None
+    # Cap each suite at its first N benchmarks (``--limit`` on the
+    # CLI): smoke runs and the CI robustness e2e, not for results.
+    limit: Optional[int] = None
     _trace_started: bool = field(default=False, repr=False, compare=False)
+    # Suites run so far through run_suite — the checkpoint key prefix,
+    # so a driver running several suites journals them distinctly (and
+    # identically across the original and the resumed run).
+    _suite_index: int = field(default=0, repr=False, compare=False)
 
     def budget_factory(self, hard: bool = False) -> Callable[[], Budget]:
         scale = self.hard_multiplier if hard else 1.0
@@ -98,26 +116,69 @@ def run_benchmark(
     )
 
 
+def _failure_outcome(benchmark: Benchmark, failure) -> BenchmarkOutcome:
+    """A quarantined task's slot, hardened into a failed outcome so the
+    experiment tables render normally."""
+    return BenchmarkOutcome(
+        benchmark=benchmark,
+        success=False,
+        holdout_ok=False,
+        elapsed=0.0,
+        dbs_times=[],
+    )
+
+
 def run_suite(
     benchmarks: Sequence[Benchmark],
     config: ExperimentConfig,
     options: Optional[TdsOptions] = None,
 ) -> List[BenchmarkOutcome]:
-    benchmarks = list(benchmarks)
-    if config.jobs > 1:
-        from ..exec import parallel_map
+    from ..exec import TaskFailure, checkpointed_map, parallel_map
 
-        task = functools.partial(
-            run_benchmark, config=config, options=options
-        )
+    benchmarks = list(benchmarks)
+    if config.limit is not None:
+        benchmarks = benchmarks[: config.limit]
+    suite_index = config._suite_index
+    config._suite_index += 1
+    task = functools.partial(run_benchmark, config=config, options=options)
+
+    def harden(results: List[object]) -> List[BenchmarkOutcome]:
+        return [
+            _failure_outcome(bench, value)
+            if isinstance(value, TaskFailure)
+            else value
+            for bench, value in zip(benchmarks, results)
+        ]
+
+    if config.checkpoint_path:
+        keys = [f"suite-{suite_index}/{b.name}" for b in benchmarks]
+        by_name = {b.name: b for b in benchmarks}
+        with config.tracing():
+            outcome = checkpointed_map(
+                task,
+                benchmarks,
+                keys,
+                config.checkpoint_path,
+                resume=config.resume,
+                encode=lambda o: o.to_dict(),
+                decode=lambda d: BenchmarkOutcome.from_dict(
+                    d, by_name[d["name"]]
+                ),
+                jobs=config.jobs,
+                trace_base=config.trace_path if config.jobs > 1 else None,
+                task_timeout_s=config.task_timeout_s,
+            )
+        return harden(outcome.results)
+    if config.jobs > 1:
         with config.tracing():
             outcome = parallel_map(
                 task,
                 benchmarks,
                 jobs=config.jobs,
                 trace_base=config.trace_path,
+                task_timeout_s=config.task_timeout_s,
             )
-        return outcome.results
+        return harden(outcome.results)
     with config.tracing():
         return [run_benchmark(b, config, options) for b in benchmarks]
 

@@ -3,7 +3,7 @@
 from .codegen import compile_python, runtime_namespace, to_csharp, to_python
 from .parser import LasyParseError, parse_lasy, parse_lasy_type
 from .program import FunctionDecl, LasyProgram, RequireStmt
-from .runner import LasyRunResult, run_lasy, synthesize
+from .runner import LasyRunResult, resume_lasy, run_lasy, synthesize
 
 __all__ = [
     "FunctionDecl",
@@ -13,6 +13,7 @@ __all__ = [
     "RequireStmt",
     "parse_lasy",
     "parse_lasy_type",
+    "resume_lasy",
     "run_lasy",
     "synthesize",
     "compile_python",

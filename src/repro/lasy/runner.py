@@ -35,6 +35,19 @@ class LasyRunResult:
     success: bool
     elapsed: float
     steps: List = field(default_factory=list)
+    # The live TDS sessions, kept so a deadline-truncated run can be
+    # resumed warm (their partial component pools survive truncation);
+    # see resume_lasy.
+    sessions: Dict[str, TdsSession] = field(default_factory=dict, repr=False)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any function's synthesis was cut by a hard deadline."""
+        return any(
+            step.action == "timeout"
+            for result in self.results.values()
+            for step in result.steps
+        )
 
     @property
     def dbs_times(self) -> List[float]:
@@ -126,6 +139,55 @@ def run_lasy(
         success=success,
         elapsed=time.monotonic() - start,
         steps=steps,
+        sessions=sessions,
+    )
+
+
+def resume_lasy(
+    previous: LasyRunResult,
+    budget_factory: Optional[Callable[[], Budget]] = None,
+    timeout_s: Optional[float] = None,
+) -> LasyRunResult:
+    """Resume a deadline-truncated :func:`run_lasy` run.
+
+    Every unsatisfied session is re-finalized *warm* — its component
+    pool survived the truncation, so work done before the deadline is
+    not repeated. ``timeout_s`` re-arms (or, with ``0``, removes) the
+    per-session wall; ``budget_factory`` swaps the per-DBS budget.
+    Already-satisfied functions are left untouched.
+    """
+    start = time.monotonic()
+    tracer = get_tracer()
+    results: Dict[str, TdsResult] = dict(previous.results)
+    success = True
+    for name, session in previous.sessions.items():
+        prior = results.get(name)
+        if prior is not None and prior.success and session.satisfies_all():
+            continue
+        with tracer.span("lasy.resume", function=name) as span:
+            result = session.resume(
+                budget_factory=budget_factory, timeout_s=timeout_s
+            )
+            span.set(success=result.success)
+        results[name] = result
+        if result.program is not None:
+            # Publish into the shared LaSy-function mapping so other
+            # sessions' helpers see the resumed program.
+            session.lasy_fns[name] = session.current_function()
+    functions: Dict[str, SynthesizedCallable] = dict(previous.functions)
+    for name, session in previous.sessions.items():
+        fn = session.current_function()
+        if fn is not None:
+            functions[name] = fn
+        success = success and results[name].success
+    return LasyRunResult(
+        program=previous.program,
+        functions=functions,
+        results=results,
+        success=success,
+        elapsed=time.monotonic() - start,
+        steps=list(previous.steps),
+        sessions=previous.sessions,
     )
 
 

@@ -119,7 +119,9 @@ def build_report(events: Sequence[dict]) -> TraceReport:
         attrs = record.get("attrs") or {}
         if kind == "event":
             report.n_events += 1
-            if name == "dbs.metrics":
+            if name in ("dbs.metrics", "exec.metrics"):
+                # exec.metrics carries the fault-tolerance counters
+                # (exec.retries, exec.quarantined, ...) from parallel_map.
                 _merge_metrics(report, attrs)
             continue
         if kind != "span":

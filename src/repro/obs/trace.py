@@ -245,7 +245,13 @@ class JsonlTracer:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A worker killed mid-write (crash recovery, per-task
+                # timeout) leaves a torn final line; everything after it
+                # is the tail of the same interrupted write.
+                break
             span_id = record.get("id")
             if span_id is not None:
                 record["id"] = span_id + offset

@@ -82,3 +82,24 @@ class BenchmarkOutcome:
     @property
     def name(self) -> str:
         return self.benchmark.name
+
+    def to_dict(self) -> dict:
+        """JSON-able form for the checkpoint journal (the benchmark
+        itself is referenced by name; the resuming run re-binds it)."""
+        return {
+            "name": self.name,
+            "success": self.success,
+            "holdout_ok": self.holdout_ok,
+            "elapsed": self.elapsed,
+            "dbs_times": list(self.dbs_times),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, benchmark: Benchmark) -> "BenchmarkOutcome":
+        return cls(
+            benchmark=benchmark,
+            success=bool(data["success"]),
+            holdout_ok=bool(data["holdout_ok"]),
+            elapsed=float(data["elapsed"]),
+            dbs_times=[float(t) for t in data.get("dbs_times", [])],
+        )

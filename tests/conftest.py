@@ -1,6 +1,31 @@
-"""Shared pytest configuration."""
+"""Shared pytest configuration.
+
+Besides the marker/option plumbing, this installs a **per-test
+timeout** so one hung synthesis (or a robustness-test worker that was
+never reaped) fails that test instead of wedging the whole suite —
+the CI analog of the per-task timeouts ``repro.exec.parallel`` enforces
+on its workers. When the ``pytest-timeout`` plugin is installed (CI
+installs it; see requirements-dev.txt) it does the job natively;
+otherwise a ``faulthandler.dump_traceback_later`` fallback aborts the
+run with a traceback dump after the deadline. Override per test with
+``@pytest.mark.timeout(seconds)``.
+"""
+
+import faulthandler
 
 import pytest
+
+# Generous defaults: tier-1 synthesis tests run in seconds; these only
+# catch genuine hangs. Slow-marked tests get a much longer leash.
+DEFAULT_TIMEOUT_S = 180.0
+SLOW_TIMEOUT_S = 900.0
+
+try:
+    import pytest_timeout  # noqa: F401 - presence check only
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
 
 
 def pytest_configure(config):
@@ -13,6 +38,45 @@ def pytest_configure(config):
         "trace_smoke: end-to-end traced synthesis checks "
         "(run_final_benches.sh runs these as a separate job)",
     )
+    if HAVE_PYTEST_TIMEOUT:
+        # Default deadline; @pytest.mark.timeout overrides per test.
+        # (Set here rather than in pyproject so a plugin-less local run
+        # doesn't warn about unknown ini options.)
+        if not getattr(config.option, "timeout", None):
+            config.option.timeout = DEFAULT_TIMEOUT_S
+    else:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test deadline (pytest-timeout "
+            "compatible; enforced by a faulthandler fallback when the "
+            "plugin is absent)",
+        )
+
+
+def _deadline_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    if "slow" in item.keywords:
+        return SLOW_TIMEOUT_S
+    return DEFAULT_TIMEOUT_S
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if HAVE_PYTEST_TIMEOUT:
+        # The plugin handles marker and default (set in addopts/ini).
+        yield
+        return
+    # Fallback: arm a process-wide watchdog around each test. exit=True
+    # turns a hang into a hard abort with tracebacks of every thread —
+    # crude but unmissable, and it cannot deadlock like signal-based
+    # interruption of C extensions can.
+    faulthandler.dump_traceback_later(_deadline_for(item), exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 def pytest_addoption(parser):
@@ -25,6 +89,13 @@ def pytest_addoption(parser):
 
 
 def pytest_collection_modifyitems(config, items):
+    if HAVE_PYTEST_TIMEOUT:
+        for item in items:
+            if (
+                "slow" in item.keywords
+                and item.get_closest_marker("timeout") is None
+            ):
+                item.add_marker(pytest.mark.timeout(SLOW_TIMEOUT_S))
     if config.getoption("--runslow"):
         return
     skip = pytest.mark.skip(reason="slow; use --runslow")

@@ -1,0 +1,405 @@
+"""Fault-tolerant execution layer: deterministic fault injection,
+worker-crash recovery, poison-task quarantine, per-task timeouts, the
+checkpoint journal, and the SIGKILL + ``--resume`` end-to-end."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exec import (
+    FaultPlan,
+    Journal,
+    ParallelOutcome,
+    RetryPolicy,
+    SimulatedCrash,
+    TaskFailure,
+    checkpointed_map,
+    parallel_map,
+)
+from repro.obs import JsonlTracer, load_events, tracing
+from repro.obs.report import build_report
+
+FAST_RETRY = RetryPolicy(base_delay=0.01, max_delay=0.05)
+
+
+def _double(x):
+    return x * 2
+
+
+# -- fault plan parsing -----------------------------------------------
+
+
+class TestFaultPlan:
+    def test_modulo_target_first_attempt_only(self):
+        plan = FaultPlan.parse("crash:%4")
+        assert [f.kind for f in plan.matching(0, 0)] == ["crash"]
+        assert plan.matching(4, 0) and plan.matching(8, 0)
+        assert not plan.matching(1, 0)
+        assert not plan.matching(0, 1)  # retry attempt is clean
+
+    def test_every_attempt_and_literal_index(self):
+        plan = FaultPlan.parse("crash:1@*")
+        assert plan.matching(1, 0) and plan.matching(1, 3)
+        assert not plan.matching(2, 0)
+
+    def test_hang_with_seconds_and_multiple_clauses(self):
+        plan = FaultPlan.parse("hang:2:30; slow:*:0.5@1")
+        (hang,) = plan.matching(2, 0)
+        assert hang.kind == "hang" and hang.seconds == 30.0
+        (slow,) = plan.matching(7, 1)
+        assert slow.kind == "slow" and slow.seconds == 0.5
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        plan = FaultPlan.from_env({"REPRO_FAULTS": "crash:%2"})
+        assert plan is not None and plan.spec == "crash:%2"
+
+    def test_serial_inject_raises_simulated_crash(self):
+        plan = FaultPlan.parse("crash:0")
+        with pytest.raises(SimulatedCrash):
+            plan.inject(0, 0, process_level=False)
+        plan.inject(0, 1, process_level=False)  # retry: clean
+
+    def test_malformed_clauses_rejected(self):
+        for bad in ("explode:%4", "crash", "crash:%0"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(bad)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.0)
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 9) == pytest.approx(0.4)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay(3, 1) == policy.delay(3, 1)
+        assert policy.delay(3, 1) != policy.delay(4, 1)
+
+
+# -- crash recovery / quarantine / timeouts ---------------------------
+
+
+class TestCrashRecovery:
+    def test_one_in_four_crashes_recovered_jobs_4(self, tmp_path):
+        """The acceptance scenario: 1-in-4 worker crashes with
+        ``--jobs 4`` completes with correct results, and the
+        ``exec.retries`` counter is visible in the trace report."""
+        trace = tmp_path / "crash.jsonl"
+        plan = FaultPlan.parse("crash:%4")
+        with tracing(JsonlTracer(str(trace))):
+            outcome = parallel_map(
+                _double,
+                list(range(8)),
+                jobs=4,
+                faults=plan,
+                retry=FAST_RETRY,
+            )
+        assert outcome.results == [x * 2 for x in range(8)]
+        assert outcome.failures == []
+        report = build_report(load_events(str(trace)))
+        assert report.counters.get("exec.retries", 0) >= 2
+        assert report.counters.get("exec.worker_crashes", 0) >= 2
+        assert report.counters.get("exec.quarantined", 0) == 0
+
+    def test_poison_task_quarantined(self, tmp_path):
+        trace = tmp_path / "poison.jsonl"
+        plan = FaultPlan.parse("crash:1@*")
+        with tracing(JsonlTracer(str(trace))):
+            outcome = parallel_map(
+                _double,
+                [0, 1, 2],
+                jobs=2,
+                faults=plan,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            )
+        assert outcome.results[0] == 0 and outcome.results[2] == 4
+        (failure,) = outcome.failures
+        assert isinstance(outcome.results[1], TaskFailure)
+        assert failure.kind == "crash" and failure.attempts == 2
+        report = build_report(load_events(str(trace)))
+        assert report.counters.get("exec.quarantined", 0) == 1
+
+    def test_hung_worker_killed_and_task_retried(self):
+        plan = FaultPlan.parse("hang:1:30")  # hangs attempt 0 only
+        start = time.monotonic()
+        outcome = parallel_map(
+            _double,
+            [0, 1, 2],
+            jobs=2,
+            faults=plan,
+            task_timeout_s=0.5,
+            retry=FAST_RETRY,
+        )
+        elapsed = time.monotonic() - start
+        assert outcome.results == [0, 2, 4]
+        assert elapsed < 10.0, "hang was not killed by the task timeout"
+
+    def test_serial_path_honors_injected_crashes(self):
+        plan = FaultPlan.parse("crash:0@*")
+        outcome = parallel_map(
+            _double,
+            [0, 1],
+            jobs=1,
+            faults=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        assert isinstance(outcome.results[0], TaskFailure)
+        assert outcome.results[1] == 2
+
+    def test_exceptions_still_propagate_under_faults(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_bad, [1, 2], jobs=2, retry=FAST_RETRY)
+
+
+def _bad(item):
+    return item // 0
+
+
+# -- the checkpoint journal -------------------------------------------
+
+
+class TestJournal:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"key": "a", "result": 1})
+            journal.append({"key": "b", "result": 2})
+        assert [r["key"] for r in Journal.load(path)] == ["a", "b"]
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"key": "a"}) + "\n")
+            fh.write('{"key": "b", "resu')  # the line the kill tore
+        records, valid = Journal.scan(path)
+        assert [r["key"] for r in records] == ["a"]
+        assert valid == len(json.dumps({"key": "a"})) + 1
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"key": "a"}) + "\n")
+        with pytest.raises(ValueError):
+            Journal.load(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal.load(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestCheckpointedMap:
+    def test_resume_skips_done_tasks(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        items = list(range(5))
+        keys = [f"t/{i}" for i in items]
+        first = checkpointed_map(_double, items, keys, path, jobs=1)
+        assert first.results == [0, 2, 4, 6, 8]
+
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x * 2
+
+        resumed = checkpointed_map(
+            spy, items, keys, path, resume=True, jobs=1
+        )
+        assert resumed.results == first.results
+        assert calls == []
+
+    def test_resume_after_torn_tail_reruns_only_missing(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        items = list(range(5))
+        keys = [f"t/{i}" for i in items]
+        checkpointed_map(_double, items, keys, path, jobs=1)
+        records = Journal.load(path)
+        with open(path, "w") as fh:
+            for record in records[:3]:
+                fh.write(json.dumps(record) + "\n")
+            fh.write('{"key": "t/3", "result"')  # torn
+
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x * 2
+
+        resumed = checkpointed_map(
+            spy, items, keys, path, resume=True, jobs=1
+        )
+        assert resumed.results == [0, 2, 4, 6, 8]
+        assert calls == [3, 4]
+        # The journal healed: fully parseable, all five keys.
+        assert [r["key"] for r in Journal.load(path)] == keys
+
+    def test_failures_not_journaled(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        plan = FaultPlan.parse("crash:0@*")
+        outcome = checkpointed_map(
+            _double,
+            [0, 1],
+            ["t/0", "t/1"],
+            path,
+            jobs=1,
+            faults=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        assert isinstance(outcome.results[0], TaskFailure)
+        assert [r["key"] for r in Journal.load(path)] == ["t/1"]
+        # Resume retries the quarantined task (faults off this time).
+        resumed = checkpointed_map(
+            _double, [0, 1], ["t/0", "t/1"], path, resume=True, jobs=1,
+            faults=FaultPlan.parse("slow:*:0"),
+        )
+        assert resumed.results == [0, 2]
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            checkpointed_map(
+                _double, [1, 2], ["k", "k"], str(tmp_path / "j.jsonl")
+            )
+
+
+# -- SIGKILL + resume end-to-end --------------------------------------
+
+DRIVER = """
+import json, sys, time
+from repro.exec import checkpointed_map
+from repro.obs import metrics as obs_metrics
+
+def task(x):
+    time.sleep(0.2)
+    obs_metrics.GLOBAL.counter("suite.work").inc(x)
+    return {"x": x, "y": x * x}
+
+journal, out_path, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+items = list(range(6))
+keys = [f"suite-0/task-{i}" for i in items]
+outcome = checkpointed_map(
+    task, items, keys, journal, resume=(mode == "resume"), jobs=1
+)
+payload = {
+    "results": outcome.results,
+    "metrics": {"suite.work": obs_metrics.GLOBAL.value("suite.work")},
+}
+with open(out_path, "w") as fh:
+    json.dump(payload, fh, sort_keys=True, indent=0)
+"""
+
+
+class TestKillAndResume:
+    @pytest.mark.timeout(120)
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        """The acceptance scenario: SIGKILL a running suite, restart it
+        with resume, and the merged results/metrics are byte-identical
+        to an uninterrupted run."""
+        driver = tmp_path / "driver.py"
+        driver.write_text(DRIVER)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+
+        def run(journal, out, mode):
+            return subprocess.Popen(
+                [sys.executable, str(driver), journal, out, mode],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+
+        # Uninterrupted reference run.
+        ref_out = str(tmp_path / "ref.json")
+        proc = run(str(tmp_path / "ref.jsonl"), ref_out, "fresh")
+        assert proc.wait(timeout=60) == 0
+
+        # Interrupted run: SIGKILL once at least two tasks are durable.
+        journal = str(tmp_path / "killed.jsonl")
+        out = str(tmp_path / "killed.json")
+        proc = run(journal, out, "fresh")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if (
+                os.path.exists(journal)
+                and sum(1 for _ in open(journal)) >= 2
+            ):
+                break
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            pytest.fail("journal never reached 2 records")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert not os.path.exists(out), "killed run must not have finished"
+        done_before = len(Journal.load(journal))
+        assert done_before >= 2
+
+        # Resume from the journal.
+        proc = run(journal, out, "resume")
+        assert proc.wait(timeout=60) == 0
+
+        with open(ref_out, "rb") as fh:
+            reference = fh.read()
+        with open(out, "rb") as fh:
+            resumed = fh.read()
+        assert resumed == reference
+        # And the journal holds each task exactly once.
+        keys = [r["key"] for r in Journal.load(journal)]
+        assert sorted(keys) == sorted(set(keys))
+        assert len(keys) == 6
+
+
+# -- experiment-level integration -------------------------------------
+
+
+class TestRunSuiteCheckpoint:
+    ADD1 = """
+    language pexfun;
+    function int Add1(int x);
+    require Add1(1) == 2;
+    require Add1(4) == 5;
+    """
+    IDENT = """
+    language pexfun;
+    function int Ident(int x);
+    require Ident(3) == 3;
+    require Ident(9) == 9;
+    """
+
+    def test_run_suite_checkpoints_and_resumes(self, tmp_path):
+        from repro.experiments.common import ExperimentConfig, run_suite
+        from repro.suites import Benchmark
+
+        benchmarks = [
+            Benchmark(name="rob-add1", source=self.ADD1, domain="pexfun"),
+            Benchmark(name="rob-ident", source=self.IDENT, domain="pexfun"),
+        ]
+        journal = str(tmp_path / "suite.jsonl")
+        config = ExperimentConfig(
+            budget_seconds=8.0,
+            budget_expressions=80_000,
+            checkpoint_path=journal,
+        )
+        first = run_suite(benchmarks, config)
+        assert len(first) == len(benchmarks)
+        recorded = Journal.load(journal)
+        assert len(recorded) == len(benchmarks)
+        assert all(r["key"].startswith("suite-0/") for r in recorded)
+
+        resume_config = ExperimentConfig(
+            budget_seconds=8.0,
+            budget_expressions=80_000,
+            checkpoint_path=journal,
+            resume=True,
+        )
+        again = run_suite(benchmarks, resume_config)
+        assert [o.name for o in again] == [o.name for o in first]
+        assert [o.success for o in again] == [o.success for o in first]
+        assert [o.elapsed for o in again] == [o.elapsed for o in first]
