@@ -71,7 +71,10 @@ def cmd_synthesize(args) -> int:
         # One synthesis can't fan out over benchmarks; what it can do is
         # run loop strategies on a thread beside enumeration (§5.3's
         # "concurrently with the DBS algorithm").
-        dbs=DbsOptions(concurrent_loops=args.jobs > 1),
+        dbs=DbsOptions(
+            concurrent_loops=args.jobs > 1,
+            enum_mode=getattr(args, "enum", None),
+        ),
         reuse_pool=not args.no_pool_reuse,
     )
     with _maybe_tracing(args):
@@ -203,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(read back with the report-trace subcommand)",
     )
     parser.add_argument(
+        "--enum",
+        choices=("batched", "classic"),
+        default=None,
+        help="enumeration path: batched value-vector candidates "
+        "(default) or the classic per-expression pipeline "
+        "(equivalent to REPRO_ENUM; mainly for A/B timing)",
+    )
+    parser.add_argument(
         "--no-pool-reuse",
         action="store_true",
         help="rebuild the component pool from scratch on every TDS "
@@ -291,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "enum", None):
+        # Set both the in-process switch and the environment so --jobs
+        # worker processes inherit the same enumeration path.
+        import os
+
+        from .core.engine.enumerator import set_enum_mode
+
+        os.environ["REPRO_ENUM"] = args.enum
+        set_enum_mode(args.enum)
     try:
         return args.fn(args)
     except CliError as exc:

@@ -39,7 +39,7 @@ back to it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .expr import (
     Call,
@@ -55,7 +55,7 @@ from .expr import (
     Recurse,
     Var,
 )
-from .values import freeze
+from .values import ERROR, freeze
 
 # Imported late to avoid a cycle (evaluator imports this module lazily).
 from .evaluator import (  # noqa: E402  (grouped for readability)
@@ -541,3 +541,142 @@ def _compile_hole(expr: Hole) -> CompiledFn:
         raise EvaluationError("cannot evaluate a context hole")
 
     return run
+
+
+# ---------------------------------------------------------------------
+# Batched value-vector application (the enumerator's batched mode).
+#
+# One closure per *component*, applied column-wise over the cached child
+# value vectors — no Expr, no Env, no fuel, exactly the semantics of the
+# enumerator's per-candidate fast path (``Enumerator._apply_values``):
+# an ERROR argument makes an ERROR column, results pass through
+# ``check_value_size(freeze(...))``, and any exception — including
+# EvaluationError — is observed as ERROR rather than raised. The int/str
+# fast path of the size check is inlined as in the eager-call compilers
+# above (oversized scalars become ERROR here, not an exception, because
+# the reference path catches the EvaluationError the check raises).
+#
+# Memoized by component identity, mirroring the expression cache:
+# same-named components from different DSL instances may wrap different
+# Python callables, so the ``Function`` object (pinned by the strong
+# reference) keys the cache, not its name.
+
+BatchFn = Callable[..., Tuple[Any, ...]]
+
+_batch_cache: Dict[int, Tuple[Any, BatchFn]] = {}
+_lasy_batch_cache: Dict[int, Tuple[Any, BatchFn]] = {}
+
+
+def clear_batch_cache() -> None:
+    """Drop memoized batch appliers (tests and long-lived processes)."""
+    _batch_cache.clear()
+    _lasy_batch_cache.clear()
+
+
+def compile_batch(func) -> Optional[BatchFn]:
+    """Column-wise applier for an eager component, or None for lazy
+    components (their arguments must be thunks evaluated under an Env,
+    which a value vector cannot provide — the enumerator falls back to
+    the classic path for those productions)."""
+    if func.lazy:
+        return None
+    entry = _batch_cache.get(id(func))
+    if entry is not None and entry[0] is func:
+        return entry[1]
+    if len(_batch_cache) >= _CACHE_LIMIT:
+        _batch_cache.clear()
+    run = _compile_batch(func.fn, len(func.param_types))
+    _batch_cache[id(func)] = (func, run)
+    return run
+
+
+def compile_lasy_batch(fn) -> BatchFn:
+    """Column-wise applier for a bound LaSy callee (the enumerator's
+    ``_apply_lasy_values`` semantics). Keyed by callable identity: the
+    LaSy runner rebinds functions between runs, and a rebound callee
+    must get a fresh closure."""
+    entry = _lasy_batch_cache.get(id(fn))
+    if entry is not None and entry[0] is fn:
+        return entry[1]
+    if len(_lasy_batch_cache) >= _CACHE_LIMIT:
+        _lasy_batch_cache.clear()
+    run = _compile_batch(fn, -1)
+    _lasy_batch_cache[id(fn)] = (fn, run)
+    return run
+
+
+def _compile_batch(fn, arity: int) -> BatchFn:
+    if arity == 1:
+
+        def run1(v0) -> Tuple[Any, ...]:
+            out = []
+            append = out.append
+            for a0 in v0:
+                if a0 is ERROR:
+                    append(ERROR)
+                    continue
+                try:
+                    value = fn(a0)
+                    cls = value.__class__
+                    if cls is int:
+                        append(
+                            ERROR
+                            if value.bit_length() > _MAX_INT_BITS
+                            else value
+                        )
+                    elif cls is str:
+                        append(
+                            ERROR if len(value) > _MAX_STR_LEN else value
+                        )
+                    else:
+                        append(check_value_size(freeze(value)))
+                except Exception:
+                    append(ERROR)
+            return tuple(out)
+
+        return run1
+
+    if arity == 2:
+
+        def run2(v0, v1) -> Tuple[Any, ...]:
+            out = []
+            append = out.append
+            for a0, a1 in zip(v0, v1):
+                if a0 is ERROR or a1 is ERROR:
+                    append(ERROR)
+                    continue
+                try:
+                    value = fn(a0, a1)
+                    cls = value.__class__
+                    if cls is int:
+                        append(
+                            ERROR
+                            if value.bit_length() > _MAX_INT_BITS
+                            else value
+                        )
+                    elif cls is str:
+                        append(
+                            ERROR if len(value) > _MAX_STR_LEN else value
+                        )
+                    else:
+                        append(check_value_size(freeze(value)))
+                except Exception:
+                    append(ERROR)
+            return tuple(out)
+
+        return run2
+
+    def run_n(*vectors) -> Tuple[Any, ...]:
+        out = []
+        append = out.append
+        for args in zip(*vectors):
+            if any(a is ERROR for a in args):
+                append(ERROR)
+                continue
+            try:
+                append(check_value_size(freeze(fn(*args))))
+            except Exception:
+                append(ERROR)
+        return tuple(out)
+
+    return run_n

@@ -64,6 +64,10 @@ class DbsOptions:
     # with a structured SynthesisTimeout within one cooperative check
     # interval of the wall (see docs/robustness.md). None/0 = off.
     timeout_s: Optional[float] = None
+    # Enumeration path: "batched" (value-vector candidates, the
+    # default), "classic" (per-expression reference pipeline), or None
+    # to defer to the process-wide REPRO_ENUM switch.
+    enum_mode: Optional[str] = None
 
 
 class _Metric:

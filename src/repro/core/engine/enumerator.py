@@ -18,20 +18,59 @@ When ``use_dsl`` is off (the "no DSL" ablation of §6.3, and the
 sketch-like baseline) the grammar is ignored and argument slots accept
 any expression of a compatible *type*, exactly the weaker search the
 paper compares against.
+
+**Batched mode** (the default; ``REPRO_ENUM=classic`` or
+:func:`set_enum_mode` selects the reference path). For an eager call
+production every child entry already carries its cached value vector,
+so the candidate's vector is obtained by one column-wise application of
+the component (:func:`repro.core.compile.compile_batch`) — no ``Expr``
+is allocated, hashed, canonicalized, or walked first. Observational
+duplicates are rejected on the interned signature of that vector alone;
+the expression is materialized lazily from the ``(production,
+child-entries)`` tuple only for survivors (and for semantic losers that
+still fit the revival shadow list, which must be hash-consed exactly as
+the classic path leaves them). Productions the batch compiler cannot
+handle — lazy components, lambda-taking slots, recursion, unbound LaSy
+callees — fall back to the classic per-candidate pipeline, so both
+modes synthesize identical programs (``tests/test_enum_batched.py``
+holds them to that).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...obs.trace import get_tracer
+from ..compile import compile_batch, compile_lasy_batch
 from ..dsl import LambdaSpec, NtRef, Production
 from ..evaluator import check_value_size
 from ..expr import Call, Const, Expr, Lambda, LasyCall, Param, Recurse, Var, free_vars
 from ..types import types_compatible
 from ..values import ERROR, freeze
 from .pool import PoolEntry, PoolStore, _value_type
+
+# ---------------------------------------------------------------------
+# Enumeration-mode switch, mirroring evaluator.REPRO_EVAL: the batched
+# value-vector path is a pure optimization, and the classic path stays
+# selectable for differential tests, A/B timing, and as a safety hatch.
+
+_ENUM_MODE = "classic" if os.environ.get("REPRO_ENUM") == "classic" else "batched"
+
+
+def set_enum_mode(mode: str) -> str:
+    """Select ``"batched"`` or ``"classic"``; returns the previous mode."""
+    global _ENUM_MODE
+    if mode not in ("batched", "classic"):
+        raise ValueError(f"unknown enum mode {mode!r}")
+    previous = _ENUM_MODE
+    _ENUM_MODE = mode
+    return previous
+
+
+def get_enum_mode() -> str:
+    return _ENUM_MODE
 
 
 def _production_label(prod: Production) -> str:
@@ -53,8 +92,15 @@ def lambda_nt(spec: LambdaSpec) -> str:
 class Enumerator:
     """Generates expression generations into a borrowed store."""
 
-    def __init__(self, store: PoolStore):
+    def __init__(self, store: PoolStore, enum_mode: Optional[str] = None):
         self.store = store
+        # Per-run override (DbsOptions.enum_mode, rebound by the session
+        # each begin_run); None defers to the process-wide REPRO_ENUM
+        # default.
+        self.enum_mode = enum_mode
+        # Argument-slot generation splits, valid for one advance only
+        # (see _split_candidates).
+        self._slot_cache: Dict[Any, Tuple] = {}
 
     # -- seeding -------------------------------------------------------
 
@@ -150,6 +196,9 @@ class Enumerator:
             return
         store.exhausted = False
         tracer = get_tracer()
+        batched = self._resolve_mode() == "batched"
+        self._slot_cache.clear()
+        store.clear_partitions()
         try:
             if store.options.use_dsl:
                 # Cheapest productions first: a huge production must not
@@ -167,10 +216,11 @@ class Enumerator:
                     key=self._production_cost,
                 )
                 for prod in ordered:
+                    use_batched = batched and self._batchable(prod)
                     if tracer.enabled:
-                        batch = self._expand_traced(prod, tracer)
+                        batch = self._expand_traced(prod, tracer, use_batched)
                     else:
-                        batch = self._expand(prod)
+                        batch = self._expand(prod, use_batched)
                     if batch:
                         yield batch
             else:
@@ -182,25 +232,53 @@ class Enumerator:
             return
         store.incomplete_generation = False
 
-    def _expand(self, prod: Production) -> List[Expr]:
+    def _resolve_mode(self) -> str:
+        mode = self.enum_mode or get_enum_mode()
+        if mode not in ("batched", "classic"):
+            raise ValueError(f"unknown enum mode {mode!r}")
+        return mode
+
+    def _batchable(self, prod: Production) -> bool:
+        """Whether a production can take the batched value-vector path:
+        an eager call (or LaSy call) over plain nonterminal slots.
+        Lambda-taking slots need an Env, recursion carries no vectors,
+        and with no examples there is nothing to batch over."""
+        if not self.store.examples:
+            return False
         if prod.kind == "lasy_fn":
-            return self._expand_lasy(prod)
+            return True  # unbound callees fall back per name
+        return (
+            prod.kind == "call"
+            and prod.func is not None
+            and not prod.func.lazy
+            and not any(isinstance(a, LambdaSpec) for a in prod.args)
+        )
+
+    def _expand(self, prod: Production, batched: bool = False) -> List[Expr]:
+        if prod.kind == "lasy_fn":
+            return self._expand_lasy(prod, batched)
+        if batched:
+            return self._expand_batched(prod)
         return self._expand_production(prod)
 
-    def _expand_traced(self, prod: Production, tracer) -> List[Expr]:
-        """One production under a ``dbs.enumerate`` span. The ``offered``
-        count is attached even when the budget dies mid-expansion, so the
-        report's expression attribution stays complete."""
+    def _expand_traced(
+        self, prod: Production, tracer, batched: bool = False
+    ) -> List[Expr]:
+        """One production under a ``dbs.enumerate`` (classic) or
+        ``dbs.enum.batched`` span — distinct names so trace reports
+        split the two paths' time. The ``offered`` count is attached
+        even when the budget dies mid-expansion, so the report's
+        expression attribution stays complete."""
         store = self.store
         with tracer.span(
-            "dbs.enumerate",
+            "dbs.enum.batched" if batched else "dbs.enumerate",
             generation=store.generation,
             production=_production_label(prod),
         ) as span:
             before = store.budget.expressions
             batch: List[Expr] = []
             try:
-                batch = self._expand(prod)
+                batch = self._expand(prod, batched)
             finally:
                 span.set(
                     offered=store.budget.expressions - before,
@@ -230,8 +308,8 @@ class Enumerator:
 
     def _expand_production(self, prod: Production) -> List[Expr]:
         store = self.store
-        slot_candidates = [self._arg_candidates(arg) for arg in prod.args]
-        if any(not c for c in slot_candidates):
+        split_slots = [self._split_candidates(arg) for arg in prod.args]
+        if any(not slot[2] for slot in split_slots):
             return []
         added: List[Expr] = []
         fast_path = (
@@ -240,7 +318,7 @@ class Enumerator:
             and not prod.func.lazy
             and not any(isinstance(a, LambdaSpec) for a in prod.args)
         )
-        for combo in self._fresh_combinations(slot_candidates):
+        for combo in self._split_combinations(split_slots):
             if prod.kind == "call":
                 assert prod.func is not None
                 expr: Optional[Expr] = Call(
@@ -257,6 +335,104 @@ class Enumerator:
             result = store.offer(expr, values)
             if result is not None:
                 added.append(result)
+        return added
+
+    def _expand_batched(self, prod: Production) -> List[Expr]:
+        """Batched expansion of one eager call production (see
+        :meth:`_batched_combos` for the loop itself)."""
+        store = self.store
+        func = prod.func
+        assert func is not None
+        batch_fn = compile_batch(func)
+        if batch_fn is None:  # lazy component: vectors can't feed thunks
+            return self._expand_production(prod)
+        split_slots = [self._split_candidates(arg) for arg in prod.args]
+        if any(not slot[2] for slot in split_slots):
+            return []
+        nt = prod.nt
+
+        def make_expr(children: Tuple[Expr, ...]) -> Expr:
+            return Call(func, children, nt)
+
+        return self._batched_combos(nt, split_slots, batch_fn, make_expr)
+
+    def _batched_combos(
+        self, nt: str, split_slots: List[Tuple], batch_fn, make_expr
+    ) -> List[Expr]:
+        """The batched inner loop: per fresh combination, compute the
+        candidate's value vector straight from the cached child vectors
+        with one vectorized ``batch_fn`` call and dedup on the interned
+        signature; only survivors (and shadow-worthy semantic losers)
+        are materialized as expressions via ``make_expr``. Candidate
+        accounting (budget charge, offered/rejected/semantic counters,
+        admission filter) mirrors the classic :meth:`PoolStore.offer`
+        pipeline step for step, so the two modes exhaust budgets at the
+        same points and leave identical pools."""
+        store = self.store
+        examples = store.examples
+        n_examples = len(examples)
+        budget = store.budget
+        dedup = store.options.semantic_dedup
+        predicate = store.dsl.admission_filters.get(nt)
+        max_size = store.options.max_expr_size
+        seen = store._seen_semantic.setdefault(nt, set()) if dedup else ()
+        detailed = store._detailed
+        c_offered = store._c_offered
+        c_batched = store._c_batched
+        c_materialized = store._c_materialized
+        c_applies = store._c_applies
+        c_rejected = store._c_rejected
+        c_semantic = store._c_semantic
+        added: List[Expr] = []
+        for combo in self._split_combinations(split_slots):
+            for entry in combo:
+                if entry.values is None:
+                    # A child without a cached vector (free lambda
+                    # variables in a subtree): the candidate is not
+                    # closed, so the whole classic admission pipeline
+                    # applies to it.
+                    expr = make_expr(tuple(e.expr for e in combo))
+                    c_materialized.value += 1
+                    result = store.offer(expr)
+                    if result is not None:
+                        added.append(result)
+                    break
+            else:
+                budget.charge_expression()
+                c_offered.value += 1
+                size = 1
+                for entry in combo:
+                    size += entry.expr.size
+                if size > max_size:
+                    c_rejected.value += 1
+                    if detailed:
+                        c_rejected.label(reason="size", nt=nt)
+                    continue
+                values = batch_fn(*[e.values for e in combo])
+                c_batched.value += 1
+                c_applies.value += n_examples
+                if predicate is not None and not predicate(values, examples):
+                    c_rejected.value += 1
+                    if detailed:
+                        c_rejected.label(reason="filter", nt=nt)
+                    continue
+                sig = sig_cols = None
+                if dedup:
+                    sig, sig_cols = store.vector_sig(nt, values)
+                    if sig is not None and sig in seen:
+                        c_semantic.value += 1
+                        if detailed:
+                            c_semantic.label(nt=nt)
+                        if store.shadow_has_room(nt):
+                            expr = make_expr(tuple(e.expr for e in combo))
+                            c_materialized.value += 1
+                            store.shadow_batched(expr, values, sig, sig_cols)
+                        continue
+                expr = make_expr(tuple(e.expr for e in combo))
+                c_materialized.value += 1
+                result = store.admit_batched(expr, values, sig, sig_cols)
+                if result is not None:
+                    added.append(result)
         return added
 
     def _apply_values(
@@ -351,34 +527,95 @@ class Enumerator:
                 out.append(PoolEntry(lam, entry.generation))
         return out
 
-    def _arg_candidates(self, arg: Any) -> List[PoolEntry]:
-        store = self.store
+    def _split_candidates(
+        self, arg: Any
+    ) -> Tuple[List[PoolEntry], List[PoolEntry], List[PoolEntry]]:
+        """One argument slot's candidates split by generation against
+        the newest complete generation: ``(older, fresh, upto)``, each
+        preserving the pool's entry order. Computed once per slot per
+        advance (entries admitted *during* the advance carry the
+        in-progress generation and are excluded by every split, so the
+        cache stays valid while the generation grows) — this is what
+        stops the enumerator from rescanning and re-filtering the whole
+        pool once per production per argument position."""
         if isinstance(arg, NtRef):
-            out: List[PoolEntry] = []
-            for name in store.dsl.expansion(arg.nt):
-                out.extend(store._entries.get(name, []))
-            return out
-        if isinstance(arg, LambdaSpec):
+            cache_key: Any = ("nt", arg.nt)
+        elif isinstance(arg, LambdaSpec):
+            # LambdaSpecs live in the DSL for the whole run, so identity
+            # is a stable key for a per-advance cache.
+            cache_key = ("lambda", id(arg))
+        else:
+            raise TypeError(f"unknown arg spec {arg!r}")
+        cached = self._slot_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        store = self.store
+        newest = store.generation - 1
+        if isinstance(arg, NtRef):
+            names = store.dsl.expansion(arg.nt)
+            if len(names) == 1:
+                split = store.partition(names[0], newest)
+            else:
+                older: List[PoolEntry] = []
+                fresh: List[PoolEntry] = []
+                upto: List[PoolEntry] = []
+                for name in names:
+                    part = store.partition(name, newest)
+                    older.extend(part[0])
+                    fresh.extend(part[1])
+                    upto.extend(part[2])
+                split = (older, fresh, upto)
+        else:
             params = tuple(
                 Var(n, t, store._type_nt(t))
                 for n, t in zip(arg.var_names, arg.var_types)
             )
             nt = lambda_nt(arg)
-            names = set(arg.var_names)
-            out = []
+            var_names = set(arg.var_names)
+            older = []
+            fresh = []
+            upto = []
             for body_nt in store.dsl.expansion(arg.body_nt):
                 for entry in store._entries.get(body_nt, []):
+                    generation = entry.generation
+                    if generation > newest:
+                        continue
                     if arg.require_var_use and not (
-                        free_vars(entry.expr) & names
+                        free_vars(entry.expr) & var_names
                     ):
                         continue
-                    out.append(
-                        PoolEntry(
-                            Lambda(params, entry.expr, nt), entry.generation
-                        )
+                    wrapped = PoolEntry(
+                        Lambda(params, entry.expr, nt), generation
                     )
-            return out
-        raise TypeError(f"unknown arg spec {arg!r}")
+                    upto.append(wrapped)
+                    if generation < newest:
+                        older.append(wrapped)
+                    else:
+                        fresh.append(wrapped)
+            split = (older, fresh, upto)
+        self._slot_cache[cache_key] = split
+        return split
+
+    def _split_combinations(
+        self, split_slots: List[Tuple]
+    ) -> Iterable[Tuple[PoolEntry, ...]]:
+        """All slot combinations containing at least one expression from
+        the newest complete generation, over precomputed generation
+        splits: slot ``j`` carries the newest element, earlier slots are
+        strictly older, later slots are anything up to newest. Same
+        schedule — and therefore the same candidate order, which decides
+        which of two observationally equal candidates wins admission —
+        as :meth:`_fresh_combinations`, minus the per-production
+        re-filtering."""
+        for j in range(len(split_slots)):
+            fresh = split_slots[j][1]
+            if not fresh:
+                continue
+            older = [slot[0] for slot in split_slots[:j]]
+            upto = [slot[2] for slot in split_slots[j + 1:]]
+            if any(not s for s in older) or any(not s for s in upto):
+                continue
+            yield from itertools.product(*older, fresh, *upto)
 
     def _fresh_combinations(
         self, slots: List[List[PoolEntry]]
@@ -404,10 +641,15 @@ class Enumerator:
                 continue
             yield from itertools.product(*older, fresh, *anything)
 
-    def _expand_lasy(self, prod: Production) -> List[Expr]:
+    def _expand_lasy(self, prod: Production, batched: bool = False) -> List[Expr]:
         store = self.store
         nt_type = store.dsl.type_of(prod.nt)
         arg_nts = [a.nt for a in prod.args if isinstance(a, NtRef)]
+        split_slots = [
+            self._split_candidates(NtRef(a_nt)) for a_nt in arg_nts
+        ]
+        if any(not slot[2] for slot in split_slots):
+            return []
         added: List[Expr] = []
         for name, sig in store.lasy_signatures.items():
             if name == store.signature.name:
@@ -422,10 +664,26 @@ class Enumerator:
             ):
                 continue
             fn = store.lasy_fns.get(name)
-            slots = [self._arg_candidates(NtRef(a_nt)) for a_nt in arg_nts]
-            if any(not s for s in slots):
+            if batched and fn is not None:
+                # The callee is bound, so its vector semantics match the
+                # classic _apply_lasy_values column for column.
+                lasy_nt = prod.nt
+
+                def make_expr(
+                    children: Tuple[Expr, ...], name=name, lasy_nt=lasy_nt
+                ) -> Expr:
+                    return LasyCall(name, children, lasy_nt)
+
+                added.extend(
+                    self._batched_combos(
+                        lasy_nt,
+                        split_slots,
+                        compile_lasy_batch(fn),
+                        make_expr,
+                    )
+                )
                 continue
-            for combo in self._fresh_combinations(slots):
+            for combo in self._split_combinations(split_slots):
                 expr = LasyCall(name, tuple(e.expr for e in combo), prod.nt)
                 values = None
                 if fn is not None and all(

@@ -93,9 +93,22 @@ class PoolEntry:
     # None when the expression's value depends on context (free lambda
     # variables, recursion, lambdas).
     values: Optional[Tuple[Any, ...]] = None
-    # The semantic fingerprint the entry was admitted under; kept on the
+    # The *interned* semantic fingerprint (a small int id from the
+    # store's signature table) the entry was admitted under; kept on the
     # entry so extend_examples can re-key the seen-sets after widening.
-    sig: Optional[Tuple] = None
+    sig: Optional[int] = None
+    # The per-example key columns behind ``sig`` for vector-derived
+    # fingerprints (the raw signature tuple is exactly ``sig_cols``).
+    # Cached so widening extends the prefix by the appended columns
+    # instead of re-adapting and re-freezing the whole vector. None for
+    # sampled (free-variable) fingerprints, which cannot be widened.
+    sig_cols: Optional[Tuple] = None
+    # The store's example epoch ``values``/``sig`` are current for.
+    # extend_examples bumps the store epoch and stamps every entry it
+    # widens, so revival passes can tell an already-widened entry (e.g.
+    # one shadowed earlier in the same pass) from a stale one instead of
+    # recomputing — or worse, double-appending — its columns.
+    epoch: int = 0
 
 
 @dataclass
@@ -155,7 +168,17 @@ class PoolStore:
         self._entries: Dict[str, List[PoolEntry]] = {}
         self._by_type: Dict[Type, List[PoolEntry]] = {}
         self._seen_syntactic: set = set()
+        # Per-nonterminal sets of *interned* signature ids (see
+        # _intern_sig); membership hashes one int, not a tuple of frozen
+        # example values.
         self._seen_semantic: Dict[str, set] = {}
+        self._sig_intern: Dict[Tuple, int] = {}
+        # (nonterminal, newest) -> (older, fresh, upto) entry lists; see
+        # partition(). Cleared whenever entry lists are rebuilt and at
+        # the start of every enumerator advance.
+        self._partition_cache: Dict[Tuple[str, int], Tuple] = {}
+        # Bumped by extend_examples; PoolEntry.epoch stamps match it.
+        self.example_epoch = 0
         self._shadows: Dict[str, List[PoolEntry]] = {}
         self._var_counts: Dict[str, int] = {}
         self._constants = dict(dsl.constants_for(self.examples))
@@ -192,6 +215,10 @@ class PoolStore:
         self._c_revived = metrics.counter("pool.entries_revived")
         self._c_refreshed = metrics.counter("pool.entries_refreshed")
         self._c_pruned = metrics.counter("pool.entries_pruned")
+        self._c_batched = metrics.counter("enum.batched")
+        self._c_materialized = metrics.counter("enum.lazy_materialized")
+        self._c_interned = metrics.counter("enum.sig_interned")
+        self._partition_cache.clear()
         self.exhausted = False
         if self.incomplete_generation:
             # Redo the interrupted generation: stepping back makes the
@@ -351,8 +378,10 @@ class PoolStore:
                     self._c_rejected.label(reason="filter", nt=expr.nt)
                 return None
         sig = None
+        sig_cols = None
         if self.options.semantic_dedup:
-            sig = self._semantic_signature(expr, values)
+            raw, sig_cols = self._signature_state(expr, values)
+            sig = self._intern_sig(raw)
             if sig is not None:
                 seen = self._seen_semantic.setdefault(expr.nt, set())
                 if sig in seen:
@@ -365,15 +394,164 @@ class PoolStore:
                         # come back, yet a future example may separate
                         # it from the entry that shadowed it.
                         self._shadow(
-                            PoolEntry(expr, self.generation, values, sig)
+                            PoolEntry(
+                                expr,
+                                self.generation,
+                                values,
+                                sig,
+                                sig_cols,
+                                self.example_epoch,
+                            )
                         )
                     return None
                 seen.add(sig)
-        entry = PoolEntry(expr, self.generation, values, sig)
+        entry = PoolEntry(
+            expr, self.generation, values, sig, sig_cols, self.example_epoch
+        )
         if expr_vars:
             self._var_counts[expr.nt] = self._var_counts.get(expr.nt, 0) + 1
         self._admit(entry)
         return expr
+
+    # -- batched admission (see engine.enumerator's batched mode) ------
+
+    def vector_sig(
+        self, nt: str, values: Tuple[Any, ...]
+    ) -> Tuple[Optional[int], Optional[Tuple]]:
+        """Interned signature id (and its key columns) for a candidate
+        value vector, before any expression exists. The batched
+        enumerator rejects observational duplicates on this id alone."""
+        cols = self._vector_sig_columns(nt, values, self.examples)
+        return self._intern_sig(cols), cols
+
+    def shadow_has_room(self, nt: str) -> bool:
+        """Whether a semantic loser would actually be remembered; when
+        the shadow bucket is full the batched path skips materializing
+        the loser expression altogether."""
+        return (
+            len(self._shadows.get(nt, ()))
+            < self.options.max_shadow_entries
+        )
+
+    def admit_batched(
+        self,
+        expr: Expr,
+        values: Tuple[Any, ...],
+        sig: Optional[int],
+        sig_cols: Optional[Tuple],
+    ) -> Optional[Expr]:
+        """Admission tail for a batched-path survivor. The enumerator
+        already charged the budget, checked the size cap, ran the
+        admission filter, and found ``sig`` unseen — candidates on this
+        path are closed and non-recursive by construction (every child
+        carries a cached vector), so the shape and free-variable checks
+        of :meth:`offer` hold statically. What is left is what needs the
+        materialized expression: root canonicalization and syntactic
+        dedup."""
+        canonical = self.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            self._c_rewrites.value += 1
+            if self._detailed:
+                self._c_rewrites.label(nt=expr.nt)
+            expr = canonical
+        key = (expr.nt, expr)
+        if key in self._seen_syntactic:
+            self._c_syntactic.value += 1
+            if self._detailed:
+                self._c_syntactic.label(nt=expr.nt)
+            return None
+        self._seen_syntactic.add(key)
+        if sig is not None:
+            self._seen_semantic.setdefault(expr.nt, set()).add(sig)
+        self._admit(
+            PoolEntry(
+                expr,
+                self.generation,
+                values,
+                sig,
+                sig_cols,
+                self.example_epoch,
+            )
+        )
+        return expr
+
+    def shadow_batched(
+        self,
+        expr: Expr,
+        values: Tuple[Any, ...],
+        sig: int,
+        sig_cols: Optional[Tuple],
+    ) -> None:
+        """Shadow a batched-path semantic loser, replicating the classic
+        path's state: the loser is canonicalized, hash-consed into the
+        syntactic seen-set (it can never be regenerated), and remembered
+        for example-extension revival."""
+        canonical = self.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            self._c_rewrites.value += 1
+            if self._detailed:
+                self._c_rewrites.label(nt=expr.nt)
+            expr = canonical
+        key = (expr.nt, expr)
+        if key in self._seen_syntactic:
+            self._c_syntactic.value += 1
+            if self._detailed:
+                self._c_syntactic.label(nt=expr.nt)
+            return
+        self._seen_syntactic.add(key)
+        self._shadow(
+            PoolEntry(
+                expr,
+                self.generation,
+                values,
+                sig,
+                sig_cols,
+                self.example_epoch,
+            )
+        )
+
+    def partition(
+        self, name: str, newest: int
+    ) -> Tuple[List[PoolEntry], List[PoolEntry], List[PoolEntry]]:
+        """One nonterminal's entries split by generation against the
+        newest *complete* generation: ``(older, fresh, upto)`` with
+        ``older`` strictly before ``newest``, ``fresh`` exactly
+        ``newest``, and ``upto`` their concatenation (original order
+        preserved in all three). Entries of the in-progress generation
+        (> ``newest``) are excluded, which is what keeps a cached split
+        valid while the current generation appends — the enumerator
+        computes each slot's split once per advance instead of
+        rescanning and re-filtering the whole pool once per production
+        per argument position."""
+        key = (name, newest)
+        cached = self._partition_cache.get(key)
+        if cached is not None:
+            return cached
+        older: List[PoolEntry] = []
+        fresh: List[PoolEntry] = []
+        # `upto` is built in the same scan, NOT as `older + fresh`: entry
+        # lists are not always generation-sorted (a redo of an incomplete
+        # generation appends previous-generation entries after newer
+        # ones), and combination order decides which of two semantically
+        # equal candidates wins admission — it must match the classic
+        # path's order-preserving filters exactly.
+        upto: List[PoolEntry] = []
+        for entry in self._entries.get(name, ()):
+            generation = entry.generation
+            if generation < newest:
+                older.append(entry)
+                upto.append(entry)
+            elif generation == newest:
+                fresh.append(entry)
+                upto.append(entry)
+        result = (older, fresh, upto)
+        self._partition_cache[key] = result
+        return result
+
+    def clear_partitions(self) -> None:
+        """Invalidate cached generation splits (each advance starts
+        fresh; bulk rebuilds clear eagerly)."""
+        self._partition_cache.clear()
 
     def _admit(self, entry: PoolEntry) -> None:
         expr = entry.expr
@@ -470,6 +648,13 @@ class PoolStore:
         if not appended:
             return report
         self.examples.extend(appended)
+        self.example_epoch += 1
+        # Interned ids are scoped to the signature table, and every live
+        # fingerprint is re-interned during this pass (widened entries,
+        # recomputed sampled entries, revived shadows) — so the table is
+        # swapped rather than grown for the store's whole lifetime.
+        self._sig_intern = {}
+        self._partition_cache.clear()
         # Example-derived state: constants and variable samples may gain
         # members from the new examples. The enumerator re-seeds atoms
         # after an extension so new constants enter the pool.
@@ -490,19 +675,25 @@ class PoolStore:
                         # on a new input); keep the entry uncached.
                         entry.values = None
                         entry.sig = None
+                        entry.sig_cols = None
                     else:
                         entry.values = entry.values + tail
+                        entry.epoch = self.example_epoch
                         if predicate is not None and not predicate(
                             entry.values, self.examples
                         ):
                             report["invalidated"] += 1
                             self._c_invalidated.value += 1
                             continue
-                        entry.sig = (
-                            self._semantic_signature(entry.expr, entry.values)
-                            if dedup
-                            else None
-                        )
+                        if dedup:
+                            # Widen the cached key columns by the new
+                            # columns only; the full signature is their
+                            # concatenation, so nothing before the
+                            # append point is re-adapted or re-frozen.
+                            self._widen_sig(entry, nt, tail, appended)
+                        else:
+                            entry.sig = None
+                            entry.sig_cols = None
                 else:
                     # Sampled fingerprints (free-variable and lambda
                     # entries) were taken over the shorter example list
@@ -512,10 +703,14 @@ class PoolStore:
                     # pool escapes dedup and bloats every later
                     # generation's combination space.
                     entry.sig = (
-                        self._semantic_signature(entry.expr, None)
+                        self._intern_sig(
+                            self._semantic_signature(entry.expr, None)
+                        )
                         if dedup
                         else None
                     )
+                    entry.sig_cols = None
+                    entry.epoch = self.example_epoch
                 if entry.sig is not None:
                     if entry.sig in seen:
                         self._c_semantic.value += 1
@@ -618,6 +813,31 @@ class PoolStore:
                 )
             # _by_type is rebuilt by extend_examples after widening.
 
+    def _widen_sig(
+        self,
+        entry: PoolEntry,
+        nt: str,
+        tail: Tuple[Any, ...],
+        appended: Sequence[Example],
+    ) -> None:
+        """Re-key a widened entry: extend the cached key-column prefix
+        by the appended columns (O(appended), not O(examples)) and
+        intern the result. Falls back to computing the columns from the
+        full vector when no prefix was cached (a pre-epoch entry, or a
+        vector whose columns resisted freezing)."""
+        if entry.sig_cols is not None:
+            tail_cols = self._vector_sig_columns(nt, tail, appended)
+            entry.sig_cols = (
+                entry.sig_cols + tail_cols
+                if tail_cols is not None
+                else None
+            )
+        else:
+            entry.sig_cols = self._vector_sig_columns(
+                nt, entry.values, self.examples
+            )
+        entry.sig = self._intern_sig(entry.sig_cols)
+
     def _revive_shadows(self, appended, filters) -> int:
         revived = 0
         for nt, bucket in list(self._shadows.items()):
@@ -627,16 +847,23 @@ class PoolStore:
             predicate = filters.get(nt)
             survivors: List[PoolEntry] = []
             for entry in bucket:
-                tail = self._evaluate_tail(entry.expr, appended)
-                if tail is None:
-                    continue
-                entry.values = entry.values + tail
-                if predicate is not None and not predicate(
-                    entry.values, self.examples
-                ):
-                    continue
-                sig = self._semantic_signature(entry.expr, entry.values)
-                entry.sig = sig
+                if entry.epoch != self.example_epoch:
+                    tail = self._evaluate_tail(entry.expr, appended)
+                    if tail is None:
+                        continue
+                    entry.values = entry.values + tail
+                    entry.epoch = self.example_epoch
+                    if predicate is not None and not predicate(
+                        entry.values, self.examples
+                    ):
+                        continue
+                    self._widen_sig(entry, nt, tail, appended)
+                # else: the entry was shadowed by this very extension
+                # pass (a widened vector collided in the entry loop), so
+                # its vector, filter verdict, and interned signature are
+                # already current — widening again would append the new
+                # columns twice and corrupt the vector.
+                sig = entry.sig
                 if sig is not None and sig in seen:
                     survivors.append(entry)
                     continue
@@ -689,11 +916,16 @@ class PoolStore:
                     entry.values = self._evaluate_vector(entry.expr)
                 else:
                     entry.values = None
-                entry.sig = (
-                    self._semantic_signature(entry.expr, entry.values)
-                    if dedup and entry.values is not None
-                    else None
-                )
+                if dedup and entry.values is not None:
+                    raw, cols = self._signature_state(
+                        entry.expr, entry.values
+                    )
+                    entry.sig = self._intern_sig(raw)
+                    entry.sig_cols = cols
+                else:
+                    entry.sig = None
+                    entry.sig_cols = None
+                entry.epoch = self.example_epoch
                 refreshed += 1
                 touched = True
             if touched and dedup:
@@ -713,6 +945,7 @@ class PoolStore:
                 if len(kept) != len(entries):
                     self._entries[nt] = kept
                     dropped_any = True
+                    self._partition_cache.clear()
                 self._seen_semantic[nt] = seen
         for nt, bucket in self._shadows.items():
             # Stale shadows are cheap to drop and expensive to refresh.
@@ -800,26 +1033,72 @@ class PoolStore:
     def _semantic_signature(
         self, expr: Expr, values: Optional[Tuple[Any, ...]]
     ) -> Optional[Tuple]:
-        """The fingerprint driving semantic dedup, or None when exempt."""
+        """The raw fingerprint driving semantic dedup, or None when
+        exempt. Seen-sets and entries store its interned id, not the
+        tuple itself — see :meth:`_intern_sig`."""
+        return self._signature_state(expr, values)[0]
+
+    def _signature_state(
+        self, expr: Expr, values: Optional[Tuple[Any, ...]]
+    ) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """``(raw_signature, key_columns)`` for an admission candidate.
+        For vector-derived fingerprints the signature *is* the column
+        tuple (cached on the entry so widening extends the prefix);
+        sampled fingerprints have no widenable columns."""
         if is_recursive(expr):
-            return None
+            return None, None
         if not self.examples:
-            return None
-        adapter = self.dsl.signature_adapters.get(expr.nt)
+            return None, None
         if values is not None:
-            out = []
-            for value, example in zip(values, self.examples):
-                if adapter is not None and value is not ERROR:
-                    try:
-                        value = adapter(value, example)
-                    except Exception:
-                        value = ERROR
-                out.append(value)
-            try:
-                return signature_key(out)
-            except TypeError:
-                return None
-        return self._sampled_signature(expr, adapter)
+            cols = self._vector_sig_columns(expr.nt, values, self.examples)
+            return cols, cols
+        adapter = self.dsl.signature_adapters.get(expr.nt)
+        return self._sampled_signature(expr, adapter), None
+
+    def _vector_sig_columns(
+        self,
+        nt: str,
+        values: Sequence[Any],
+        examples: Sequence[Example],
+    ) -> Optional[Tuple]:
+        """Per-example signature key columns for (a slice of) a value
+        vector: the nonterminal's adapter applied per column, then the
+        usual freezing/tagging of :func:`signature_key`. Because the key
+        is built element-wise, the signature of a widened vector is the
+        cached prefix plus the columns of the appended slice. None when
+        a column resists freezing (the classic TypeError exemption)."""
+        adapter = self.dsl.signature_adapters.get(nt)
+        out = []
+        for value, example in zip(values, examples):
+            if adapter is not None and value is not ERROR:
+                try:
+                    value = adapter(value, example)
+                except Exception:
+                    value = ERROR
+            out.append(value)
+        try:
+            return signature_key(out)
+        except TypeError:
+            return None
+
+    def _intern_sig(self, raw: Optional[Tuple]) -> Optional[int]:
+        """Intern a raw signature tuple to a small int id. Dedup then
+        compares and stores ints: one hash of the (potentially large)
+        tuple here, integer hashes everywhere after. None (exempt) maps
+        to None; an unhashable signature is treated as exempt, exactly
+        as the classic path treated it."""
+        if raw is None:
+            return None
+        table = self._sig_intern
+        try:
+            sig = table.get(raw)
+        except TypeError:
+            return None
+        if sig is None:
+            sig = len(table)
+            table[raw] = sig
+            self._c_interned.value += 1
+        return sig
 
     def _sampled_signature(self, expr: Expr, adapter) -> Optional[Tuple]:
         """Fingerprint for expressions with free lambda variables (or

@@ -149,6 +149,11 @@ class SynthesisSession:
         assert pool is not None
         pool.previous_program = previous_program
         pool.guard_sets = []
+        # Per-run enumeration-mode override (DbsOptions.enum_mode); the
+        # warm path reuses the enumerator across runs, so rebind every
+        # begin_run rather than only at construction.
+        assert self.enumerator is not None
+        self.enumerator.enum_mode = getattr(options, "enum_mode", None)
 
         self.store = ConditionalStore(len(self.examples))
         self.guard_nts = guard_nts(self.dsl)

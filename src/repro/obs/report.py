@@ -31,6 +31,10 @@ class TraceParseError(ValueError):
 _PHASES = {
     "dbs": "dbs dispatch/other",
     "dbs.enumerate": "enumerate",
+    # Batched value-vector enumeration (REPRO_ENUM=batched, the
+    # default); a separate phase so batched-vs-classic time splits show
+    # directly in the report.
+    "dbs.enum.batched": "enum",
     # Warm-pool extension between TDS iterations (widening cached value
     # vectors, reviving shadows, re-seeding atoms).
     "pool.extend": "pool",
@@ -149,7 +153,7 @@ def build_report(events: Sequence[dict]) -> TraceReport:
             else:
                 report.dbs_runs += 1
                 report.total_seconds += dur
-        if name == "dbs.enumerate":
+        if name in ("dbs.enumerate", "dbs.enum.batched"):
             label = str(attrs.get("production", "?"))
             prow = productions.get(label)
             if prow is None:

@@ -277,10 +277,15 @@ class TestReport:
         assert report.dbs_runs == 2
         # Self-times sum back to (at most) the traced wall time.
         assert sum(r.seconds for r in report.phases) <= report.wall_seconds * 1.05
-        # Enumerate expressions come from span 'offered' attrs and must
-        # also match the budget totals.
-        enumerate_row = {r.phase: r for r in report.phases}["enumerate"]
-        assert enumerate_row.expressions == stats_exprs
+        # Enumeration expressions come from span 'offered' attrs and
+        # must also match the budget totals; batched-mode productions
+        # charge under the 'enum' phase, classic ones under 'enumerate'.
+        by_phase = {r.phase: r for r in report.phases}
+        enum_exprs = sum(
+            by_phase[p].expressions for p in ("enumerate", "enum")
+            if p in by_phase
+        )
+        assert enum_exprs == stats_exprs
 
     def test_report_sections_render(self):
         _, events = self.synthesize_traced()
