@@ -44,18 +44,66 @@ class CliError(Exception):
     """A user-facing CLI failure (bad path, bad input)."""
 
 
-def _maybe_tracing(args):
-    """Context manager installing a JsonlTracer when --trace was given."""
-    trace_path = getattr(args, "trace", None)
-    if not trace_path:
-        return contextlib.nullcontext()
-    from .obs import JsonlTracer, tracing
+def _profile_hz(args) -> Optional[float]:
+    if not getattr(args, "profile", False):
+        return None
+    return getattr(args, "profile_hz", 100.0)
 
-    try:
-        tracer = JsonlTracer(trace_path)
-    except OSError as exc:
-        raise CliError(f"cannot open trace file {trace_path!r}: {exc}")
-    return tracing(tracer)
+
+def _maybe_tracing(args):
+    """Context manager wiring up the observability the flags ask for:
+    a JsonlTracer (--trace), the sampling profiler (--profile, emitted
+    into the trace on exit), and progress heartbeats (--live renders
+    them as a TTY status line; with --trace they are recorded even
+    without --live)."""
+    trace_path = getattr(args, "trace", None)
+    profile_hz = _profile_hz(args)
+    live = getattr(args, "live", False)
+    if not trace_path and not profile_hz and not live:
+        return contextlib.nullcontext()
+    if profile_hz and not trace_path:
+        raise CliError("--profile needs --trace OUT.jsonl to emit into")
+    from .obs import (
+        JsonlTracer,
+        ProgressEmitter,
+        SamplingProfiler,
+        TtyStatusLine,
+        set_progress,
+        tracing,
+    )
+
+    tracer = None
+    if trace_path:
+        try:
+            tracer = JsonlTracer(trace_path)
+        except OSError as exc:
+            raise CliError(f"cannot open trace file {trace_path!r}: {exc}")
+
+    @contextlib.contextmanager
+    def observed():
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracing(tracer))
+            status = TtyStatusLine() if live else None
+            emitter = ProgressEmitter(listener=status) if (
+                live or tracer is not None
+            ) else None
+            profiler = (
+                SamplingProfiler(hz=profile_hz).start() if profile_hz else None
+            )
+            set_progress(emitter)
+            try:
+                yield
+            finally:
+                set_progress(None)
+                if status is not None:
+                    status.clear()
+                if profiler is not None:
+                    # Emit while the tracer is still installed (the
+                    # ExitStack has not unwound yet).
+                    profiler.stop().emit()
+
+    return observed()
 
 
 def cmd_synthesize(args) -> int:
@@ -129,6 +177,8 @@ def cmd_experiment(args) -> int:
             raise CliError(f"cannot open trace file {args.trace!r}: {exc}")
     if args.resume and not args.checkpoint:
         raise CliError("--resume requires --checkpoint JOURNAL.jsonl")
+    if args.profile and not args.trace:
+        raise CliError("--profile needs --trace OUT.jsonl to emit into")
     config = ExperimentConfig(
         budget_seconds=args.timeout,
         budget_expressions=args.max_expressions,
@@ -138,6 +188,8 @@ def cmd_experiment(args) -> int:
         resume=args.resume,
         task_timeout_s=args.task_timeout,
         limit=args.limit,
+        profile_hz=_profile_hz(args),
+        live=args.live,
     )
     result = module.run(config)
     print(module.report(result))
@@ -145,16 +197,78 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_report_trace(args) -> int:
-    from .obs import TraceParseError, render_json, render_text, report_from_file
+    import json as _json
 
-    try:
-        report = report_from_file(args.file)
-    except FileNotFoundError:
-        print(f"no such trace file: {args.file}", file=sys.stderr)
+    from .obs import (
+        TraceParseError,
+        build_hotspots,
+        build_report,
+        diff_reports,
+        flame_lines,
+        hotspots_to_json,
+        load_events,
+        render_diff,
+        render_hotspots,
+        render_json,
+        render_text,
+        to_json,
+    )
+
+    if args.diff and len(args.files) != 2:
+        print("--diff needs exactly two trace files: OLD.jsonl NEW.jsonl",
+              file=sys.stderr)
         return 2
-    except TraceParseError as exc:
-        print(f"bad trace file: {exc}", file=sys.stderr)
+    if not args.diff and len(args.files) != 1:
+        print("report-trace takes one trace file (two with --diff)",
+              file=sys.stderr)
         return 2
+
+    loaded = []
+    for path in args.files:
+        try:
+            events = load_events(path)
+        except FileNotFoundError:
+            print(f"no such trace file: {path}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"cannot read trace file {path!r}: {exc}", file=sys.stderr)
+            return 2
+        except TraceParseError as exc:
+            print(f"bad trace file {path}: {exc}", file=sys.stderr)
+            return 2
+        if not events:
+            print(f"empty trace file (no complete records): {path}",
+                  file=sys.stderr)
+            return 2
+        loaded.append(events)
+
+    if args.diff:
+        diff = diff_reports(build_report(loaded[0]), build_report(loaded[1]))
+        if args.json:
+            print(_json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff, top=args.top))
+        return 0
+
+    events = loaded[0]
+    if args.flame:
+        lines = flame_lines(events)
+        if not lines:
+            print("trace has no samples or timed spans to collapse",
+                  file=sys.stderr)
+            return 2
+        print("\n".join(lines))
+        return 0
+
+    report = build_report(events)
+    if args.hotspots:
+        hotspots = build_hotspots(report, top=args.top, sort=args.sort)
+        if args.json:
+            print(_json.dumps(hotspots_to_json(hotspots), indent=2,
+                              sort_keys=True))
+        else:
+            print(render_hotspots(hotspots))
+        return 0
     if args.json:
         print(render_json(report))
     else:
@@ -204,6 +318,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream span/metric events to a JSONL trace file "
         "(read back with the report-trace subcommand)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample wall-clock stacks (default 100 Hz; see "
+        "--profile-hz) and emit them into the --trace file; inspect "
+        "with report-trace --hotspots / --flame",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        metavar="HZ",
+        help="sampling rate for --profile (default 100)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="render synthesis progress heartbeats as a live status "
+        "line on stderr",
     )
     parser.add_argument(
         "--enum",
@@ -278,9 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_experiment)
 
     p = sub.add_parser(
-        "report-trace", help="render a per-phase report from a trace file"
+        "report-trace",
+        help="render per-phase / hotspot reports from a trace file",
     )
-    p.add_argument("file")
+    p.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE.jsonl",
+        help="trace file (two files with --diff: OLD NEW)",
+    )
     p.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
@@ -288,7 +428,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--top",
         type=int,
         default=12,
-        help="number of productions to show (default 12)",
+        help="rows per table (default 12)",
+    )
+    p.add_argument(
+        "--hotspots",
+        action="store_true",
+        help="top-N productions/strategies/examples/functions by cost",
+    )
+    p.add_argument(
+        "--sort",
+        choices=("time", "budget"),
+        default="time",
+        help="hotspot ordering: self-time or expression budget "
+        "(default time)",
+    )
+    p.add_argument(
+        "--flame",
+        action="store_true",
+        help="emit collapsed-stack flamegraph lines "
+        "(flamegraph.pl / speedscope)",
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="diff two traces: per-phase/per-hotspot deltas (new - old)",
     )
     p.set_defaults(fn=cmd_report_trace)
 
@@ -316,6 +479,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CliError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # report-trace output is meant to be piped (`... | head`); when
+        # the reader closes early, exit quietly like other Unix filters
+        # instead of tracebacking. Re-point stdout at devnull so the
+        # interpreter's exit-time flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -209,6 +209,18 @@ class Budget:
         """True once the hard wall has passed (never from soft limits)."""
         return self.deadline is not None and self.deadline.expired()
 
+    def time_remaining(self) -> Optional[float]:
+        """Seconds until the first wall-clock limit — the tighter of the
+        hard deadline and the soft ``max_seconds`` — or None when the
+        budget is unbounded in time. Progress heartbeats report this."""
+        remaining: Optional[float] = None
+        if self.deadline is not None:
+            remaining = self.deadline.remaining()
+        if self.max_seconds is not None:
+            soft = self.max_seconds - self.elapsed
+            remaining = soft if remaining is None else min(remaining, soft)
+        return remaining
+
     def check(self) -> None:
         self.check_deadline()
         if (

@@ -359,35 +359,24 @@ def _run_dbs(
         # 1. Startup strategies (Algorithm 2, line 1): serially up
         # front, or on a helper thread racing enumeration (§5.3's
         # concurrent model) when options.concurrent_loops.
-        startup = registry.for_stage("startup")
-        if startup:
+        if registry.for_stage("startup"):
             if options.concurrent_loops:
 
                 def run_startup(cancel) -> Optional[Expr]:
                     # The helper thread installed its own tracer; the
                     # plugins pick it up via get_tracer().
                     session.cancel = cancel
-                    thread_tracer = get_tracer()
-                    for entry in startup:
-                        program = entry.fn(session, budget, thread_tracer)
-                        if program is not None:
-                            return program
-                    return None
+                    return registry.run(
+                        "startup", session, budget, get_tracer()
+                    )
 
                 loop_state = _ConcurrentLoops(
                     parent_traced=tracer.enabled, runner=run_startup
                 ).start()
             else:
-                for entry in startup:
-                    span_name = entry.span or f"dbs.strategy.{entry.name}"
-                    with tracer.span(span_name) as span:
-                        program = entry.fn(session, budget, tracer)
-                        span.set(
-                            candidates=stats.loop_candidates,
-                            solved=program is not None,
-                        )
-                    if program is not None:
-                        return finish(program)
+                program = registry.run("startup", session, budget, tracer)
+                if program is not None:
+                    return finish(program)
 
         last_size = -1
         batches = iter([pool.iter_all()])
@@ -415,17 +404,17 @@ def _run_dbs(
                 # soft budgets — past the hard deadline the run must
                 # truncate immediately.
                 if not budget.hard_expired():
-                    for entry in registry.for_stage("round", final_only=True):
-                        program = entry.fn(session, budget, tracer)
-                        if program is not None:
-                            return finish(program)
+                    program = registry.run(
+                        "round", session, budget, tracer, final_only=True
+                    )
+                    if program is not None:
+                        return finish(program)
                 break
             # 2. Round strategies (Algorithm 2, lines 6-7): composition
             # strategies, then the conditional pass.
-            for entry in registry.for_stage("round"):
-                program = entry.fn(session, budget, tracer)
-                if program is not None:
-                    return finish(program)
+            program = registry.run("round", session, budget, tracer)
+            if program is not None:
+                return finish(program)
             if stats.generations >= options.max_generations:
                 return finish(None, reason="max_generations")
             if pool.exhausted:

@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import itertools
 import os
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...obs.profile import get_progress
 from ...obs.trace import get_tracer
 from ..compile import compile_batch, compile_lasy_batch
 from ..dsl import LambdaSpec, NtRef, Production
@@ -215,12 +217,20 @@ class Enumerator:
                     ),
                     key=self._production_cost,
                 )
+                prog = get_progress()
                 for prod in ordered:
                     use_batched = batched and self._batchable(prod)
                     if tracer.enabled:
                         batch = self._expand_traced(prod, tracer, use_batched)
                     else:
                         batch = self._expand(prod, use_batched)
+                    if prog is not None and prog.due():
+                        prog.tick(
+                            generation=store.generation,
+                            pool_size=store.total(),
+                            candidates=store.budget.expressions,
+                            deadline_s=store.budget.time_remaining(),
+                        )
                     if batch:
                         yield batch
             else:
@@ -268,22 +278,51 @@ class Enumerator:
         ``dbs.enum.batched`` span — distinct names so trace reports
         split the two paths' time. The ``offered`` count is attached
         even when the budget dies mid-expansion, so the report's
-        expression attribution stays complete."""
+        expression attribution stays complete.
+
+        When the run records detailed metrics (tracing on), the same
+        deltas also land in ``prof.production.*`` labeled instruments —
+        counter snapshots around the expansion, so the inner loops stay
+        untouched — which merge across worker shards and feed the
+        ``report-trace --hotspots`` production table."""
         store = self.store
+        label = _production_label(prod)
+        detailed = store._detailed
         with tracer.span(
             "dbs.enum.batched" if batched else "dbs.enumerate",
             generation=store.generation,
-            production=_production_label(prod),
+            production=label,
         ) as span:
             before = store.budget.expressions
+            if detailed:
+                added_before = store._c_added.value
+                sem_before = store._c_semantic.value
+                t0 = perf_counter()
             batch: List[Expr] = []
             try:
                 batch = self._expand(prod, batched)
             finally:
-                span.set(
-                    offered=store.budget.expressions - before,
-                    added=len(batch),
-                )
+                offered = store.budget.expressions - before
+                span.set(offered=offered, added=len(batch))
+                if detailed:
+                    metrics = store.metrics
+                    metrics.histogram("prof.production.seconds").observe(
+                        perf_counter() - t0, production=label
+                    )
+                    if offered:
+                        metrics.counter("prof.production.offered").inc(
+                            offered, production=label
+                        )
+                    admitted = store._c_added.value - added_before
+                    if admitted:
+                        metrics.counter("prof.production.admitted").inc(
+                            admitted, production=label
+                        )
+                    sig_rejected = store._c_semantic.value - sem_before
+                    if sig_rejected:
+                        metrics.counter("prof.production.sig_rejected").inc(
+                            sig_rejected, production=label
+                        )
             return batch
 
     def _production_cost(self, prod: Production) -> int:
@@ -383,8 +422,22 @@ class Enumerator:
         c_applies = store._c_applies
         c_rejected = store._c_rejected
         c_semantic = store._c_semantic
+        # Heartbeats from the hottest loop in the engine: the common
+        # prog-is-None case costs one comparison every combo, the
+        # installed case one extra clock read every 2048 combos.
+        prog = get_progress()
+        combo_n = 0
         added: List[Expr] = []
         for combo in self._split_combinations(split_slots):
+            if prog is not None:
+                combo_n += 1
+                if not combo_n & 2047 and prog.due():
+                    prog.tick(
+                        generation=store.generation,
+                        pool_size=store.total(),
+                        candidates=budget.expressions,
+                        deadline_s=budget.time_remaining(),
+                    )
             for entry in combo:
                 if entry.values is None:
                     # A child without a cached vector (free lambda

@@ -28,6 +28,7 @@ threading feature flags, and a DSL could ship its own strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..expr import Expr
@@ -93,6 +94,56 @@ class StrategyRegistry:
 
     def clone(self) -> "StrategyRegistry":
         return StrategyRegistry(self._entries.values())
+
+    def run(
+        self,
+        stage: str,
+        session,
+        budget,
+        tracer,
+        *,
+        final_only: bool = False,
+    ) -> Optional[Expr]:
+        """Run a stage's plugins in order; return the first program found.
+
+        This is the single driver both DBS paths (serial and the
+        concurrent loop-strategy thread) go through, so per-strategy
+        cost accounting lives here and nowhere else: when the run
+        records detailed metrics, each plugin call lands in the
+        ``prof.strategy.*`` labeled instruments (wall seconds, runs,
+        solves) that the ``report-trace --hotspots`` strategy table
+        aggregates. Serial startup plugins are additionally wrapped in
+        their registered span (``entry.span`` or
+        ``dbs.strategy.<name>``); round plugins manage their own spans.
+        """
+        registry = session.stats.registry
+        detailed = registry.detailed
+        for entry in self.for_stage(stage, final_only=final_only):
+            t0 = perf_counter()
+            if stage == "startup":
+                span_name = entry.span or f"dbs.strategy.{entry.name}"
+                with tracer.span(span_name) as span:
+                    program = entry.fn(session, budget, tracer)
+                    span.set(
+                        candidates=session.stats.loop_candidates,
+                        solved=program is not None,
+                    )
+            else:
+                program = entry.fn(session, budget, tracer)
+            if detailed:
+                registry.histogram("prof.strategy.seconds").observe(
+                    perf_counter() - t0, strategy=entry.name
+                )
+                registry.counter("prof.strategy.runs").inc(
+                    1, strategy=entry.name
+                )
+                if program is not None:
+                    registry.counter("prof.strategy.solved").inc(
+                        1, strategy=entry.name
+                    )
+            if program is not None:
+                return program
+        return None
 
 
 # -- the built-in plugins ---------------------------------------------

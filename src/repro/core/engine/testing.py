@@ -7,6 +7,7 @@ for branch bodies of recursive programs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Mapping, Optional, Sequence, Tuple
 
 from ..budget import Budget, BudgetExhausted
@@ -47,6 +48,19 @@ class Tester:
         self._program_records = stats.registry.counter(
             "dbs.cond.programs_recorded"
         )
+        # Per-TDS-example cost attribution (report-trace --hotspots):
+        # which example index the evaluation time and the candidate
+        # rejections go to. Detailed runs only — the off path pays one
+        # bool test per example evaluation and registers nothing.
+        self._detailed = stats.registry.detailed
+        if self._detailed:
+            self._ex_seconds = stats.registry.histogram(
+                "prof.example.seconds"
+            )
+            self._ex_evals = stats.registry.counter("prof.example.evals")
+            self._ex_rejections = stats.registry.counter(
+                "prof.example.rejections"
+            )
         # Once the generation budget is exhausted we still want to test
         # whatever the pool already built (the partial last generation);
         # the grace counter bounds that final sweep.
@@ -65,12 +79,23 @@ class Tester:
             if self._grace < 0:
                 raise
 
+    def _run_attributed(self, program: Expr, index: int, example: Example):
+        start = perf_counter()
+        value = self._run(program, example)
+        self._ex_seconds.observe(perf_counter() - start, index=index)
+        self._ex_evals.inc(1, index=index)
+        return value
+
     def passed_set(self, program: Expr) -> frozenset:
         """T(p): indices of examples the program handles."""
         self._charge()
         passed = set()
+        detailed = self._detailed
         for index, example in enumerate(self.examples):
-            value = self._run(program, example)
+            if detailed:
+                value = self._run_attributed(program, index, example)
+            else:
+                value = self._run(program, example)
             if value is not ERROR and structurally_equal(value, example.output):
                 passed.add(index)
         return frozenset(passed)
@@ -121,9 +146,17 @@ class Tester:
 
     def passes_all(self, program: Expr) -> bool:
         self._charge()
-        for example in self.examples:
-            value = self._run(program, example)
+        detailed = self._detailed
+        for index, example in enumerate(self.examples):
+            if detailed:
+                value = self._run_attributed(program, index, example)
+            else:
+                value = self._run(program, example)
             if value is ERROR or not structurally_equal(value, example.output):
+                if detailed:
+                    # The first failing index: which example does the
+                    # rejecting (the example-ordering signal).
+                    self._ex_rejections.inc(1, index=index)
                 return False
         return True
 

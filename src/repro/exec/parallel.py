@@ -145,10 +145,19 @@ def _ship_exception(exc: BaseException) -> BaseException:
 
 
 def _worker_main(
-    conn, trace_base: Optional[str], eval_mode: str, faults_spec: str
+    conn,
+    trace_base: Optional[str],
+    eval_mode: str,
+    faults_spec: str,
+    profile_hz: float = 0.0,
 ) -> None:
     """Worker loop: receive ``(index, attempt, fn, item)``, reply
-    ``(index, status, payload, snapshots)``; exit on ``None`` or EOF."""
+    ``(index, status, payload, snapshots)``; exit on ``None`` or EOF.
+
+    ``profile_hz`` > 0 runs a fresh sampling profiler around each task,
+    emitting its ``profile.samples`` event into the worker's trace
+    shard after the task — the parent's shard splicing tags it with the
+    worker id, so merged reports attribute samples per worker."""
     faults = FaultPlan.parse(faults_spec) if faults_spec else None
     evaluator.set_eval_mode(eval_mode)
     tracer: Optional[JsonlTracer] = None
@@ -156,6 +165,9 @@ def _worker_main(
         path = f"{trace_base}.worker-{os.getpid()}.jsonl"
         tracer = JsonlTracer(path)
         set_tracer(tracer)
+    profiling = bool(profile_hz) and tracer is not None
+    if profiling:
+        from ..obs.profile import SamplingProfiler
     while True:
         try:
             message = conn.recv()
@@ -173,13 +185,18 @@ def _worker_main(
         # tasks — the snapshot must hold exactly this task's work.
         evaluator.METRICS.reset()
         obs_metrics.GLOBAL.reset()
+        profiler = SamplingProfiler(hz=profile_hz).start() if profiling else None
         try:
             result = fn(item)
         except BaseException as exc:
+            if profiler is not None:
+                profiler.stop().emit(tracer)
             if tracer is not None:
                 tracer.flush()
             conn.send((index, "error", _ship_exception(exc), None))
             continue
+        if profiler is not None:
+            profiler.stop().emit(tracer)
         if tracer is not None:
             tracer.flush()
         snapshots = {
@@ -355,6 +372,7 @@ def parallel_map(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     on_result: Optional[ResultHook] = None,
+    profile_hz: Optional[float] = None,
 ) -> ParallelOutcome:
     """Apply ``fn`` to every item across ``jobs`` worker processes.
 
@@ -418,6 +436,7 @@ def parallel_map(
         trace_base,
         evaluator.get_eval_mode(),
         faults.spec if faults is not None else "",
+        profile_hz or 0.0,
     )
     try:
         workers = [_spawn_worker(ctx, worker_args) for _ in range(jobs_used)]

@@ -51,6 +51,12 @@ class ExperimentConfig:
     # Cap each suite at its first N benchmarks (``--limit`` on the
     # CLI): smoke runs and the CI robustness e2e, not for results.
     limit: Optional[int] = None
+    # Sampling-profiler rate (``--profile``): samples wall-clock stacks
+    # at this Hz in the driver process and in every --jobs worker,
+    # emitting profile.samples events into the trace. None = off.
+    profile_hz: Optional[float] = None
+    # Render progress heartbeats as a live stderr status line.
+    live: bool = False
     _trace_started: bool = field(default=False, repr=False, compare=False)
     # Suites run so far through run_suite — the checkpoint key prefix,
     # so a driver running several suites journals them distinctly (and
@@ -65,18 +71,57 @@ class ExperimentConfig:
         )
 
     def tracing(self):
-        """Context manager: installs a JsonlTracer when configured.
+        """Context manager wiring up the run's observability: a
+        JsonlTracer when ``trace_path`` is set, the sampling profiler
+        when ``profile_hz`` is (emitted into the trace on exit), and
+        progress heartbeats (``live`` renders them on stderr).
 
         Drivers that run several suites in one process (ablation, cdf)
         append to the same trace file after the first suite truncates it.
         """
-        if not self.trace_path:
+        if not self.trace_path and not self.profile_hz and not self.live:
             return contextlib.nullcontext()
-        from ..obs import JsonlTracer, tracing
+        from ..obs import (
+            JsonlTracer,
+            ProgressEmitter,
+            SamplingProfiler,
+            TtyStatusLine,
+            set_progress,
+            tracing,
+        )
 
-        mode = "a" if self._trace_started else "w"
-        self._trace_started = True
-        return tracing(JsonlTracer(self.trace_path, mode=mode))
+        tracer = None
+        if self.trace_path:
+            mode = "a" if self._trace_started else "w"
+            self._trace_started = True
+            tracer = JsonlTracer(self.trace_path, mode=mode)
+
+        @contextlib.contextmanager
+        def observed():
+            with contextlib.ExitStack() as stack:
+                if tracer is not None:
+                    stack.enter_context(tracing(tracer))
+                status = TtyStatusLine() if self.live else None
+                emitter = ProgressEmitter(listener=status) if (
+                    self.live or tracer is not None
+                ) else None
+                profiler = (
+                    SamplingProfiler(hz=self.profile_hz).start()
+                    if self.profile_hz
+                    else None
+                )
+                set_progress(emitter)
+                try:
+                    yield
+                finally:
+                    set_progress(None)
+                    if status is not None:
+                        status.clear()
+                    if profiler is not None:
+                        # Emit before the ExitStack closes the tracer.
+                        profiler.stop().emit()
+
+        return observed()
 
 
 FAST = ExperimentConfig(
@@ -167,6 +212,7 @@ def run_suite(
                 jobs=config.jobs,
                 trace_base=config.trace_path if config.jobs > 1 else None,
                 task_timeout_s=config.task_timeout_s,
+                profile_hz=config.profile_hz,
             )
         return harden(outcome.results)
     if config.jobs > 1:
@@ -177,6 +223,7 @@ def run_suite(
                 jobs=config.jobs,
                 trace_base=config.trace_path,
                 task_timeout_s=config.task_timeout_s,
+                profile_hz=config.profile_hz,
             )
         return harden(outcome.results)
     with config.tracing():

@@ -1,4 +1,5 @@
-"""Observability for the synthesis stack: tracing, metrics, reports.
+"""Observability for the synthesis stack: tracing, metrics, reports,
+hotspot profiling.
 
 Zero-dependency. See docs/observability.md for the event schema and a
 worked profiling example.
@@ -13,11 +14,25 @@ worked profiling example.
 """
 
 from .metrics import Counter, Gauge, Histogram, Registry, format_label_key
+from .profile import (
+    ProgressEmitter,
+    SamplingProfiler,
+    TtyStatusLine,
+    get_progress,
+    set_progress,
+)
 from .report import (
+    HotspotReport,
     TraceParseError,
     TraceReport,
+    build_hotspots,
     build_report,
+    diff_reports,
+    flame_lines,
+    hotspots_to_json,
     load_events,
+    render_diff,
+    render_hotspots,
     render_json,
     render_text,
     report_from_file,
@@ -29,6 +44,7 @@ from .trace import (
     NullTracer,
     Span,
     Tracer,
+    current_span_path,
     get_tracer,
     set_thread_tracer,
     set_tracer,
@@ -39,21 +55,34 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HotspotReport",
     "JsonlTracer",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressEmitter",
     "Registry",
+    "SamplingProfiler",
     "Span",
     "TraceParseError",
     "TraceReport",
     "Tracer",
+    "TtyStatusLine",
+    "build_hotspots",
     "build_report",
+    "current_span_path",
+    "diff_reports",
+    "flame_lines",
     "format_label_key",
+    "get_progress",
     "get_tracer",
+    "hotspots_to_json",
     "load_events",
+    "render_diff",
+    "render_hotspots",
     "render_json",
     "render_text",
     "report_from_file",
+    "set_progress",
     "set_thread_tracer",
     "set_tracer",
     "to_json",

@@ -91,9 +91,19 @@ class Counter:
     def snapshot(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"type": "counter", "value": self.value}
         if self.labeled:
-            out["labels"] = {
-                format_label_key(k): v for k, v in sorted(self.labeled.items())
-            }
+            # Accumulate, don't overwrite: locally-recorded label values
+            # keep their Python types while merged ones come back as
+            # strings (_parse_label_key), so two distinct tuple keys can
+            # render to the same display key — e.g. size=5 (int) merged
+            # with size=5 (str). A dict comprehension would silently
+            # drop one of the buckets.
+            labels: Dict[str, int] = {}
+            for k, v in sorted(
+                self.labeled.items(), key=lambda kv: format_label_key(kv[0])
+            ):
+                key = format_label_key(k)
+                labels[key] = labels.get(key, 0) + v
+            out["labels"] = labels
         return out
 
 
@@ -117,7 +127,11 @@ class Gauge:
         out: Dict[str, Any] = {"type": "gauge", "value": self.value}
         if self.labeled:
             out["labels"] = {
-                format_label_key(k): v for k, v in sorted(self.labeled.items())
+                format_label_key(k): v
+                for k, v in sorted(
+                    self.labeled.items(),
+                    key=lambda kv: format_label_key(kv[0]),
+                )
             }
         return out
 
@@ -163,15 +177,36 @@ class Histogram:
             "max": self.max,
         }
         if self.labeled:
-            out["labels"] = {
-                format_label_key(k): {
-                    "count": h.count,
-                    "total": h.total,
-                    "min": h.min,
-                    "max": h.max,
-                }
-                for k, h in sorted(self.labeled.items())
-            }
+            # Same duplicate-display-key accumulation as
+            # Counter.snapshot: merge buckets whose keys collide after
+            # value stringification instead of overwriting.
+            labels: Dict[str, Dict[str, Any]] = {}
+            for k, h in sorted(
+                self.labeled.items(), key=lambda kv: format_label_key(kv[0])
+            ):
+                key = format_label_key(k)
+                bucket = labels.get(key)
+                if bucket is None:
+                    labels[key] = {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                else:
+                    bucket["count"] += h.count
+                    bucket["total"] += h.total
+                    for attr, pick in (("min", min), ("max", max)):
+                        incoming = getattr(h, attr)
+                        if incoming is None:
+                            continue
+                        current = bucket[attr]
+                        bucket[attr] = (
+                            incoming
+                            if current is None
+                            else pick(current, incoming)
+                        )
+            out["labels"] = labels
         return out
 
 

@@ -1,0 +1,340 @@
+"""Hotspot attribution: sampling wall-clock profiler + progress heartbeats.
+
+The per-phase trace report says *which phase* a second went to; this
+module resolves it two levels further down:
+
+* :class:`SamplingProfiler` — a daemon thread walking
+  ``sys._current_frames()`` at ~100 Hz, so phase time resolves to
+  *Python function* hotspots without instrumenting every call. Each
+  sample is tagged with the sampled thread's currently open span path
+  (:func:`repro.obs.trace.current_span_path`), so a frame stack like
+  ``values:freeze`` is attributed to ``dbs > dbs.enum.batched`` rather
+  than floating free. Samples are aggregated in the profiler thread's
+  own dict and emitted as one ``profile.samples`` trace event when the
+  profiler stops — the tracer is never touched from the daemon thread
+  (tracers are not thread-safe). ``report-trace --flame`` turns the
+  samples into collapsed-stack flamegraph input; ``--hotspots`` into a
+  per-function table.
+
+* :class:`ProgressEmitter` — rate-limited ``progress`` heartbeat events
+  (generation, pool size, cand/s, deadline remaining) driven from the
+  enumerator's inner loop, rendered live by :class:`TtyStatusLine`
+  (CLI ``--live``) and recorded in the trace for post-hoc liveness
+  analysis. The enumerator's guard is ``get_progress() is not None``
+  plus a cheap :meth:`ProgressEmitter.due` check, so synthesis with no
+  emitter installed pays one ``is not None`` test per guarded site.
+
+Both are off by default, zero-dependency, and deterministic in tests:
+the profiler takes an injectable ``clock``/``frames`` and can be driven
+one :meth:`SamplingProfiler.sample_once` at a time without starting the
+thread; the emitter takes an injectable ``clock``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from time import monotonic, perf_counter
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .trace import Tracer, current_span_path, get_tracer
+
+StackKey = Tuple[Tuple[str, ...], Tuple[str, ...]]  # (span path, frames)
+
+
+def format_frames(frame, max_depth: int = 50) -> Tuple[str, ...]:
+    """A frame chain as ``module:function`` strings, root first,
+    truncated at ``max_depth`` frames counted from the leaf."""
+    out: List[str] = []
+    while frame is not None and len(out) < max_depth:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        out.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    out.reverse()
+    return tuple(out)
+
+
+class SamplingProfiler:
+    """Low-overhead wall-clock sampler over ``sys._current_frames()``.
+
+    Usage::
+
+        profiler = SamplingProfiler(hz=100)
+        profiler.start()
+        ...                      # the workload, on any thread
+        profiler.stop()
+        profiler.emit(tracer)    # one profile.samples event
+
+    The daemon thread sleeps ``1/hz`` between samples; each sample walks
+    every live thread's stack except the profiler's own. Overhead is
+    proportional to stack depth × thread count × hz, independent of the
+    workload's call rate — the point of sampling over instrumenting.
+
+    Determinism hooks: ``clock`` stamps elapsed time; ``frames`` (a
+    callable returning ``{thread_ident: frame}``) replaces
+    ``sys._current_frames``; :meth:`sample_once` takes an explicit
+    frames mapping so tests can feed synthetic stacks without threads.
+    """
+
+    def __init__(
+        self,
+        hz: float = 100.0,
+        max_depth: int = 50,
+        clock: Callable[[], float] = monotonic,
+        frames: Optional[Callable[[], Mapping[int, Any]]] = None,
+    ):
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.interval_s = 1.0 / hz
+        self.max_depth = max_depth
+        self._clock = clock
+        self._frames = frames or sys._current_frames
+        self._samples: Dict[StackKey, int] = {}
+        self.sample_count = 0
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_once(
+        self, frames: Optional[Mapping[int, Any]] = None
+    ) -> int:
+        """Take one sample over ``frames`` (default: the live threads).
+        Returns the number of thread stacks recorded."""
+        if frames is None:
+            frames = self._frames()
+        own = threading.get_ident()
+        samples = self._samples
+        recorded = 0
+        for ident, frame in frames.items():
+            if ident == own:
+                continue
+            key = (
+                current_span_path(ident),
+                format_frames(frame, self.max_depth),
+            )
+            samples[key] = samples.get(key, 0) + 1
+            recorded += 1
+        self.sample_count += 1
+        return recorded
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - sampling must not kill
+                pass
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._started_at = self._clock()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampling-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop the daemon thread (idempotent; safe if never started)."""
+        if self._thread is not None:
+            self._stop_event.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._started_at is not None:
+            self.elapsed_s += self._clock() - self._started_at
+            self._started_at = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- output --------------------------------------------------------
+
+    def samples(self) -> Dict[StackKey, int]:
+        return dict(self._samples)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``profile.samples`` event attrs: JSON-able, sorted for
+        determinism. ``samples`` is a list of ``[span_path, frames,
+        count]`` triples."""
+        return {
+            "count": self.sample_count,
+            "interval_s": self.interval_s,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "samples": [
+                [list(path), list(frames), count]
+                for (path, frames), count in sorted(self._samples.items())
+            ],
+        }
+
+    def emit(self, tracer: Optional[Tracer] = None) -> bool:
+        """Write the aggregated samples as one ``profile.samples`` event
+        on ``tracer`` (default: the installed tracer). Call from the
+        thread that owns the tracer, after :meth:`stop`. Returns whether
+        anything was written."""
+        tracer = tracer if tracer is not None else get_tracer()
+        if not tracer.enabled or not self._samples:
+            return False
+        tracer.event("profile.samples", **self.to_payload())
+        return True
+
+
+# ---------------------------------------------------------------------
+# Progress heartbeats
+
+
+class ProgressEmitter:
+    """Rate-limited synthesis progress heartbeats.
+
+    The enumerator calls :meth:`due` (cheap: one clock read) and, when
+    due, :meth:`tick` with the current search state. A tick computes the
+    candidate rate since the previous tick, writes a ``progress`` trace
+    event when a tracer is installed, and fans the payload out to any
+    listeners (the ``--live`` TTY status line).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 0.5,
+        clock: Callable[[], float] = monotonic,
+        listener: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
+        self.interval_s = interval_s
+        self._clock = clock
+        self._listeners: List[Callable[[Dict[str, Any]], None]] = []
+        if listener is not None:
+            self._listeners.append(listener)
+        self._last_at: Optional[float] = None
+        self._last_candidates = 0
+        self.emitted = 0
+
+    def add_listener(
+        self, listener: Callable[[Dict[str, Any]], None]
+    ) -> None:
+        self._listeners.append(listener)
+
+    def due(self) -> bool:
+        last = self._last_at
+        return last is None or self._clock() - last >= self.interval_s
+
+    def tick(
+        self,
+        *,
+        generation: int,
+        pool_size: int,
+        candidates: int,
+        deadline_s: Optional[float] = None,
+        phase: str = "enum",
+        force: bool = False,
+    ) -> Optional[Dict[str, Any]]:
+        """Emit one heartbeat (rate-limited unless ``force``)."""
+        now = self._clock()
+        last = self._last_at
+        if not force and last is not None and now - last < self.interval_s:
+            return None
+        rate: Optional[float] = None
+        if last is not None and now > last:
+            rate = (candidates - self._last_candidates) / (now - last)
+        self._last_at = now
+        self._last_candidates = candidates
+        payload: Dict[str, Any] = {
+            "phase": phase,
+            "generation": generation,
+            "pool": pool_size,
+            "candidates": candidates,
+        }
+        if rate is not None:
+            payload["cands_per_s"] = round(rate, 1)
+        if deadline_s is not None:
+            payload["deadline_s"] = round(deadline_s, 3)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("progress", **payload)
+        for listener in self._listeners:
+            listener(payload)
+        self.emitted += 1
+        return payload
+
+
+class TtyStatusLine:
+    """Renders progress payloads as a single rewritten terminal line."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._width = 0
+
+    def __call__(self, payload: Mapping[str, Any]) -> None:
+        parts = [
+            f"gen {payload.get('generation', '?')}",
+            f"pool {payload.get('pool', '?')}",
+            f"cands {payload.get('candidates', '?')}",
+        ]
+        rate = payload.get("cands_per_s")
+        if rate is not None:
+            parts.append(f"{rate:g}/s")
+        deadline = payload.get("deadline_s")
+        if deadline is not None:
+            parts.append(f"{max(deadline, 0.0):.1f}s left")
+        line = "synthesizing: " + "  ".join(parts)
+        pad = max(self._width - len(line), 0)
+        self._width = len(line)
+        try:
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: go quiet
+            pass
+
+    def clear(self) -> None:
+        if not self._width:
+            return
+        try:
+            self.stream.write("\r" + " " * self._width + "\r")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self._width = 0
+
+
+# The installed progress emitter (None = heartbeats off, the default).
+# Like the tracer it is process-global; unlike the tracer it is safe to
+# leave installed across threads — tick() only appends to per-emitter
+# state and worst-cases at a duplicated heartbeat under a race.
+_PROGRESS: Optional[ProgressEmitter] = None
+
+
+def get_progress() -> Optional[ProgressEmitter]:
+    return _PROGRESS
+
+
+def set_progress(
+    emitter: Optional[ProgressEmitter],
+) -> Optional[ProgressEmitter]:
+    """Install ``emitter`` (None = off); returns the previous emitter."""
+    global _PROGRESS
+    previous = _PROGRESS
+    _PROGRESS = emitter
+    return previous
+
+
+# Re-exported for call sites that want wall-clock stamps consistent
+# with span durations.
+__all__ = [
+    "ProgressEmitter",
+    "SamplingProfiler",
+    "TtyStatusLine",
+    "format_frames",
+    "get_progress",
+    "perf_counter",
+    "set_progress",
+]

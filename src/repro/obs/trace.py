@@ -44,6 +44,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Tuple,
     Union,
 )
 
@@ -112,6 +113,21 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+# Per-thread span-*name* stacks, readable across threads: the sampling
+# profiler (repro.obs.profile) walks ``sys._current_frames()`` from its
+# own daemon thread and tags each thread's stack sample with that
+# thread's currently open span path. Tracers register their name stack
+# here on span entry (a dict assignment under the GIL — safe to read
+# concurrently; a torn read worst-cases as a one-sample-stale path).
+_SPAN_PATHS: Dict[int, List[str]] = {}
+
+
+def current_span_path(ident: int) -> Tuple[str, ...]:
+    """The open span-name path of the thread with ``ident`` (root
+    first), or () when that thread traces nothing."""
+    return tuple(_SPAN_PATHS.get(ident, ()))
+
+
 class _JsonlSpan:
     """One open span of a :class:`JsonlTracer`."""
 
@@ -133,7 +149,13 @@ class _JsonlSpan:
         self.start = 0.0
 
     def __enter__(self) -> "_JsonlSpan":
-        self.tracer._stack.append(self.span_id)
+        tracer = self.tracer
+        tracer._stack.append(self.span_id)
+        names = tracer._names
+        names.append(self.name)
+        ident = threading.get_ident()
+        if _SPAN_PATHS.get(ident) is not names:
+            _SPAN_PATHS[ident] = names
         self.start = perf_counter()
         return self
 
@@ -142,6 +164,9 @@ class _JsonlSpan:
         stack = self.tracer._stack
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        names = self.tracer._names
+        if names and names[-1] == self.name:
+            names.pop()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.tracer._write(
@@ -185,6 +210,7 @@ class JsonlTracer:
             self._owns_file = False
         self._epoch = perf_counter()
         self._stack: List[int] = []
+        self._names: List[str] = []
         self._next_id = 0
 
     def span(self, name: str, **attrs: Any) -> _JsonlSpan:

@@ -1,0 +1,45 @@
+"""Regenerate the golden files for the report-trace --json schemas.
+
+Run after an *intentional* schema change, then review the diff:
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+"""
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_TESTS = os.path.dirname(_HERE)
+sys.path.insert(0, os.path.join(os.path.dirname(_TESTS), "src"))
+sys.path.insert(0, _TESTS)
+
+from test_obs_hotspots import synthetic_trace, synthetic_trace_new  # noqa: E402
+
+from repro.obs import (  # noqa: E402
+    build_hotspots,
+    build_report,
+    diff_reports,
+    flame_lines,
+    hotspots_to_json,
+)
+
+
+def dump(name, payload):
+    path = os.path.join(_HERE, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+def main():
+    old = build_report(synthetic_trace())
+    new = build_report(synthetic_trace_new())
+    dump("golden_hotspots.json", hotspots_to_json(build_hotspots(old)))
+    dump("golden_diff.json", diff_reports(old, new))
+    dump("golden_flame.json", flame_lines(synthetic_trace()))
+
+
+if __name__ == "__main__":
+    main()
