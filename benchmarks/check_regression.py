@@ -18,6 +18,14 @@ because CI runners are noisy — and can be overridden with
 A key present in the baseline but missing from the regenerated file is
 an error: renaming a metric requires re-committing the baseline in the
 same change.
+
+On top of the relative comparison, ``HARD_FLOORS`` pins absolute
+minimums for metrics that are contracts in their own right — e.g. the
+batched enumerator's end-to-end strings speedup must stay ≥ 1.5×
+regardless of what the committed baseline says, so the kernel-vs-e2e
+gap can't silently reopen through a sequence of tolerated drops (or a
+degraded baseline). Floors ignore the tolerance: they are the line, not
+a target to drift toward.
 """
 
 from __future__ import annotations
@@ -35,6 +43,16 @@ SKIP_KEYS = {"host", "iterations", "totals_seconds", "tasks"}
 
 HIGHER_BETTER_SUFFIXES = ("_ops_per_sec", "speedup")
 LOWER_BETTER_SUFFIXES = ("_seconds", "_ms")
+
+# Absolute floors (metric path -> minimum value), enforced on the
+# *current* file independent of baseline and tolerance. A floor only
+# applies when the metric belongs to the file under comparison (the
+# gate runs once per BENCH_*.json); a floored path present in the
+# baseline but missing from the current file is caught by the ordinary
+# missing-metric check.
+HARD_FLOORS = {
+    "e2e_strings.speedup": 1.5,
+}
 
 
 def _direction(key: str) -> int:
@@ -63,7 +81,8 @@ def _walk(node, path: str = "") -> Iterator[Tuple[str, str, float]]:
 
 
 def compare(baseline: dict, current: dict, tolerance: float):
-    """Return ``(regressions, missing, checked)`` comparing metric leaves."""
+    """Return ``(regressions, missing, checked, floored)`` comparing
+    metric leaves; ``floored`` lists hard-floor violations."""
     current_leaves = {p: v for p, _, v in _walk(current)}
     regressions, missing, checked = [], [], []
     for path, key, base in _walk(baseline):
@@ -80,7 +99,12 @@ def compare(baseline: dict, current: dict, tolerance: float):
         checked.append((path, base, now, ratio, bad))
         if bad:
             regressions.append((path, base, now, ratio))
-    return regressions, missing, checked
+    floored = [
+        (path, floor, current_leaves[path])
+        for path, floor in sorted(HARD_FLOORS.items())
+        if path in current_leaves and current_leaves[path] < floor
+    ]
+    return regressions, missing, checked, floored
 
 
 def main(argv) -> int:
@@ -94,7 +118,9 @@ def main(argv) -> int:
     with open(argv[2]) as fh:
         current = json.load(fh)
 
-    regressions, missing, checked = compare(baseline, current, tolerance)
+    regressions, missing, checked, floored = compare(
+        baseline, current, tolerance
+    )
 
     print(f"comparing {argv[2]} against baseline {argv[1]} "
           f"(tolerance {tolerance:.0%})")
@@ -103,11 +129,14 @@ def main(argv) -> int:
         print(f"  {marker:>10}  {path}: {base:g} -> {now:g} ({ratio:.2f}x)")
     for path in missing:
         print(f"     MISSING  {path}: present in baseline, absent now")
+    for path, floor, now in floored:
+        print(f"       FLOOR  {path}: {now:g} below hard floor {floor:g}")
 
-    if regressions or missing:
+    if regressions or missing or floored:
         print(
             f"FAIL: {len(regressions)} regression(s), "
-            f"{len(missing)} missing metric(s)",
+            f"{len(missing)} missing metric(s), "
+            f"{len(floored)} hard-floor violation(s)",
             file=sys.stderr,
         )
         return 1

@@ -419,8 +419,17 @@ def _run_dbs(
                 return finish(None, reason="max_generations")
             if pool.exhausted:
                 break  # budget died mid-generation; partial batch tested
-            if stats.generations > 0 and pool.total() == last_size:
-                break  # language exhausted below the size cap
+            if (
+                stats.generations > 0
+                and pool.total() == last_size
+                and not pool.last_generation_redone
+            ):
+                # Language exhausted below the size cap. A *redone*
+                # generation (warm resume after a mid-generation
+                # truncation) is exempt: when the truncation landed past
+                # the last admittable combination, the redo adds nothing
+                # even though the next generation has fresh combos.
+                break
             # 3. Next generation (Algorithm 2, line 8), tested batch-wise
             # at the top of the loop (the generator is lazy).
             stats.generations += 1

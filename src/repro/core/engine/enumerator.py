@@ -103,6 +103,10 @@ class Enumerator:
         # Argument-slot generation splits, valid for one advance only
         # (see _split_candidates).
         self._slot_cache: Dict[Any, Tuple] = {}
+        # True while a batched-mode advance is in flight: offers from
+        # this enumerator may then compute sampled fingerprints from the
+        # pool's memoized grids (classic mode stays the reference path).
+        self._fast_sampling = False
 
     # -- seeding -------------------------------------------------------
 
@@ -193,12 +197,20 @@ class Enumerator:
         # incomplete (budget death, or the caller stopped consuming on a
         # solve); a warm run redoes it — see PoolStore.bind.
         store.incomplete_generation = True
+        # Whether this generation is the redo of one interrupted in a
+        # previous run (PoolStore.bind armed the flag when stepping the
+        # generation counter back). Published on completion so DBS's
+        # dry-generation check knows a zero-add redo is inconclusive.
+        redone = store.pending_redo
+        store.pending_redo = False
+        store.last_generation_redone = False
         if store.budget.exhausted():
             store.exhausted = True
             return
         store.exhausted = False
         tracer = get_tracer()
         batched = self._resolve_mode() == "batched"
+        self._fast_sampling = batched
         self._slot_cache.clear()
         store.clear_partitions()
         try:
@@ -241,6 +253,7 @@ class Enumerator:
             store.exhausted = True
             return
         store.incomplete_generation = False
+        store.last_generation_redone = redone
 
     def _resolve_mode(self) -> str:
         mode = self.enum_mode or get_enum_mode()
@@ -371,7 +384,9 @@ class Enumerator:
                 values = None
             if expr is None:
                 continue
-            result = store.offer(expr, values)
+            result = store.offer(
+                expr, values, sampled_fast=self._fast_sampling
+            )
             if result is not None:
                 added.append(result)
         return added
@@ -443,10 +458,12 @@ class Enumerator:
                     # A child without a cached vector (free lambda
                     # variables in a subtree): the candidate is not
                     # closed, so the whole classic admission pipeline
-                    # applies to it.
+                    # applies to it — but its sampled fingerprint can
+                    # come from the memoized grids instead of a fresh
+                    # per-candidate evaluation.
                     expr = make_expr(tuple(e.expr for e in combo))
                     c_materialized.value += 1
-                    result = store.offer(expr)
+                    result = store.offer(expr, sampled_fast=True)
                     if result is not None:
                         added.append(result)
                     break
@@ -743,7 +760,9 @@ class Enumerator:
                     e.values is not None for e in combo
                 ):
                     values = self._apply_lasy_values(fn, combo)
-                result = store.offer(expr, values)
+                result = store.offer(
+                    expr, values, sampled_fast=self._fast_sampling
+                )
                 if result is not None:
                     added.append(result)
         return added

@@ -54,6 +54,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from ...obs.metrics import Registry
 from ..budget import Budget
+from ..compile import compile_batch
 from ..dsl import Dsl, Example, LambdaSpec, Signature
 from ..evaluator import (
     Env,
@@ -83,6 +84,10 @@ _SIGNATURE_FUEL = 30_000
 # Expressions larger than this are never pooled; a safety valve against
 # pathological growth (the paper's programs top out ~20 lines).
 _MAX_EXPR_SIZE = 60
+
+# Sampled-environment grid memo bound (see PoolStore._grid_values);
+# cleared wholesale on overflow, like the compile cache.
+_GRID_CACHE_LIMIT = 200_000
 
 
 @dataclass
@@ -161,6 +166,15 @@ class PoolStore:
         # generator after finding a program). A warm run must redo that
         # generation — syntactic dedup makes the redo idempotent.
         self.incomplete_generation = False
+        # Redo bookkeeping for warm runs: ``pending_redo`` is armed by
+        # :meth:`bind` when it steps an interrupted generation back, and
+        # consumed by the enumerator, which publishes it as
+        # ``last_generation_redone`` once the redo runs to completion.
+        # DBS needs the distinction because a redone generation may
+        # legitimately add nothing (every remaining combination deduped)
+        # without the language being exhausted.
+        self.pending_redo = False
+        self.last_generation_redone = False
         # Published by DBS for composition strategies.
         self.previous_program: Optional[Expr] = None
         self.guard_sets: List[frozenset] = []
@@ -184,6 +198,20 @@ class PoolStore:
         self._constants = dict(dsl.constants_for(self.examples))
         self._lambda_specs = self._collect_lambda_specs()
         self._sample_cache: Dict[Type, List[Any]] = {}
+        # Sampled-environment grids for the batched signature path
+        # (see _grid_values): expression identity -> (expr, cells).
+        # Cleared whenever the examples, harvested samples, or LaSy
+        # bindings change. _proj_cache maps (parent var names, child
+        # var names) to the binding-projection index list; the binding
+        # lists themselves are memoized per var-name tuple.
+        self._grid_cache: Dict[int, Tuple[Expr, Optional[Tuple[Any, ...]]]] = {}
+        self._proj_cache: Dict[Tuple, Optional[List[int]]] = {}
+        self._bindings_cache: Dict[Tuple, List[Dict[str, Any]]] = {}
+        # free-variable set -> (var_types, bindings), or None when the
+        # sampled signature is exempt for that set (untypeable variable
+        # or no credible samples) — the per-candidate prologue of the
+        # sampled-signature paths, computed once per distinct var set.
+        self._var_meta_cache: Dict[frozenset, Optional[Tuple]] = {}
         self._lasy_versions = {
             name: id(fn) for name, fn in self.lasy_fns.items()
         }
@@ -226,6 +254,7 @@ class PoolStore:
             # the ones already admitted via the syntactic seen-set).
             self.generation = max(0, self.generation - 1)
             self.incomplete_generation = False
+            self.pending_redo = True
 
     def compatible_options(self, options: PoolOptions) -> bool:
         """Whether a persisted store can serve a run with ``options``."""
@@ -321,10 +350,19 @@ class PoolStore:
     # -- dedup / admission ---------------------------------------------
 
     def offer(
-        self, expr: Expr, values: Optional[Tuple[Any, ...]] = None
+        self,
+        expr: Expr,
+        values: Optional[Tuple[Any, ...]] = None,
+        *,
+        sampled_fast: bool = False,
     ) -> Optional[Expr]:
         """Canonicalize, deduplicate, and admit an expression. Returns the
-        admitted (canonical) expression, or None if it was a duplicate."""
+        admitted (canonical) expression, or None if it was a duplicate.
+
+        ``sampled_fast`` lets batched-mode callers compute any sampled
+        (free-variable) fingerprint from the identity-memoized grids of
+        :meth:`_grid_values` instead of a fresh per-candidate evaluation;
+        the decision tree and signature semantics are unchanged."""
         self.budget.charge_expression()
         self._c_offered.value += 1
         if expr.size > self.options.max_expr_size:
@@ -380,7 +418,9 @@ class PoolStore:
         sig = None
         sig_cols = None
         if self.options.semantic_dedup:
-            raw, sig_cols = self._signature_state(expr, values)
+            raw, sig_cols = self._signature_state(
+                expr, values, sampled_fast=sampled_fast
+            )
             sig = self._intern_sig(raw)
             if sig is not None:
                 seen = self._seen_semantic.setdefault(expr.nt, set())
@@ -660,6 +700,12 @@ class PoolStore:
         # after an extension so new constants enter the pool.
         self._constants = dict(self.dsl.constants_for(self.examples))
         self._sample_cache = {}
+        # Sampled grids span the example list and the harvested binding
+        # samples; both just changed.
+        self._grid_cache = {}
+        self._proj_cache = {}
+        self._bindings_cache = {}
+        self._var_meta_cache = {}
         self._prune_stale_constants(seeds, report)
         filters = self.dsl.admission_filters
         dedup = self.options.semantic_dedup
@@ -904,6 +950,8 @@ class PoolStore:
             if current.get(name) != self._lasy_versions.get(name)
         }
         self._lasy_versions = current
+        # Grid cells may embed results of the changed functions.
+        self._grid_cache = {}
         dedup = self.options.semantic_dedup
         refreshed = 0
         dropped_any = False
@@ -1039,7 +1087,10 @@ class PoolStore:
         return self._signature_state(expr, values)[0]
 
     def _signature_state(
-        self, expr: Expr, values: Optional[Tuple[Any, ...]]
+        self,
+        expr: Expr,
+        values: Optional[Tuple[Any, ...]],
+        sampled_fast: bool = False,
     ) -> Tuple[Optional[Tuple], Optional[Tuple]]:
         """``(raw_signature, key_columns)`` for an admission candidate.
         For vector-derived fingerprints the signature *is* the column
@@ -1053,6 +1104,8 @@ class PoolStore:
             cols = self._vector_sig_columns(expr.nt, values, self.examples)
             return cols, cols
         adapter = self.dsl.signature_adapters.get(expr.nt)
+        if sampled_fast:
+            return self._sampled_signature_fast(expr, adapter), None
         return self._sampled_signature(expr, adapter), None
 
     def _vector_sig_columns(
@@ -1149,6 +1202,251 @@ class PoolStore:
         except TypeError:
             return None
 
+    # -- batched sampled fingerprints (see engine.enumerator) ----------
+
+    def _sampled_signature_fast(self, expr: Expr, adapter) -> Optional[Tuple]:
+        """Batched-mode equivalent of :meth:`_sampled_signature` for
+        non-lambda candidates: the sampled cells come from the
+        identity-memoized grids of :meth:`_grid_values` instead of a
+        fresh whole-tree evaluation per (example, binding) cell — the
+        same values-first inversion the batched enumerator applies to
+        value vectors. Signature semantics are identical; anything the
+        grid cannot express delegates to the per-candidate path."""
+        if isinstance(expr, Lambda) or expr.has_recurse:
+            return self._sampled_signature(expr, adapter)
+        meta = self._grid_meta(expr)
+        if meta is None:
+            return None  # untypeable var / no credible samples: exempt
+        var_types, bindings = meta
+        cells = self._grid_values(expr)
+        if cells is None:
+            return self._sampled_signature(expr, adapter)
+        values = []
+        i = 0
+        for example in self.examples:
+            for _ in bindings:
+                value = cells[i]
+                i += 1
+                if adapter is not None and value is not ERROR:
+                    try:
+                        value = adapter(value, example)
+                    except Exception:
+                        value = ERROR
+                if callable(value):
+                    return None
+                values.append(value)
+        values.append(("vars", tuple(name for name, _ in var_types)))
+        try:
+            return signature_key(values)
+        except TypeError:
+            return None
+
+    def _grid_meta(self, expr: Expr) -> Optional[Tuple]:
+        """``(var_types, bindings)`` for an expression's free-variable
+        set, or None when its sampled signature is exempt (a variable
+        the DSL can't type, or one without credible samples). This is
+        the per-candidate prologue of :meth:`_sampled_signature`,
+        memoized per distinct variable set: the enumerator offers
+        thousands of candidates over a handful of variable sets."""
+        key = expr.free_var_set
+        cache = self._var_meta_cache
+        if key in cache:
+            return cache[key]
+        var_types = self._free_var_types(expr)
+        if var_types is None or any(
+            not self._var_sample_values(ty) for _, ty in var_types
+        ):
+            meta = None
+        else:
+            meta = (var_types, self._grid_bindings(var_types))
+        cache[key] = meta
+        return meta
+
+    def _grid_bindings(self, var_types) -> List[Dict[str, Any]]:
+        """:meth:`_sample_bindings`, memoized per variable-name tuple
+        (the sample values behind a binding list only change when the
+        harvested-sample cache is rebuilt, which clears this too)."""
+        key = tuple(name for name, _ in var_types)
+        bindings = self._bindings_cache.get(key)
+        if bindings is None:
+            bindings = self._sample_bindings(var_types)
+            self._bindings_cache[key] = bindings
+        return bindings
+
+    def _grid_values(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
+        """Raw (pre-adapter) values of a free-variable expression over
+        ``examples × sampled bindings of its own variables``,
+        example-major — the cells :meth:`_sampled_signature` computes
+        one candidate at a time. Memoized by expression identity: pool
+        children are hash-consed, so each distinct subexpression is
+        evaluated once per example epoch instead of once per offered
+        candidate that contains it. None when no grid applies (no
+        typeable variables, or a variable without credible samples)."""
+        cache = self._grid_cache
+        hit = cache.get(id(expr))
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        cells = self._compute_grid(expr)
+        if len(cache) >= _GRID_CACHE_LIMIT:
+            cache.clear()
+        cache[id(expr)] = (expr, cells)
+        return cells
+
+    def _compute_grid(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
+        meta = self._grid_meta(expr)
+        if meta is None or not meta[0]:
+            return None
+        var_types, bindings = meta
+        if type(expr) is Call and not expr.func.lazy and not expr.has_recurse:
+            # Column-wise fast path: apply the component over the
+            # children's grids in one batch call, with the children's
+            # cells projected onto this expression's binding list.
+            columns = []
+            for child in expr.args:
+                column = self._grid_argument(child, var_types, bindings)
+                if column is None:
+                    break
+                columns.append(column)
+            else:
+                batch_fn = compile_batch(expr.func)
+                if batch_fn is not None:
+                    return tuple(batch_fn(*columns))
+        # Everything else (variables, lazy calls, LaSy calls, loop
+        # nodes, truncated binding products): evaluate per cell with
+        # classic signature semantics — still paid once per distinct
+        # expression, not once per candidate.
+        return self._grid_eval(expr, bindings)
+
+    def _grid_argument(
+        self, child: Expr, var_types, bindings
+    ) -> Optional[List[Any]]:
+        """One child's cell column, aligned with the parent's
+        ``examples × bindings`` layout: closed children broadcast their
+        per-example value across the bindings; free-variable children
+        project their own grid through the binding restriction map."""
+        if child.has_recurse:
+            return None
+        if not child.free_var_set:
+            values = self._grid_closed_values(child)
+            if values is None:
+                return None
+            n = len(bindings)
+            out: List[Any] = []
+            for value in values:
+                out.extend([value] * n)
+            return out
+        child_meta = self._grid_meta(child)
+        if child_meta is None:
+            return None
+        child_types, child_bindings = child_meta
+        child_cells = self._grid_values(child)
+        if child_cells is None:
+            return None
+        projection = self._grid_projection(
+            var_types, bindings, child_types, child_bindings
+        )
+        if projection is None:
+            return None
+        per_child = len(child_bindings)
+        out = []
+        for ei in range(len(self.examples)):
+            base = ei * per_child
+            for j in projection:
+                out.append(child_cells[base + j])
+        return out
+
+    def _grid_projection(
+        self, var_types, bindings, child_types, child_bindings
+    ) -> Optional[List[int]]:
+        """For each parent binding, the index of its restriction to the
+        child's variables in the child's binding list — None when a
+        restriction is missing (the 27-combo truncation can drop it) or
+        a sample value resists hashing. Bindings are pure products of
+        the per-type sample values, so the map is memoized per
+        (parent names, child names) pair."""
+        key = (
+            tuple(name for name, _ in var_types),
+            tuple(name for name, _ in child_types),
+        )
+        if key in self._proj_cache:
+            return self._proj_cache[key]
+        child_names = key[1]
+        projection: Optional[List[int]] = []
+        try:
+            index = {
+                tuple(b[name] for name in child_names): j
+                for j, b in enumerate(child_bindings)
+            }
+            for binding in bindings:
+                j = index.get(tuple(binding[name] for name in child_names))
+                if j is None:
+                    projection = None
+                    break
+                projection.append(j)
+        except TypeError:
+            projection = None
+        self._proj_cache[key] = projection
+        return projection
+
+    def _grid_closed_values(self, expr: Expr) -> Optional[Tuple[Any, ...]]:
+        """Per-example raw values of a closed, non-recursive child used
+        inside a sampled grid, memoized alongside the grids (closed and
+        free-variable expressions are disjoint, so the cache is shared).
+        Unlike :meth:`_evaluate_tail` this is signature-internal work:
+        exceptions become ERROR cells and no eval counters move, exactly
+        as the same subtree behaves inside a per-candidate sampled
+        evaluation."""
+        cache = self._grid_cache
+        hit = cache.get(id(expr))
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        names = self.signature.param_names
+        runner = expression_runner(expr)
+        out: List[Any] = []
+        for example in self.examples:
+            env = Env(
+                params=dict(zip(names, example.args)),
+                lasy_fns=self.lasy_fns,
+                fuel=Fuel(self.options.signature_fuel),
+            )
+            try:
+                value = runner(env)
+            except EvaluationError:
+                value = ERROR
+            except Exception:
+                value = ERROR
+            out.append(value)
+        values = tuple(out)
+        if len(cache) >= _GRID_CACHE_LIMIT:
+            cache.clear()
+        cache[id(expr)] = (expr, values)
+        return values
+
+    def _grid_eval(self, expr: Expr, bindings) -> Tuple[Any, ...]:
+        """Per-cell grid fallback: one fresh fueled evaluation per
+        (example, binding), the exact loop body of
+        :meth:`_sampled_signature` minus the adapter."""
+        names = self.signature.param_names
+        runner = expression_runner(expr)
+        cells: List[Any] = []
+        for example in self.examples:
+            params = dict(zip(names, example.args))
+            for binding in bindings:
+                env = Env(
+                    params=params,
+                    vars=dict(binding),
+                    lasy_fns=self.lasy_fns,
+                    fuel=Fuel(self.options.signature_fuel),
+                )
+                try:
+                    value = runner(env)
+                except EvaluationError:
+                    value = ERROR
+                except Exception:
+                    value = ERROR
+                cells.append(value)
+        return tuple(cells)
+
 
 def _mentions_lasy(expr: Expr, names) -> bool:
     return any(
@@ -1186,6 +1484,8 @@ def _recursion_shape_ok(expr: Expr) -> bool:
     variable (a constant-argument self-call either diverges or is a
     constant). These exemptions keep the un-deduplicated recursive corner
     of the pool from exploding."""
+    if not expr.has_recurse:
+        return True
     recurse_nodes = [n for n in expr.walk() if isinstance(n, Recurse)]
     if not recurse_nodes:
         return True

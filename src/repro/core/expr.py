@@ -79,11 +79,18 @@ class Expr:
     cached hashes, so hashing is O(1) per node); equality short-circuits
     on the cached hash before any deep comparison. The syntactic dedup of
     §5.1 hashes millions of expressions, so this matters.
+
+    ``free_var_set`` (free lambda-variable names) and ``has_recurse``
+    are likewise fixed once the node exists, so they too are computed at
+    construction from the children's cached values — the pool's dedup
+    and admission checks consult them per candidate.
     """
 
     nt: str
     size: int
     _hash: int
+    free_var_set: frozenset
+    has_recurse: bool
 
     def _identity(self) -> tuple:
         raise NotImplementedError
@@ -131,12 +138,37 @@ class Expr:
         return repr(self)
 
 
+_NO_FREE_VARS: frozenset = frozenset()
+
+
 def _finish(node: Expr, size: int) -> None:
     object.__setattr__(node, "size", size)
     identity = node._identity()
     object.__setattr__(
         node, "_hash", hash((type(node).__name__,) + identity)
     )
+    # Children are already finished (construction is bottom-up), so the
+    # traversal caches are O(1) per node.
+    kind = type(node)
+    if kind is Var:
+        free: frozenset = frozenset((node.name,))
+        recurses = False
+    elif kind is Lambda:
+        free = node.body.free_var_set
+        if free:
+            free = free.difference(p.name for p in node.params)
+        recurses = node.body.has_recurse
+    else:
+        free = _NO_FREE_VARS
+        recurses = kind is Recurse
+        for child in node.children():
+            child_free = child.free_var_set
+            if child_free:
+                free = free | child_free
+            if child.has_recurse:
+                recurses = True
+    object.__setattr__(node, "free_var_set", free)
+    object.__setattr__(node, "has_recurse", recurses)
 
 
 @dataclass(frozen=True, eq=False)
@@ -466,25 +498,17 @@ def top_level_bodies(program: Expr) -> Tuple[Expr, ...]:
 
 def is_recursive(expr: Expr) -> bool:
     """Whether ``expr`` contains a recursive self-call."""
-    return expr.contains(lambda node: isinstance(node, Recurse))
+    return expr.has_recurse
 
 
 def contains_free_vars(expr: Expr) -> bool:
     """Whether ``expr`` contains lambda variables not bound within it."""
-    return bool(free_vars(expr))
+    return bool(expr.free_var_set)
 
 
 def free_vars(expr: Expr) -> frozenset:
     """Names of lambda variables free in ``expr``."""
-    if isinstance(expr, Var):
-        return frozenset((expr.name,))
-    if isinstance(expr, Lambda):
-        inner = free_vars(expr.body)
-        return inner - {p.name for p in expr.params}
-    result: frozenset = frozenset()
-    for child in expr.children():
-        result |= free_vars(child)
-    return result
+    return expr.free_var_set
 
 
 # Cached-hash identity tuples (see Expr.__eq__/__hash__).

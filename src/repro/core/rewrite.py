@@ -184,6 +184,20 @@ class Rewriter:
         self.rules: List[Tuple[RewriteRule, str]] = [
             (rule, classify_rule(rule)) for rule in dsl.rewrites
         ]
+        # Rule application scans every rule per candidate; most rules
+        # are rooted at a specific function and can only ever match a
+        # Call to that function, so precompute the root name (None for
+        # PVar/PConst-rooted rules, which must always be tried). The
+        # declaration-order scan below is preserved — non-matching
+        # roots are skipped, which match() would have rejected anyway.
+        self._indexed_rules: List[Tuple[RewriteRule, str, Optional[str]]] = [
+            (
+                rule,
+                kind,
+                rule.lhs.func_name if isinstance(rule.lhs, PCall) else None,
+            )
+            for rule, kind in self.rules
+        ]
         self._functions: Dict[str, Function] = {
             fn.name: fn for fn in dsl.functions()
         }
@@ -263,7 +277,10 @@ class Rewriter:
                 raise RewriteCycleError(
                     f"rule application loop on {expr} in {self.dsl.name!r}"
                 )
-            for rule, kind in self.rules:
+            root_name = expr.func.name if type(expr) is Call else None
+            for rule, kind, lhs_root in self._indexed_rules:
+                if lhs_root is not None and lhs_root != root_name:
+                    continue
                 bindings = match(rule.lhs, expr)
                 if bindings is None:
                     continue
@@ -273,6 +290,7 @@ class Rewriter:
                 if kind == "guarded" and order_key(candidate) >= order_key(expr):
                     continue
                 expr = candidate
+                root_name = expr.func.name if type(expr) is Call else None
                 changed = True
         return expr
 

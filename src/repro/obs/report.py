@@ -108,6 +108,24 @@ class ProductionRow:
 # (worker tag or None, open-span path, frame stack) -> sample count.
 SampleKey = Tuple[Optional[str], Tuple[str, ...], Tuple[str, ...]]
 
+# Stacks parked in these leaves are waiting, not working: with jobs>1
+# the driver blocks in selectors:select on worker pipes for most of the
+# run (and a worker between tasks waits the same way), which used to
+# bury the real worker-side hotspots under ~46% driver wait. Hotspot
+# tables report them as one "idle" bucket; flame stacks collapse them
+# to a single "idle" frame.
+_IDLE_LEAVES = frozenset(
+    {
+        "selectors:select",
+        "multiprocessing.connection:wait",
+    }
+)
+
+
+def is_idle_stack(frames: Tuple[str, ...]) -> bool:
+    """Whether a sampled frame stack is a pipe/select wait, not work."""
+    return bool(frames) and frames[-1] in _IDLE_LEAVES
+
 
 @dataclass
 class TraceReport:
@@ -440,6 +458,7 @@ class HotspotReport:
     functions: List[FunctionRow] = field(default_factory=list)
     sample_count: int = 0
     sample_interval: float = 0.0
+    idle_samples: int = 0  # select/pipe waits excluded from functions
 
 
 def _labeled_map(
@@ -518,6 +537,9 @@ def build_hotspots(
     total_counts: Dict[str, int] = {}
     for (_worker, _path, frames), count in report.samples.items():
         if not frames:
+            continue
+        if is_idle_stack(frames):
+            hs.idle_samples += count
             continue
         leaf = frames[-1]
         self_counts[leaf] = self_counts.get(leaf, 0) + count
@@ -618,6 +640,10 @@ def render_hotspots(hs: HotspotReport) -> str:
                 (row.function, row.self_samples, row.total_samples, seconds)
             )
         out.append(_table(("function", "self", "total", "~seconds"), rows))
+    if hs.idle_samples:
+        out.append(
+            f"  idle (select/pipe wait): {hs.idle_samples} samples excluded"
+        )
     if len(out) == 1:
         out.append("  (no hotspot data: trace has no detailed metrics "
                    "or profiler samples)")
@@ -631,6 +657,7 @@ def hotspots_to_json(hs: HotspotReport) -> Dict[str, Any]:
         "top": hs.top,
         "sample_count": hs.sample_count,
         "sample_interval": hs.sample_interval,
+        "idle_samples": hs.idle_samples,
         "productions": [
             {
                 "production": row.production,
@@ -698,7 +725,13 @@ def flame_lines(events: Sequence[dict]) -> List[str]:
                 path, frames, count = triple
             except (TypeError, ValueError):
                 continue
-            stack = prefix + tuple(path) + tuple(frames)
+            stack_frames = tuple(frames)
+            if is_idle_stack(stack_frames):
+                # Waits on worker pipes are one flat "idle" frame: the
+                # time stays visible in the graph without its selector
+                # stack drowning out the actual work.
+                stack_frames = ("idle",)
+            stack = prefix + tuple(path) + stack_frames
             if not stack:
                 continue
             sampled[stack] = sampled.get(stack, 0) + int(count)

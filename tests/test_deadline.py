@@ -206,6 +206,45 @@ class TestTdsTimeout:
         # otherwise this test stopped exercising resume.
         assert not truncated.success or resumed.success
 
+    def test_redone_generation_adding_nothing_is_not_exhaustion(self):
+        """A truncation landing *after* the last admittable combination
+        of a generation makes the warm redo add zero entries; the next
+        run must press on to the following generation instead of
+        reporting search_exhausted (the resume-flakiness bug)."""
+        from repro.core.dbs import DbsStats
+        from repro.core.engine import Enumerator, PoolStore
+        from repro.core.types import STRING
+
+        dsl = get_domain("strings").dsl()
+        sig = Signature("f", (("v", STRING),), STRING)
+        examples = [Example(("ab cd",), "ab")]
+        stats = DbsStats()
+        pool = PoolStore(
+            dsl,
+            sig,
+            examples,
+            budget=Budget(max_seconds=30.0, max_expressions=100_000),
+            metrics=stats.registry,
+        )
+        enumerator = Enumerator(pool)
+        enumerator.seed([])
+        first = enumerator.advance()
+        assert first  # generation 1 ran to completion
+        # Simulate a deadline that struck after every combination of
+        # generation 1 had been offered but before the generator could
+        # mark the generation complete.
+        pool.incomplete_generation = True
+        pool.bind(stats.registry, Budget(max_seconds=30.0))
+        assert pool.pending_redo
+        redo = enumerator.advance()
+        assert redo == []  # every re-offered combo dedups away
+        assert pool.last_generation_redone
+        # The zero-add redo is inconclusive: the next generation must
+        # still produce fresh expressions (and clear the redo marker).
+        fresh = enumerator.advance()
+        assert fresh
+        assert not pool.last_generation_redone
+
 
 # -- differential: truncated+resumed == unbudgeted, all four domains --
 

@@ -139,6 +139,9 @@ def synthetic_trace():
                     6,
                 ],
                 [["dbs"], ["repro.core.compile:run"], 4],
+                # Driver parked on the worker pipes (jobs>1): reported
+                # as "idle", never as a hotspot function row.
+                [["dbs"], ["repro.exec.parallel:map", "selectors:select"], 5],
             ],
         ),
         _event(
@@ -231,6 +234,18 @@ class TestHotspots:
         assert hs.sample_count == 13
         assert hs.sample_interval == pytest.approx(0.01)
 
+    def test_idle_driver_waits_excluded_from_functions(self):
+        hs = build_hotspots(self.report())
+        rows = {r.function: r for r in hs.functions}
+        # The selectors:select stack is wait time, not work: no function
+        # row for the selector leaf or anything above it.
+        assert "selectors:select" not in rows
+        assert "repro.exec.parallel:map" not in rows
+        assert hs.idle_samples == 5
+        text = render_hotspots(hs)
+        assert "idle (select/pipe wait): 5 samples excluded" in text
+        assert hotspots_to_json(hs)["idle_samples"] == 5
+
     def test_render_includes_all_sections(self):
         text = render_hotspots(build_hotspots(self.report()))
         for needle in (
@@ -257,6 +272,10 @@ class TestFlame:
         )
         assert "dbs;repro.core.compile:run 4" in lines
         assert "worker:w1;dbs;repro.core.values:freeze 3" in lines
+        # Pipe waits collapse to one flat frame instead of a selector
+        # stack dominating the graph.
+        assert "dbs;idle 5" in lines
+        assert not any("selectors:select" in line for line in lines)
         assert lines == sorted(lines)
 
     def test_span_tree_fallback(self):
