@@ -1,0 +1,156 @@
+"""Warm-vs-cold synthesis service benchmark.
+
+Run directly (writes ``BENCH_service.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Starts a real :class:`~repro.serve.server.SynthesisServer` (loopback
+TCP, one worker) and times ``synthesize`` requests end to end, as a
+client sees them:
+
+* **cold** — requests whose function name (hence session-cache base
+  key) the server has never seen: the engine builds its component pool
+  from scratch. Best of ``REPS`` distinct names.
+* **warm** — the same program repeated: the session released by the
+  previous request is checked out of the cache and every TDS iteration
+  for the held example prefix is skipped. Best of ``REPS`` repeats;
+  every one must report ``cache.hit``.
+
+``service_strings.speedup`` (cold/warm) is hard-floored at 2.0 by
+``benchmarks/check_regression.py`` — the whole point of the service
+layer is that repeated requests don't pay the cold build, and this is
+the gate that keeps it true.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import threading
+from time import perf_counter
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not os.environ.get("PYTHONPATH") or "repro" not in sys.modules:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+REPS = 3
+
+# The strings slice: trim + constant-suffix concatenation over enough
+# examples that the cold pool build does real enumeration work.
+_PROGRAM = """
+language strings;
+function string {name}(string s);
+require {name}("  hello ") == "hello!";
+require {name}("ab") == "ab!";
+require {name}(" xyz") == "xyz!";
+require {name}("synthesis ") == "synthesis!";
+"""
+
+
+def _start_server():
+    """The server on a background thread; returns (port, shutdown)."""
+    from repro.serve.server import ServerConfig, SynthesisServer
+
+    config = ServerConfig(port=0, max_workers=1, default_timeout_s=60.0)
+    ready = threading.Event()
+    state = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = SynthesisServer(config)
+            await server.start()
+            state["port"] = server.address[1]
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="bench-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("server failed to start")
+
+    def shutdown() -> None:
+        from repro.serve.client import request
+
+        request({"op": "shutdown"}, port=state["port"], timeout=10)
+        thread.join(timeout=10)
+
+    return state["port"], shutdown
+
+
+def _synthesize(port: int, name: str):
+    """One request; returns (round_trip_seconds, response)."""
+    from repro.serve.client import request
+
+    payload = {
+        "id": name,
+        "op": "synthesize",
+        "program": _PROGRAM.format(name=name),
+    }
+    start = perf_counter()
+    response = request(payload, port=port, timeout=120, check=True)
+    elapsed = perf_counter() - start
+    if not response.get("success"):
+        raise RuntimeError(f"synthesis failed for {name}: {response}")
+    return elapsed, response
+
+
+def bench_service(port: int):
+    cold_times = []
+    for rep in range(REPS):
+        elapsed, response = _synthesize(port, f"cold{rep}")
+        info = response["cache"][f"cold{rep}"]
+        assert not info["hit"], "distinct name must miss the cache"
+        cold_times.append(elapsed)
+        print(f"  cold #{rep}: {elapsed * 1000:.1f}ms")
+
+    # Seed the warm entry, then time pure repeats.
+    _synthesize(port, "warm")
+    warm_times = []
+    for rep in range(REPS):
+        elapsed, response = _synthesize(port, "warm")
+        info = response["cache"]["warm"]
+        assert info["hit"], "repeat must hit the cache"
+        assert info["reused_examples"] == 4
+        warm_times.append(elapsed)
+        print(f"  warm #{rep}: {elapsed * 1000:.1f}ms  (cache hit)")
+
+    cold = min(cold_times)
+    warm = min(warm_times)
+    speedup = round(cold / warm, 1)
+    print(f"  speedup (best cold / best warm): {speedup}x")
+    return {
+        "examples": 4,
+        "reps": REPS,
+        "cold_seconds": round(cold, 6),
+        "warm_seconds": round(warm, 6),
+        "speedup": speedup,
+    }
+
+
+def main():
+    print("synthesis service, warm vs cold (loopback TCP, 1 worker):")
+    port, shutdown = _start_server()
+    try:
+        service_strings = bench_service(port)
+    finally:
+        shutdown()
+    payload = {
+        "service_strings": service_strings,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+    }
+    out = os.path.join(_ROOT, "BENCH_service.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,10 @@ LOWER_BETTER_SUFFIXES = ("_seconds", "_ms")
 # missing-metric check.
 HARD_FLOORS = {
     "e2e_strings.speedup": 1.5,
+    # A warm service request (session-cache hit) must beat a cold one
+    # by at least 2x on the strings slice — the contract of the
+    # synthesis-as-a-service layer (docs/service.md).
+    "service_strings.speedup": 2.0,
 }
 
 

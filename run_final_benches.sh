@@ -11,4 +11,5 @@ python -m pytest tests/ -m trace_smoke -q 2>&1 | tee /root/repo/trace_smoke_outp
 python benchmarks/bench_eval.py 2>&1 | tee /root/repo/bench_eval_output.txt
 python benchmarks/bench_enum.py 2>&1 | tee /root/repo/bench_enum_output.txt
 python benchmarks/bench_tds_warm.py 2>&1 | tee /root/repo/bench_tds_warm_output.txt
+python benchmarks/bench_service.py 2>&1 | tee /root/repo/bench_service_output.txt
 python -m pytest benchmarks/ --benchmark-only -s -q 2>&1 | tee /root/repo/bench_output.txt

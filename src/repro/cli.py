@@ -14,6 +14,11 @@ Subcommands:
   workers are killed and retried — see docs/robustness.md);
 * ``report-trace FILE.jsonl`` — render the per-phase attribution report
   for a trace captured with the global ``--trace`` option;
+* ``serve`` — run the synthesis service: an asyncio JSON-lines server
+  multiplexing requests over a warm session cache (``--journal`` makes
+  the cache survive restarts; see docs/service.md);
+* ``request FILE.lasy`` — send one synthesis request to a running
+  server and print the result;
 * ``domains`` — list the registered LaSy domains;
 * ``puzzles`` — list the Pex4Fun puzzle suite.
 
@@ -143,6 +148,105 @@ def cmd_synthesize(args) -> int:
         print(f"\ntrace written to {args.trace}; inspect with:")
         print(f"  python -m repro report-trace {args.trace}")
     return 0 if result.success else 1
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.server import ServerConfig, SynthesisServer
+
+    from .core.tds import TdsOptions
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=max(1, args.max_workers),
+        queue_depth=max(1, args.queue_depth),
+        cache_size=max(1, args.cache_size),
+        journal_path=args.journal,
+        default_timeout_s=(
+            None if args.default_timeout <= 0 else args.default_timeout
+        ),
+        budget_factory=_budget_factory(args),
+        options=TdsOptions(),
+    )
+
+    async def serve() -> None:
+        server = SynthesisServer(config)
+        await server.start()
+        host, port = server.address
+        restored = server.cache.stats().get("restored", 0)
+        # Parseable: the smoke tests and scripts scan for this line.
+        print(f"serving on {host}:{port}", flush=True)
+        if restored:
+            print(f"restored {restored} warm sessions from journal",
+                  flush=True)
+        try:
+            await server.serve_until_shutdown()
+        except asyncio.CancelledError:
+            await server.aclose()
+            raise
+
+    with _maybe_tracing(args):
+        try:
+            asyncio.run(serve())
+        except KeyboardInterrupt:
+            print("interrupted; cache journaled", file=sys.stderr)
+    return 0
+
+
+def cmd_request(args) -> int:
+    import json as _json
+
+    from .serve.client import request
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    payload = {"id": args.file, "op": "synthesize", "program": source}
+    if args.request_timeout is not None:
+        payload["timeout_s"] = (
+            None if args.request_timeout <= 0 else args.request_timeout
+        )
+    try:
+        response = request(
+            payload, host=args.host, port=args.port, timeout=args.wait
+        )
+    except (ConnectionError, OSError) as exc:
+        raise CliError(f"cannot reach server at {args.host}:{args.port}: "
+                       f"{exc}")
+    if args.json:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+    else:
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            print(f"error [{error.get('code')}]: {error.get('message')}",
+                  file=sys.stderr)
+        else:
+            status = "ok" if response.get("success") else "FAILED"
+            print(f"{status}  ({response.get('elapsed', 0.0):.3f}s)")
+            for name, info in (response.get("functions") or {}).items():
+                hit = (response.get("cache") or {}).get(name, {})
+                tag = ""
+                if hit:
+                    tag = (
+                        f"  [cache hit, {hit.get('reused_examples', 0)} "
+                        "examples reused]"
+                        if hit.get("hit")
+                        else "  [cold]"
+                    )
+                body = info.get("program")
+                if body is None and info.get("lookup"):
+                    body = "lookup"
+                print(f"  {name}: {body}{tag}")
+    if not response.get("ok"):
+        return 2
+    if args.expect_cache_hit:
+        cache = response.get("cache") or {}
+        if not cache or not all(v.get("hit") for v in cache.values()):
+            print("expected a cache hit but the run was cold",
+                  file=sys.stderr)
+            return 1
+    return 0 if response.get("success") else 1
 
 
 _EXPERIMENTS = {
@@ -454,6 +558,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff two traces: per-phase/per-hotspot deltas (new - old)",
     )
     p.set_defaults(fn=cmd_report_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the synthesis service (JSON-lines over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7337,
+        help="TCP port (0 = let the OS pick; the bound port is printed)",
+    )
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="synthesis worker threads (default 2; use 1 to capture "
+        "synthesis spans with --trace)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: max synthesize requests in flight "
+        "before new ones are rejected as overloaded (default 8)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="warm sessions kept in the LRU cache (default 8)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="JOURNAL.jsonl",
+        default=None,
+        help="persist the session cache to this journal (durable: "
+        "fsync per record); a restarted server restores it and comes "
+        "back warm",
+    )
+    p.add_argument(
+        "--default-timeout",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="hard wall per request when the request names none "
+        "(default 20; <= 0 = unbounded)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        help="send one .lasy file to a running synthesis server",
+    )
+    p.add_argument("file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7337)
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard wall for this request (overrides the server "
+        "default; <= 0 = unbounded)",
+    )
+    p.add_argument(
+        "--wait",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="client-side round-trip timeout (default 120)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw response"
+    )
+    p.add_argument(
+        "--expect-cache-hit",
+        action="store_true",
+        help="exit 1 unless every function warm-hit the session cache "
+        "(CI smoke checks)",
+    )
+    p.set_defaults(fn=cmd_request)
 
     p = sub.add_parser("domains", help="list registered domains")
     p.set_defaults(fn=cmd_domains)

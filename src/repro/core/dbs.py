@@ -259,22 +259,26 @@ def dbs(
                 previous_program, stats, tracer, session,
             )
             if tracer.enabled:
-                registry = stats.registry
-                registry.counter("eval.run_program").value = int(
-                    EVAL_METRICS.local_value("eval.run_program")
-                    - eval_runs_before
-                )
                 root_span.set(
                     outcome="timeout" if result.timed_out else "solved"
                 )
                 if result.timeout is not None:
                     root_span.set(timeout_reason=result.timeout.reason)
-                tracer.event(
-                    "dbs.metrics",
-                    nested=nested,
-                    metrics=registry.snapshot(),
-                )
-            return result
+        # Snapshot and emit outside the span: the report reconciles the
+        # span's duration against DbsStats.elapsed, and the metrics
+        # serialization is reporting overhead, not search time.
+        if tracer.enabled:
+            registry = stats.registry
+            registry.counter("eval.run_program").value = int(
+                EVAL_METRICS.local_value("eval.run_program")
+                - eval_runs_before
+            )
+            tracer.event(
+                "dbs.metrics",
+                nested=nested,
+                metrics=registry.snapshot(),
+            )
+        return result
     finally:
         _RUN_DEPTH.value = depth
 

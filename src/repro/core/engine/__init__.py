@@ -18,11 +18,22 @@ docs/architecture.md):
   persistent store, tester, budget, metrics registry, and tracer
   through consecutive DBS runs.
 
+On top of those, the service layers (see docs/service.md):
+
+* :mod:`~repro.core.engine.keys` — explicit session identity:
+  :class:`~repro.core.engine.keys.SessionKey` over (DSL, signature,
+  LaSy-state fingerprint, pool options, example-signature prefix);
+* :class:`~repro.core.engine.cache.SessionCache` — a bounded LRU of
+  suspended warm sessions with exclusive checkout and optional
+  journal persistence, the store behind ``repro serve``.
+
 ``repro.core.components.ComponentPool`` remains as a thin facade over
 ``PoolStore`` + ``Enumerator`` for existing callers.
 """
 
+from .cache import SessionCache
 from .enumerator import Enumerator, lambda_nt
+from .keys import SessionKey, example_fingerprints, session_key_for
 from .pool import PoolEntry, PoolOptions, PoolStore
 from .registry import StrategyEntry, StrategyRegistry, default_registry
 from .session import SynthesisSession
@@ -33,10 +44,14 @@ __all__ = [
     "PoolEntry",
     "PoolOptions",
     "PoolStore",
+    "SessionCache",
+    "SessionKey",
     "StrategyEntry",
     "StrategyRegistry",
     "SynthesisSession",
     "Tester",
     "default_registry",
+    "example_fingerprints",
     "lambda_nt",
+    "session_key_for",
 ]

@@ -108,6 +108,15 @@ class Enumerator:
         # pool's memoized grids (classic mode stays the reference path).
         self._fast_sampling = False
 
+    def __getstate__(self):
+        # The slot cache is valid for one advance only and holds raw
+        # entry-list aliases; never ship it. An advance is never in
+        # flight across a pickle, so the sampling flag resets too.
+        state = self.__dict__.copy()
+        state["_slot_cache"] = {}
+        state["_fast_sampling"] = False
+        return state
+
     # -- seeding -------------------------------------------------------
 
     def seed(self, seeds: Iterable[Expr] = ()) -> None:

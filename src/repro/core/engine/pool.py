@@ -227,8 +227,24 @@ class PoolStore:
         persistent store must re-point its counters at the current run
         before any offers happen, and clear last run's exhaustion state.
         """
-        self.metrics = metrics
+        self._bind_counters(metrics)
         self.budget = budget
+        self._partition_cache.clear()
+        self.exhausted = False
+        if self.incomplete_generation:
+            # Redo the interrupted generation: stepping back makes the
+            # next advance re-offer its combinations (cheap no-ops for
+            # the ones already admitted via the syntactic seen-set).
+            self.generation = max(0, self.generation - 1)
+            self.incomplete_generation = False
+            self.pending_redo = True
+
+    def _bind_counters(self, metrics: Registry) -> None:
+        """Point the store's counters at a registry — the counter half of
+        :meth:`bind`, without the run-lifecycle side effects (exhaustion
+        reset, interrupted-generation step-back). Suspend/unpickle paths
+        use this alone: they detach from a run, they don't start one."""
+        self.metrics = metrics
         self._detailed = metrics.detailed
         self._c_offered = metrics.counter("dbs.pool.offered")
         self._c_added = metrics.counter("dbs.pool.added")
@@ -246,15 +262,47 @@ class PoolStore:
         self._c_batched = metrics.counter("enum.batched")
         self._c_materialized = metrics.counter("enum.lazy_materialized")
         self._c_interned = metrics.counter("enum.sig_interned")
-        self._partition_cache.clear()
-        self.exhausted = False
-        if self.incomplete_generation:
-            # Redo the interrupted generation: stepping back makes the
-            # next advance re-offer its combinations (cheap no-ops for
-            # the ones already admitted via the syntactic seen-set).
-            self.generation = max(0, self.generation - 1)
-            self.incomplete_generation = False
-            self.pending_redo = True
+
+    def suspend(self) -> None:
+        """Detach the store from its run: swap the bound registry and
+        budget for throwaway private ones so a cached store does not pin
+        a finished run's metrics or deadline. The warm state itself —
+        entries, seen-sets, shadows, grids — is untouched; the next
+        :meth:`bind` reattaches for real."""
+        self.budget = Budget()
+        self._bind_counters(Registry())
+
+    def __getstate__(self):
+        # Per-run bindings (registry counters, budget) and derived
+        # caches are dropped: counters point at a finished run, budgets
+        # hold monotonic deadlines, and the grid cache is keyed by
+        # expression identity, which a round-trip does not preserve.
+        # The rewriter is rebuilt from the DSL rather than shipped with
+        # its memo tables.
+        state = self.__dict__.copy()
+        for name in list(state):
+            if name.startswith("_c_"):
+                del state[name]
+        state["metrics"] = None
+        state["budget"] = None
+        state["rewriter"] = None
+        state["_partition_cache"] = {}
+        state["_grid_cache"] = {}
+        state["_proj_cache"] = {}
+        state["_bindings_cache"] = {}
+        state["_var_meta_cache"] = {}
+        state["_sample_cache"] = {}
+        # id() snapshots are meaningless in another interpreter (and a
+        # reused id would silently skip a needed refresh); an empty
+        # snapshot makes the first refresh_lasy re-check everything.
+        state["_lasy_versions"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.rewriter = Rewriter(self.dsl)
+        self.budget = Budget()
+        self._bind_counters(Registry())
 
     def compatible_options(self, options: PoolOptions) -> bool:
         """Whether a persisted store can serve a run with ``options``."""
@@ -934,6 +982,104 @@ class PoolStore:
                 if ty is not None:
                     by_type.setdefault(ty, []).append(entry)
         self._by_type = by_type
+
+    def reorder_examples(self, perm: Sequence[int]) -> None:
+        """Permute the held examples in place: ``perm[i]`` is the old
+        index of the example now at position ``i``.
+
+        The store's semantic state is a function of the example
+        *multiset*, laid out in per-example columns — value vectors,
+        signature key columns, admission-filter verdicts all pair column
+        ``i`` with example ``i`` — so a permutation moves columns, it
+        never changes them. Vector-keyed fingerprints therefore stay
+        pairwise-distinct (coordinate permutation is a bijection) and no
+        filter is re-run. Sampled (free-variable) fingerprints are the
+        one exception: their sample harvest scans the examples in order,
+        so they are recomputed over the permuted list exactly as
+        :meth:`extend_examples` recomputes them, and fresh collisions
+        among them are resolved the same way (losers dropped; vector
+        entries never collide here so none are shadowed).
+
+        This is what lets :class:`~.session.SynthesisSession` serve a
+        run whose examples merely reorder the held prefix warm instead
+        of rebuilding cold.
+        """
+        n = len(self.examples)
+        order = list(perm)
+        if sorted(order) != list(range(n)):
+            raise ValueError(
+                f"perm must be a permutation of range({n}), got {order!r}"
+            )
+        if order == list(range(n)):
+            return
+        self.examples = [self.examples[j] for j in order]
+        self.example_epoch += 1
+        # Same cache discipline as extend_examples: the intern table is
+        # swapped (every live fingerprint is re-interned below), and all
+        # example-derived caches are rebuilt lazily.
+        self._sig_intern = {}
+        self._partition_cache.clear()
+        self._constants = dict(self.dsl.constants_for(self.examples))
+        self._sample_cache = {}
+        self._grid_cache = {}
+        self._proj_cache = {}
+        self._bindings_cache = {}
+        self._var_meta_cache = {}
+        dedup = self.options.semantic_dedup
+        dropped = False
+        for nt, entries in list(self._entries.items()):
+            kept: List[PoolEntry] = []
+            seen: set = set()
+            for entry in entries:
+                self._permute_entry(entry, order, dedup)
+                if entry.sig is not None:
+                    if entry.sig in seen:
+                        self._c_semantic.value += 1
+                        if free_vars(entry.expr):
+                            self._var_counts[nt] = max(
+                                0, self._var_counts.get(nt, 0) - 1
+                            )
+                        dropped = True
+                        continue
+                    seen.add(entry.sig)
+                kept.append(entry)
+            self._entries[nt] = kept
+            if dedup:
+                self._seen_semantic[nt] = seen
+        for bucket in self._shadows.values():
+            for entry in bucket:
+                self._permute_entry(entry, order, dedup)
+        if dropped:
+            self._rebuild_by_type()
+
+    def _permute_entry(
+        self, entry: PoolEntry, order: Sequence[int], dedup: bool
+    ) -> None:
+        if entry.values is not None:
+            entry.values = tuple(entry.values[j] for j in order)
+            if dedup:
+                if entry.sig_cols is not None:
+                    entry.sig_cols = tuple(
+                        entry.sig_cols[j] for j in order
+                    )
+                    entry.sig = self._intern_sig(entry.sig_cols)
+                else:
+                    raw, cols = self._signature_state(
+                        entry.expr, entry.values
+                    )
+                    entry.sig = self._intern_sig(raw)
+                    entry.sig_cols = cols
+            else:
+                entry.sig = None
+                entry.sig_cols = None
+        else:
+            entry.sig = (
+                self._intern_sig(self._semantic_signature(entry.expr, None))
+                if dedup
+                else None
+            )
+            entry.sig_cols = None
+        entry.epoch = self.example_epoch
 
     def refresh_lasy(self) -> int:
         """Re-evaluate cached vectors that mention LaSy functions whose

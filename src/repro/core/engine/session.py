@@ -32,11 +32,35 @@ from ..dsl import Dsl, Example, Signature
 from ..expr import Expr, free_vars
 from ..types import types_compatible
 from .enumerator import Enumerator
+from .keys import SessionKey, options_fingerprint, session_key_for
 from .pool import PoolOptions, PoolStore
 from .registry import StrategyRegistry, default_registry
 from .testing import Tester
 
 REUSE_KEYS = ("reused", "invalidated", "revived", "refreshed", "pruned")
+
+
+def _prefix_permutation(
+    held: Sequence[Example], want: Sequence[Example]
+) -> Optional[List[int]]:
+    """``perm`` with ``held[perm[i]] == want[i]``, or None when ``want``
+    is not a permutation of ``held``. Multiset matching by structural
+    equality; duplicates pair up greedily (any pairing of equal examples
+    is the same permutation of columns). O(n²), with n the example
+    prefix — single digits in practice."""
+    if len(held) != len(want):
+        return None
+    used = [False] * len(held)
+    perm: List[int] = []
+    for example in want:
+        for j, candidate in enumerate(held):
+            if not used[j] and candidate == example:
+                used[j] = True
+                perm.append(j)
+                break
+        else:
+            return None
+    return perm
 
 
 def acceptable_nts(
@@ -98,6 +122,75 @@ class SynthesisSession:
         self.previous_program: Optional[Expr] = None
         self.last_store_size = (-1, -1)
         self.cancel: Optional[CancelToken] = None
+        # A prefix permutation discovered by _extension_suffix, applied
+        # by _extend_warm after the pool is re-bound (so the reorder's
+        # dedup counters land on the current run's registry).
+        self._pending_reorder: Optional[List[int]] = None
+
+    # -- identity / lifecycle ------------------------------------------
+
+    def key(self, options: Any = None) -> SessionKey:
+        """The session's explicit identity key (see ``engine.keys``):
+        DSL, signature, LaSy-state fingerprint, pool options, and the
+        example prefix the pool currently holds. ``options`` (a run- or
+        cache-level options dataclass, e.g. ``TdsOptions``) is
+        fingerprinted in when given."""
+        pool = self.pool
+        return session_key_for(
+            getattr(self.dsl, "name", type(self.dsl).__name__),
+            self.signature,
+            lasy_fns=self.lasy_fns,
+            lasy_names=self.lasy_signatures,
+            pool_options=(
+                options_fingerprint(pool.options) if pool is not None else ()
+            ),
+            options=options,
+            examples=pool.examples if pool is not None else (),
+        )
+
+    def suspend(self) -> None:
+        """Detach the session from its run so it can sit in a cache:
+        per-run references (budget, registry-backed stats, tracer,
+        tester, conditional store, cancel token) are released — a warm
+        cached session must not pin a finished request's objects. The
+        warm state (pool entries, enumerator generation, grids) is kept;
+        the next :meth:`begin_run` reattaches everything."""
+        self.budget = None
+        self.stats = None
+        self.tracer = None
+        self.tester = None
+        self.store = None
+        self.cancel = None
+        self.contexts = []
+        self.acceptable = {}
+        self.previous_program = None
+        self._pending_reorder = None
+        if self.pool is not None:
+            self.pool.previous_program = None
+            self.pool.guard_sets = []
+            self.pool.suspend()
+
+    def __getstate__(self):
+        # Suspend-equivalent for transport: per-run references are not
+        # picklable (tracers hold files, budgets hold monotonic
+        # deadlines) and must not travel; the pool and enumerator have
+        # their own __getstate__ that preserves the warm search state.
+        state = self.__dict__.copy()
+        for name in ("budget", "stats", "tracer", "tester", "store", "cancel"):
+            state[name] = None
+        state["contexts"] = []
+        state["acceptable"] = {}
+        state["previous_program"] = None
+        state["_pending_reorder"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self.pool is not None:
+            # The pool re-binds to private counters on unpickle; keep
+            # the shared-mapping invariant (session and pool must see
+            # the same lasy_fns object).
+            self.pool.lasy_fns = self.lasy_fns
 
     # -- run lifecycle -------------------------------------------------
 
@@ -124,6 +217,7 @@ class SynthesisSession:
         self.max_branches = max_branches
         self.cancel = None
         self.last_store_size = (-1, -1)
+        self._pending_reorder = None
 
         pool_options = PoolOptions(
             use_dsl=options.use_dsl,
@@ -177,12 +271,24 @@ class SynthesisSession:
 
     def _extension_suffix(self, pool: PoolStore) -> Optional[List[Example]]:
         """The examples to append, or None when the run's example list is
-        not an extension of the store's (the store only ever widens)."""
+        not an extension of the store's (the store only ever widens).
+
+        A run whose prefix is a *permutation* of the held examples still
+        extends the store: the pool's state is per-example columns over
+        an example multiset (see ``PoolStore.reorder_examples``), so the
+        held columns are reordered to the run's order instead of
+        rebuilding cold. The reorder itself is deferred until
+        ``_extend_warm`` has re-bound the pool to this run's registry.
+        """
         held = pool.examples
         if len(self.examples) < len(held):
             return None
-        if self.examples[: len(held)] != held:
-            return None
+        prefix = self.examples[: len(held)]
+        if prefix != held:
+            perm = _prefix_permutation(held, prefix)
+            if perm is None:
+                return None
+            self._pending_reorder = perm
         return self.examples[len(held):]
 
     def _build_cold(self, seeds: Sequence[Expr], pool_options) -> None:
@@ -208,10 +314,16 @@ class SynthesisSession:
     def _extend_warm(self, suffix: Sequence[Example], seeds) -> None:
         pool = self.pool
         pool.bind(self.stats.registry, self.budget)
+        reordered = 0
+        if self._pending_reorder is not None:
+            pool.reorder_examples(self._pending_reorder)
+            reordered = len(self._pending_reorder)
+            self._pending_reorder = None
         with self.tracer.span(
             "pool.extend",
             examples=len(self.examples),
             appended=len(suffix),
+            reordered=reordered,
             entries=pool.total(),
         ) as span:
             refreshed = pool.refresh_lasy()

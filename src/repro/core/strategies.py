@@ -39,14 +39,36 @@ def make_concat_strategy(
     """Build the concatenation inverse-strategy for a DSL whose ``out_nt``
     has a binary, right-nested concatenation rule named ``concat_name``
     over pieces from ``piece_nt``."""
+    return ConcatStrategy(concat_name, piece_nt, out_nt)
 
-    def strategy(
+
+class ConcatStrategy:
+    """The concatenation inverse-strategy as a picklable callable — a
+    DSL that carries it can travel with a cached session (the session
+    cache's journal pickles whole sessions, DSL included), which a
+    closure cannot."""
+
+    def __init__(
+        self,
+        concat_name: str = "Concatenate",
+        piece_nt: str = "f",
+        out_nt: str = "e",
+    ):
+        self.concat_name = concat_name
+        self.piece_nt = piece_nt
+        self.out_nt = out_nt
+
+    def __call__(
+        self,
         pool: Any,
         examples: Sequence[Example],
         signature: Signature,
         dsl: Dsl,
     ) -> List[Expr]:
         del signature
+        concat_name = self.concat_name
+        piece_nt = self.piece_nt
+        out_nt = self.out_nt
         outputs = [e.output for e in examples]
         if not outputs or not all(isinstance(o, str) for o in outputs):
             return []
@@ -99,8 +121,6 @@ def make_concat_strategy(
                 seen.add(expr)
                 out.append(expr)
         return out
-
-    return strategy
 
 
 def _valid_on(pieces, indices) -> List[Tuple[Expr, Tuple[str, ...]]]:

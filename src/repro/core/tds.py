@@ -387,24 +387,123 @@ class TdsSession:
             )
         return self._engine
 
-    # -- pickling (the parallel experiment runner ships sessions) ---------
+    # -- cache / transport lifecycle --------------------------------------
+
+    def session_key(self) -> "SessionKey":
+        """This session's explicit identity (see ``engine.keys``): what
+        a :class:`~.engine.cache.SessionCache` stores it under. Includes
+        the fingerprint of every example consumed so far — the cache
+        serves a later request warm exactly when that request's examples
+        extend this prefix."""
+        from .engine.keys import session_key_for
+
+        return session_key_for(
+            getattr(self.dsl, "name", type(self.dsl).__name__),
+            self.signature,
+            lasy_fns=self.lasy_fns,
+            lasy_names=self.lasy_signatures,
+            options=self.options,
+            examples=self.examples,
+        )
+
+    def rebind_lasy(
+        self,
+        lasy_fns: MutableMapping,
+        lasy_signatures: Optional[Mapping[str, Signature]] = None,
+    ) -> None:
+        """Attach the session (and its warm engine) to a new run's shared
+        LaSy mapping. Each ``run_lasy`` builds a fresh ``lasy_fns`` dict,
+        so a cached session must re-point every layer at it; the pool's
+        identity snapshot of the old mapping is cleared so the next
+        warm run re-checks cached vectors against the new definitions
+        (content-equal functions leave the vectors valid, changed ones
+        get refreshed by ``refresh_lasy``)."""
+        self.lasy_fns = lasy_fns if lasy_fns is not None else {}
+        if lasy_signatures is not None:
+            self.lasy_signatures = dict(lasy_signatures)
+        engine = self._engine
+        if engine is not None:
+            engine.lasy_fns = self.lasy_fns
+            if lasy_signatures is not None:
+                engine.lasy_signatures = dict(lasy_signatures)
+            if engine.pool is not None:
+                engine.pool.lasy_fns = self.lasy_fns
+                if lasy_signatures is not None:
+                    engine.pool.lasy_signatures = dict(lasy_signatures)
+                engine.pool._lasy_versions = {}
+
+    def suspend(self) -> None:
+        """Detach per-request references so the session can sit in a
+        cache between requests: the cancel token and deadline belong to
+        the finished request, and the engine drops its run bindings
+        (tracer, stats registry, budget) while keeping the warm pool."""
+        self.cancel = None
+        self._deadline = None
+        self._deadline_armed = False
+        if self._engine is not None:
+            self._engine.suspend()
+
+    def reset_clock(
+        self,
+        cancel: Optional[CancelToken] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Start a new request on a warm session: re-arm the
+        whole-sequence wall (``None`` keeps the configured one, ``0``
+        lifts it) and swap the cancel token. The elapsed clock restarts
+        so ``finalize().elapsed`` measures this request, not the cached
+        session's lifetime."""
+        if timeout_s is not None:
+            self.options.timeout_s = timeout_s or None
+        self.cancel = cancel
+        self._deadline = None
+        self._deadline_armed = False
+        self._started = time.monotonic()
+
+    # -- pickling (the parallel runner and the session cache's journal
+    #    ship sessions) ---------------------------------------------------
 
     def __getstate__(self):
-        # The engine holds unpicklable state (compiled closures, tracer
-        # and budget references); drop it and rebuild cold after
-        # transport. Correctness is unaffected — only warm-start reuse.
         # Deadlines (monotonic clock) and cancel tokens (locks) cannot
-        # cross a process boundary either: the transported session
-        # re-arms a fresh timeout_s wall on first use.
+        # cross a process boundary: the transported session re-arms a
+        # fresh timeout_s wall on first use. The warm engine (pool +
+        # enumerator) travels — its own __getstate__ drops the per-run
+        # bindings and identity caches — unless something in it resists
+        # pickling (e.g. a DSL built over lambdas), in which case it is
+        # dropped and the transported session degrades to a cold
+        # rebuild instead of failing the whole dump.
+        import pickle
+
         state = self.__dict__.copy()
-        state["_engine"] = None
         state["_deadline"] = None
         state["_deadline_armed"] = False
         state["cancel"] = None
+        # Budget factories are often closures (CLI flags, test lambdas);
+        # a cache checkout installs the new request's factory anyway, so
+        # an unpicklable one degrades to the default rather than failing
+        # the dump.
+        try:
+            pickle.dumps(state.get("budget_factory"))
+        except Exception:
+            state["budget_factory"] = default_budget
+        engine = state.get("_engine")
+        if engine is not None:
+            try:
+                pickle.dumps(engine)
+            except Exception:
+                state["_engine"] = None
         return state
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
+        # Re-establish the shared-mapping invariant: session, engine,
+        # and pool must alias one lasy_fns dict (pickle preserves the
+        # sharing within one dump; this guards hand-built states).
+        engine = self._engine
+        if engine is not None:
+            engine.lasy_fns = self.lasy_fns
+            if engine.pool is not None:
+                engine.pool.lasy_fns = self.lasy_fns
 
 
 def tds(
@@ -415,17 +514,51 @@ def tds(
     lasy_fns: Optional[MutableMapping] = None,
     lasy_signatures: Optional[Mapping[str, Signature]] = None,
     options: Optional[TdsOptions] = None,
+    *,
+    session_cache=None,
+    cancel: Optional[CancelToken] = None,
 ) -> TdsResult:
     """Algorithm 1 over a complete example sequence (batch wrapper around
-    :class:`TdsSession`)."""
-    session = TdsSession(
-        signature,
-        dsl,
-        budget_factory=budget_factory,
-        lasy_fns=lasy_fns,
-        lasy_signatures=lasy_signatures,
-        options=options,
-    )
-    for example in examples:
+    :class:`TdsSession`).
+
+    With a ``session_cache`` (an ``engine.cache.SessionCache``), a warm
+    session holding a prefix of ``examples`` under the same identity key
+    is checked out and only the remaining examples are consumed; the
+    session is released back afterwards."""
+    shared = lasy_fns if lasy_fns is not None else {}
+    session: Optional[TdsSession] = None
+    matched = 0
+    if session_cache is not None:
+        from .engine.keys import session_key_for
+
+        base_key = session_key_for(
+            getattr(dsl, "name", type(dsl).__name__),
+            signature,
+            lasy_fns=shared,
+            lasy_names=lasy_signatures or {},
+            options=options if options is not None else TdsOptions(),
+        )
+        session, matched = session_cache.acquire(base_key, examples)
+        if session is not None:
+            session.rebind_lasy(shared, lasy_signatures)
+            session.budget_factory = budget_factory or default_budget
+            session.options = options if options is not None else TdsOptions()
+            session.reset_clock(cancel=cancel)
+            if not session.satisfies_all():
+                session.failures_in_a_row = max(1, session.failures_in_a_row)
+    if session is None:
+        session = TdsSession(
+            signature,
+            dsl,
+            budget_factory=budget_factory,
+            lasy_fns=shared,
+            lasy_signatures=lasy_signatures,
+            options=options,
+            cancel=cancel,
+        )
+    for example in list(examples)[matched:]:
         session.add_example(example)
-    return session.finalize()
+    result = session.finalize()
+    if session_cache is not None:
+        session_cache.release(session)
+    return result

@@ -294,6 +294,16 @@ def table_constants(examples: Sequence[Example]) -> Dict[str, List[Any]]:
 # -- the DSL ----------------------------------------------------------------
 
 
+# Module-level so the built DSL stays picklable (cached sessions carry
+# their DSL through the session-cache journal).
+def _eq(a: Any, c: Any) -> bool:
+    return a == c
+
+
+def _lt(a: Any, c: Any) -> bool:
+    return a < c
+
+
 def make_tables_dsl() -> Dsl:
     """The table-transformation DSL for the §6.1.2 benchmarks."""
     b = DslBuilder("tables", start="P")
@@ -346,9 +356,9 @@ def make_tables_dsl() -> Dsl:
     b.fn("k", "NumCols", ["t"], num_cols)
     b.fn("s", "GetCell", ["t", "k", "k"], get_cell)
 
-    b.fn("b", "EqK", ["k", "k"], lambda a, c: a == c)
-    b.fn("b", "LtK", ["k", "k"], lambda a, c: a < c)
-    b.fn("b", "EqS", ["s", "s"], lambda a, c: a == c)
+    b.fn("b", "EqK", ["k", "k"], _eq)
+    b.fn("b", "LtK", ["k", "k"], _lt)
+    b.fn("b", "EqS", ["s", "s"], _eq)
 
     b.constants_from(table_constants)
     return b.build()

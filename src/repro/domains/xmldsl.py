@@ -296,6 +296,20 @@ def xml_constants(examples: Sequence[Example]) -> Dict[str, List[Any]]:
 # -- the DSL ---------------------------------------------------------------
 
 
+# Module-level so the built DSL stays picklable (cached sessions carry
+# their DSL through the session-cache journal).
+def _concat_s(a: str, b: str) -> str:
+    return a + b
+
+
+def _eq(a: Any, b: Any) -> bool:
+    return a == b
+
+
+def _lt(a: Any, b: Any) -> bool:
+    return a < b
+
+
 def make_xml_dsl() -> Dsl:
     """The XML-transformation DSL used for the §6.1.3 benchmarks."""
     b = DslBuilder("xml", start="P")
@@ -345,15 +359,15 @@ def make_xml_dsl() -> Dsl:
     # String bridge (cross-domain computation, §6.1.3).
     b.fn("n", "ToXml", ["str"], to_xml)
     b.fn("str", "FromXml", ["n"], from_xml)
-    b.fn("str", "ConcatS", ["str", "str"], lambda a, b_: a + b_)
+    b.fn("str", "ConcatS", ["str", "str"], _concat_s)
     b.unit("str", "sval")
 
     # Guards.
     b.fn("b", "HasAttr", ["n", "attr"], has_attr)
     b.fn("b", "HasTag", ["n", "tag"], has_tag)
-    b.fn("b", "Eq", ["str", "str"], lambda a, b: a == b)
+    b.fn("b", "Eq", ["str", "str"], _eq)
     b.fn("k", "Count", ["ns"], count_nodes)
-    b.fn("b", "LtK", ["k", "k"], lambda a, b: a < b)
+    b.fn("b", "LtK", ["k", "k"], _lt)
 
     b.constant("tag")
     b.constant("attr")

@@ -118,6 +118,12 @@ _IDLE_LEAVES = frozenset(
     {
         "selectors:select",
         "multiprocessing.connection:wait",
+        # The serve front-end: the asyncio event loop parks in
+        # selectors:select (covered above); its executor threads park
+        # between requests in queue-condition waits inside the thread
+        # pool's _worker loop.
+        "threading:wait",
+        "concurrent.futures.thread:_worker",
     }
 )
 

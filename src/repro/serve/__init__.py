@@ -1,0 +1,31 @@
+"""Synthesis as a service: an asyncio front-end over the engine cache.
+
+The server multiplexes concurrent synthesis requests over one
+process-wide :class:`~repro.core.engine.cache.SessionCache`, so repeated
+or prefix-extending requests reuse warm component pools instead of
+rebuilding them (docs/service.md). Everything here is stdlib-only.
+"""
+
+from .client import ServiceError, request
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+from .server import ServerConfig, SynthesisServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerConfig",
+    "ServiceError",
+    "SynthesisServer",
+    "decode_line",
+    "encode",
+    "error_response",
+    "ok_response",
+    "request",
+]

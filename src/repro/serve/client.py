@@ -1,0 +1,58 @@
+"""A minimal blocking client for the synthesis service.
+
+Deliberately socket-and-json only: anything that can open a TCP
+connection and write a JSON line can talk to the server; this module
+is just the convenient Python spelling of that (and what the CLI's
+``repro request`` and the tests use).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict
+
+from .protocol import MAX_LINE_BYTES
+
+
+class ServiceError(Exception):
+    """The server answered with ``ok: false`` (code/message attached)."""
+
+    def __init__(self, code: str, message: str, response: Dict[str, Any]):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.response = response
+
+
+def request(
+    payload: Dict[str, Any],
+    host: str = "127.0.0.1",
+    port: int = 7337,
+    timeout: float = 120.0,
+    check: bool = False,
+) -> Dict[str, Any]:
+    """Send one request, wait for its one-line response.
+
+    ``timeout`` bounds the whole round trip (connect + synthesis);
+    size it above the request's ``timeout_s``. With ``check=True`` an
+    ``ok: false`` response raises :class:`ServiceError` instead of
+    being returned.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        stream.flush()
+        line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        raise ConnectionError("server closed the connection mid-request")
+    response = json.loads(line.decode("utf-8"))
+    if check and not response.get("ok"):
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", "unknown"),
+            error.get("message", "unknown error"),
+            response,
+        )
+    return response
