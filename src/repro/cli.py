@@ -127,6 +127,7 @@ def cmd_synthesize(args) -> int:
         dbs=DbsOptions(
             concurrent_loops=args.jobs > 1,
             enum_mode=getattr(args, "enum", None),
+            shard_jobs=getattr(args, "dbs_jobs", 0),
         ),
         reuse_pool=not args.no_pool_reuse,
     )
@@ -466,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiment suites (traces and "
         "metrics are merged back); for synthesize, N>1 runs loop "
         "strategies concurrently with enumeration (default 1)",
+    )
+    parser.add_argument(
+        "--dbs-jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard each DBS generation's enumeration across N worker "
+        "processes (deterministic: identical pool and programs as a "
+        "serial run; equivalent to REPRO_DBS_JOBS; default serial)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -1,0 +1,1118 @@
+"""Intra-run DBS sharding: one generation, many worker processes.
+
+A DBS generation is embarrassingly parallel *within* its candidate
+stream: every candidate's expensive work — vectorized component
+application, signature-column freezing, canonicalization, admission
+filtering — depends only on the pool state at the *start* of the
+generation (entries admitted mid-advance carry the in-progress
+generation tag and are excluded from every argument split). What is
+inherently serial is tiny: the admission tail, where candidate order
+decides which of two observationally equal expressions wins.
+
+So the split here is *capture and replay*:
+
+* each worker holds a **replica** of the parent ``(PoolStore,
+  Enumerator)`` pair — shipped once as a pickle snapshot, then kept
+  current by per-generation **delta ops** (the admissions the parent
+  logged since the worker's last sync) instead of re-pickling the pool;
+* a sharded advance dispatches **one production at a time**, and only
+  productions whose estimated cost reaches ``min_cost`` — cheap ones
+  run serially in the parent between dispatches, and a production the
+  DBS driver never reaches (it tests each batch as it lands, and the
+  budget or a solve can end the generation early) is never paid for.
+  Every worker gets the same production command and re-runs the
+  enumerator's own expansion over the replica in **capture mode**: it
+  visits only candidate ordinals congruent to its shard index
+  (``ordinal % jobs == shard``), performs the expensive per-candidate
+  work under an expression budget scaled to its stride's share of the
+  remaining window, drops candidates it can *prove* the parent would
+  drop (syntactic duplicates against the frozen base, semantic losers
+  whose shadow bucket was already full), and ships the rest as compact
+  records — never mutating the replica;
+* the parent **replays** the merged records production by production in
+  global ordinal order through the same admission tail
+  (:meth:`PoolStore.replay_admit` / :meth:`PoolStore.replay_batched`),
+  re-interning each raw signature into its own table, so cross-shard
+  observational duplicates collapse exactly as they do in-process and
+  the interned-id table ends up byte-for-byte what a serial run builds.
+
+Determinism contract: a sharded run admits the identical pool —
+entries, order, seen-sets, shadows, interned signature table — and
+synthesizes byte-identical programs (``tests/test_shard.py`` holds all
+four domains and both enum modes to that, including expression-budget
+death, which is replayed from per-production charge totals so the run
+dies on exactly the candidate the serial schedule would have died on).
+Wall-clock budget death inside a worker is the one nondeterministic
+escape: the partial production is dropped and the run marked exhausted,
+just as a serial run's time budget trips at an arbitrary candidate.
+
+Failure posture mirrors ``exec.parallel``: a crashed shard worker is
+respawned on the same slot and its work unit re-sent with a full
+snapshot (the parent pool is pristine until all shards report, so a
+retry can never observe a half-merged generation); an unpicklable pool
+(bound LaSy closures), spawn failure, or exhausted retry budget flips
+the coordinator into permanent serial fallback for the session —
+sharding is an optimization, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import pickle
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ...obs.metrics import Registry
+from ...obs.profile import get_progress
+from ...obs.trace import JsonlTracer, get_tracer
+from ..budget import Budget, BudgetExhausted, Deadline
+from ..dsl import Production
+from ..expr import Expr, free_vars
+from .enumerator import Enumerator, _production_label
+from .pool import PoolEntry, PoolStore, _recursion_shape_ok
+
+# Productions cheaper than this (estimated combination count, see
+# Enumerator._production_cost) stay serial: a worker round-trip and
+# record pickling cost more than the enumeration they would split. The
+# gate is per production — one generation freely mixes serial cheap
+# productions with dispatched expensive ones — so the early generations
+# of every synthesis, the long tail of small productions, and entire
+# tier-1 test syntheses never pay dispatch overhead; REPRO_DBS_JOBS=2
+# in CI exercises the sharded path only where it can pay for itself,
+# and tests force it with ``shard_min_cost=0``.
+DEFAULT_SHARD_MIN_COST = 16384
+
+_COORD_IDS = itertools.count()
+
+# Worker-process replica registry: one live replica per coordinator key
+# (a respawned worker starts empty and reports ``resync``, which the
+# coordinator answers with a snapshot payload).
+_REPLICAS: Dict[str, Dict[str, Any]] = {}
+
+
+class ShardError(RuntimeError):
+    """Sharding infrastructure failure (sync, dispatch, validation).
+
+    Raised before any replay has touched the parent pool, so the
+    coordinator can always fall back to a serial advance."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One generation's sharding decision, as traced and gated.
+
+    ``cost`` is the largest single production's estimated combination
+    count and ``productions`` the number reaching ``min_cost`` — only
+    those dispatch; the rest of the generation runs serially in the
+    parent (see :data:`DEFAULT_SHARD_MIN_COST`)."""
+
+    generation: int
+    jobs: int
+    cost: int
+    productions: int
+    min_cost: int
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.cost >= self.min_cost
+
+
+# ---------------------------------------------------------------------
+# Worker side: capture mode
+# ---------------------------------------------------------------------
+
+
+class ShardCapture:
+    """Diverts a replica's admission pipeline into shipped records.
+
+    Installed as ``store._shard_capture`` for the span of one worker
+    advance. The replica store is *never mutated*: syntactic keys seen
+    this generation accumulate in a local overlay, semantic checks are
+    get-only against the frozen base table, and every surviving
+    candidate becomes a record for the parent to replay. Budget charges
+    do run against the worker's (remaining-scoped) budget — that is how
+    per-production charge totals, and therefore deterministic
+    expression-budget death, are reconstructed at the parent."""
+
+    __slots__ = (
+        "store",
+        "shard",
+        "jobs",
+        "local_syn",
+        "records",
+        "ordinal",
+        "_ordinal_base",
+        "_charges_base",
+    )
+
+    def __init__(self, store: PoolStore, shard: int, jobs: int):
+        self.store = store
+        self.shard = shard
+        self.jobs = jobs
+        # Syntactic keys this shard has shipped (or filter-killed) this
+        # generation; the base _seen_syntactic stays frozen.
+        self.local_syn: set = set()
+        self.records: List[Tuple] = []
+        self.ordinal = -1
+        self._ordinal_base = 0
+        self._charges_base = 0
+
+    # -- production lifecycle -----------------------------------------
+
+    def begin_production(self) -> None:
+        self.local_syn.clear()
+        self.records = []
+        self.ordinal = -1
+        self._ordinal_base = 0
+        self._charges_base = self.store.budget.expressions
+
+    def finish_production(
+        self, label: str, died: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return {
+            "label": label,
+            "charges": self.store.budget.expressions - self._charges_base,
+            "records": self.records,
+            "died": died,
+        }
+
+    # -- candidate stream ---------------------------------------------
+
+    def stride(self, combos: Iterable[Tuple]) -> Iterable[Tuple]:
+        """This shard's slice of a production's combination stream.
+
+        Ordinals are global per production (cumulative across the
+        enumerator's successive ``_split_combinations`` calls, e.g. one
+        per LaSy callee name), and every visited combination's ordinal
+        equals its serial budget-charge index — the invariant the
+        parent's death replay depends on."""
+        jobs = self.jobs
+        shard = self.shard
+        n = self._ordinal_base
+        for combo in combos:
+            if n % jobs == shard:
+                self.ordinal = n
+                n += 1
+                self._ordinal_base = n
+                yield combo
+            else:
+                n += 1
+                self._ordinal_base = n
+
+    # -- classic offer path -------------------------------------------
+
+    def offer(
+        self,
+        expr: Expr,
+        values: Optional[Tuple[Any, ...]],
+        sampled_fast: bool,
+    ) -> Optional[Expr]:
+        """Capture-mode mirror of :meth:`PoolStore.offer`: identical
+        charge and reject schedule, but instead of admitting, ship a
+        record (or provably drop). Rejections that leave no pool state
+        in the serial path (size, shape, var caps, syntactic dups) are
+        dropped here; a filter rejection leaves its hash-consed
+        syntactic key behind in the serial path, so it ships a key-only
+        record."""
+        store = self.store
+        store.budget.charge_expression()
+        store._c_offered.value += 1
+        if expr.size > store.options.max_expr_size:
+            store._c_rejected.value += 1
+            return None
+        if not _recursion_shape_ok(expr):
+            store._c_rejected.value += 1
+            return None
+        expr_vars = free_vars(expr)
+        has_vars = bool(expr_vars)
+        if expr_vars:
+            if expr.size > store.options.max_var_expr_size:
+                store._c_rejected.value += 1
+                return None
+            # Safe drop only against the frozen base count: parent
+            # counts grow monotonically, so base >= cap implies the
+            # serial run rejects too. Under the cap, the parent
+            # re-checks at replay with its live count.
+            if (
+                store._var_counts.get(expr.nt, 0)
+                >= store.options.max_var_exprs_per_nt
+            ):
+                store._c_rejected.value += 1
+                return None
+        canonical = store.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            store._c_rewrites.value += 1
+            expr = canonical
+        key = (expr.nt, expr)
+        if key in store._seen_syntactic or key in self.local_syn:
+            store._c_syntactic.value += 1
+            return None
+        self.local_syn.add(key)
+        if values is None and store._closed_evaluable(expr):
+            values = store._evaluate_vector(expr)
+        if values is not None:
+            predicate = store.dsl.admission_filters.get(expr.nt)
+            if predicate is not None and not predicate(values, store.examples):
+                store._c_rejected.value += 1
+                self.records.append(("k", self.ordinal, expr))
+                return None
+        raw = None
+        if store.options.semantic_dedup:
+            raw, _cols = store._signature_state(
+                expr, values, sampled_fast=sampled_fast
+            )
+            sid = None
+            if raw is not None:
+                try:
+                    sid = store._sig_intern.get(raw)
+                except TypeError:
+                    sid = None  # unhashable: exempt, same as _intern_sig
+            if sid is not None and sid in store._seen_semantic.get(
+                expr.nt, ()
+            ):
+                # Semantic loser against the frozen base table. The
+                # serial path's only surviving state is the hash-consed
+                # syntactic key — plus a shadow entry when the bucket
+                # has room. A loser that provably cannot shadow (bucket
+                # already full at the base, which is monotone, or no
+                # value vector, which serial never shadows) downgrades
+                # to a key-only record: the parent replays the key and
+                # skips the values/signature payload entirely.
+                if values is None or not store.shadow_has_room(expr.nt):
+                    store._c_semantic.value += 1
+                    self.records.append(("k", self.ordinal, expr))
+                    return None
+        self.records.append(("o", self.ordinal, expr, values, raw, has_vars))
+        return expr
+
+    # -- batched tail --------------------------------------------------
+
+    def batched(
+        self, nt: str, combo: Tuple, values: Tuple[Any, ...], make_expr
+    ) -> None:
+        """Capture-mode tail of the batched inner loop, after the
+        budget charge, size cap, vectorized apply, and admission filter
+        already ran (they are shard-local work). Semantic losers
+        against the frozen base are dropped outright when their shadow
+        bucket was already full at the base — the only case the serial
+        path leaves zero state for — otherwise the candidate ships and
+        the parent's replay decides winner/loser/shadow with its live
+        seen-sets."""
+        store = self.store
+        raw = None
+        sid = None
+        if store.options.semantic_dedup:
+            raw = store._vector_sig_columns(nt, values, store.examples)
+            if raw is not None:
+                try:
+                    sid = store._sig_intern.get(raw)
+                except TypeError:
+                    sid = None  # unhashable: exempt, same as _intern_sig
+        if (
+            sid is not None
+            and sid in store._seen_semantic.get(nt, ())
+            and not store.shadow_has_room(nt)
+        ):
+            store._c_semantic.value += 1
+            return
+        expr = make_expr(tuple(e.expr for e in combo))
+        store._c_materialized.value += 1
+        canonical = store.rewriter.canonicalize_root(expr)
+        if canonical is not expr:
+            store._c_rewrites.value += 1
+            expr = canonical
+        key = (expr.nt, expr)
+        if key in store._seen_syntactic or key in self.local_syn:
+            store._c_syntactic.value += 1
+            return
+        self.local_syn.add(key)
+        self.records.append(("b", self.ordinal, expr, values, raw))
+
+
+def _apply_ops(pool: PoolStore, ops: List[Tuple]) -> None:
+    """Apply the parent's admission delta ops to a replica.
+
+    Ops carry raw signatures, not interned ids: the replica re-interns
+    locally, so its table assigns locally-consistent ids (membership —
+    the only thing capture checks — matches the parent's exactly; the
+    id *values* never influence any admission decision)."""
+    for op in ops:
+        kind = op[0]
+        if kind == "e":
+            _, expr, generation, values, raw, epoch, has_vars = op
+            pool._seen_syntactic.add((expr.nt, expr))
+            sig = pool._intern_sig(raw)
+            if sig is not None:
+                pool._seen_semantic.setdefault(expr.nt, set()).add(sig)
+            if has_vars:
+                pool._var_counts[expr.nt] = (
+                    pool._var_counts.get(expr.nt, 0) + 1
+                )
+            entry = PoolEntry(
+                expr,
+                generation,
+                values,
+                sig,
+                raw if values is not None else None,
+                epoch,
+            )
+            pool._admit(entry)
+        elif kind == "sh":
+            _, expr, generation, values, raw, epoch = op
+            pool._seen_syntactic.add((expr.nt, expr))
+            sig = pool._intern_sig(raw)
+            bucket = pool._shadows.setdefault(expr.nt, [])
+            bucket.append(
+                PoolEntry(
+                    expr,
+                    generation,
+                    values,
+                    sig,
+                    raw if values is not None else None,
+                    epoch,
+                )
+            )
+        else:  # "k": hash-consed syntactic key with no entry behind it
+            expr = op[1]
+            pool._seen_syntactic.add((expr.nt, expr))
+    pool.clear_partitions()
+
+
+def _generation_productions(dsl) -> List[Production]:
+    """The productions a generation expands, in grammar order — the
+    same filter ``advance_batches`` applies before its cost sort. The
+    grammar order is static state, identical in parent and replica, so
+    an index into this list names a production unambiguously; the
+    parent's *cost-sorted* order is not shippable that way (mid-
+    generation admissions reach the replica through sync ops and shift
+    its cost estimates)."""
+    return [
+        prod
+        for prod in dsl.productions
+        if (
+            prod.kind == "lasy_fn"
+            or (prod.kind in ("call", "recurse") and prod.args)
+        )
+    ]
+
+
+def _run_capture_advance(
+    pool: PoolStore, enum: Enumerator, cmd: Dict[str, Any]
+) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+    """Drive one capture-mode *production* over the replica: the
+    enumerator's own preamble and expansion (so ordering, slot splits,
+    and charge schedule are the serial code's, not a copy), with
+    admissions diverted through a :class:`ShardCapture`. The parent
+    dispatches productions one at a time — ``cmd["prod_index"]`` names
+    this task's production in static grammar order (the cost-sorted
+    order is parent-only state: the replica's cost estimates shift as
+    mid-generation admissions sync in) — so a production the serial
+    driver would never have reached (the run solved on an earlier
+    batch, or died) is never paid for. The
+    replica's flags are restored afterwards — its state only ever
+    changes via the parent's sync ops."""
+    pool.generation = cmd["generation"]
+    pool.incomplete_generation = False
+    pool.pending_redo = cmd["pending_redo"]
+    pool.exhausted = False
+    pool.budget = Budget(
+        max_seconds=cmd["max_seconds"],
+        max_expressions=cmd["max_expressions"],
+        deadline=(
+            Deadline.after(cmd["hard_seconds"])
+            if cmd["hard_seconds"] is not None
+            else None
+        ),
+    )
+    enum.enum_mode = cmd["enum_mode"]
+
+    # Mirror of advance_batches' preamble.
+    pool.generation += 1
+    pool.incomplete_generation = True
+    pool.pending_redo = False
+    pool.last_generation_redone = False
+    batched = enum._resolve_mode() == "batched"
+    enum._fast_sampling = batched
+    enum._slot_cache.clear()
+    pool.clear_partitions()
+    base = _generation_productions(pool.dsl)
+    idx = cmd["prod_index"]
+    if idx >= len(base):
+        raise ShardError(
+            f"shard production index {idx} out of range ({len(base)})"
+        )
+    prod = base[idx]
+    label = _production_label(prod)
+    if label != cmd["prod_label"]:
+        # Replica grammar diverged from the parent's: a determinism
+        # bug, not a recoverable infrastructure fault.
+        raise ShardError(
+            f"shard production mismatch: {label!r} != "
+            f"{cmd['prod_label']!r}"
+        )
+    max_e = cmd["max_expressions"]
+    if max_e is not None:
+        # The worker charges only its stride — one ordinal in ``jobs`` —
+        # so handing it the parent's full remaining window would let it
+        # enumerate ~jobs× past the serial death point before its own
+        # budget bit, all work the parent's replay cutoff then discards.
+        # Scale to this shard's share of the window, with slack covering
+        # stride rounding (a stride's count is within one ordinal of
+        # window/jobs) so every shard provably reaches the serial death
+        # ordinal before stopping.
+        pool.budget.max_expressions = max_e // cmd["jobs"] + cmd["jobs"] + 2
+    cap = ShardCapture(pool, cmd["shard"], cmd["jobs"])
+    pool._shard_capture = cap
+    tracer = get_tracer()
+    productions: List[Dict[str, Any]] = []
+    died: Optional[str] = None
+    try:
+        cap.begin_production()
+        use_batched = batched and enum._batchable(prod)
+        try:
+            if tracer.enabled:
+                enum._expand_traced(prod, tracer, use_batched)
+            else:
+                enum._expand(prod, use_batched)
+        except BudgetExhausted:
+            died = pool.budget.exhausted_reason or "expressions"
+        productions.append(cap.finish_production(label, died=died))
+    finally:
+        pool._shard_capture = None
+        enum._fast_sampling = False
+        enum._slot_cache.clear()
+        pool.clear_partitions()
+        pool.generation = cmd["generation"]
+        pool.incomplete_generation = False
+        pool.pending_redo = cmd["pending_redo"]
+    return productions, died
+
+
+def shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point (runs under ``exec.parallel._worker_main``).
+
+    Syncs the replica (snapshot or delta ops), runs the capture
+    advance, and returns per-production records plus the replica
+    registry's counter deltas for the parent to merge."""
+    key = payload["key"]
+    epoch = payload["epoch"]
+    kind, data = payload["sync"]
+    if kind == "snap":
+        pool, enum = pickle.loads(data)
+        _REPLICAS.clear()
+        _REPLICAS[key] = {"epoch": epoch, "pool": pool, "enum": enum}
+    else:
+        entry = _REPLICAS.get(key)
+        if entry is None or entry["epoch"] != epoch - 1:
+            return {"resync": True}
+        pool, enum = entry["pool"], entry["enum"]
+        # Ops arrive pre-pickled: the parent serializes the shared
+        # slice once per round instead of once per slot, and each
+        # worker pays the unpickle off the parent's critical path.
+        _apply_ops(pool, pickle.loads(data))
+        entry["epoch"] = epoch
+    registry = Registry()
+    pool._bind_counters(registry)
+    try:
+        productions, died = _run_capture_advance(pool, enum, payload["advance"])
+    finally:
+        pool.suspend()
+    return {
+        "productions": productions,
+        "died": died,
+        "metrics": registry.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------
+# Parent side: coordinator
+# ---------------------------------------------------------------------
+
+
+def _tracer_base(tracer) -> Optional[str]:
+    """The current trace file path, if the tracer writes to one — the
+    base for worker shard files, absorbed at coordinator close."""
+    if not isinstance(tracer, JsonlTracer) or not tracer.enabled:
+        return None
+    name = getattr(getattr(tracer, "_file", None), "name", None)
+    return name if isinstance(name, str) else None
+
+
+class ShardCoordinator:
+    """Owns the worker fleet and the capture/replay cycle for one
+    session's sharded advances.
+
+    Lifecycle: a :class:`~.session.SynthesisSession` keeps one
+    coordinator alive across DBS runs (warm workers, delta sync);
+    ``attach`` rebinds it to the run's pool/enumerator and invalidates
+    worker replicas (warm-run pool extension mutates entries outside
+    the logged admission paths, so each run starts from a snapshot and
+    ships deltas between its generations); ``close`` reaps workers and
+    splices their trace shards into the parent trace with ``worker:``
+    prefixes."""
+
+    def __init__(
+        self,
+        jobs: int,
+        min_cost: int = DEFAULT_SHARD_MIN_COST,
+    ):
+        if jobs < 2:
+            raise ValueError("sharding needs at least 2 jobs")
+        self.jobs = jobs
+        self.min_cost = min_cost
+        self.failed = False
+        self.closed = False
+        self._key = f"shard-{os.getpid()}-{next(_COORD_IDS)}"
+        self._log: List[Tuple] = []
+        self._cursors: List[Optional[int]] = [None] * jobs
+        self._epochs: List[int] = [0] * jobs
+        self._store: Optional[PoolStore] = None
+        self._enum: Optional[Enumerator] = None
+        self._pool = None  # exec.parallel.ShardWorkerPool, lazily spawned
+        self._trace_base: Optional[str] = None
+        self._snapshot_cache: Optional[Tuple[int, bytes]] = None
+        self._ops_blob_cache: Optional[Tuple[int, int, bytes]] = None
+        # Round started on the fleet but not yet collected (see the
+        # pipelined dispatch in _drive): {"cmd": ..., "log_len": ...}.
+        self._inflight: Optional[Dict[str, Any]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self, store: PoolStore, enum: Enumerator) -> None:
+        """Bind to a run's pool/enumerator and invalidate replicas."""
+        self.detach()
+        self._store = store
+        self._enum = enum
+        self._log.clear()
+        self._cursors = [None] * self.jobs
+        self._snapshot_cache = None
+        self._ops_blob_cache = None
+        store._shard_log = self._log
+        enum.shard_coord = self
+
+    def detach(self) -> None:
+        """Unbind from the current run; workers stay warm (unless an
+        abandoned prefetch is still in flight, which reaps them)."""
+        self._abort_inflight()
+        if self._store is not None and self._store._shard_log is self._log:
+            self._store._shard_log = None
+        if self._enum is not None and self._enum.shard_coord is self:
+            self._enum.shard_coord = None
+        self._store = None
+        self._enum = None
+
+    def close(self) -> None:
+        """Reap workers and absorb their trace shards."""
+        if self.closed:
+            return
+        self.closed = True
+        self._inflight = None
+        self.detach()
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.close()
+        tracer = get_tracer()
+        keep = bool(os.environ.get("REPRO_TRACE_KEEP_SHARDS"))
+        for shard in pool.shard_paths():
+            if isinstance(tracer, JsonlTracer) and tracer.enabled:
+                try:
+                    tracer.absorb_shard(
+                        shard, worker=f"worker:{os.path.basename(shard)}"
+                    )
+                except OSError:
+                    pass
+            if not keep:
+                try:
+                    os.remove(shard)
+                except OSError:
+                    pass
+
+    # -- the sharded advance ------------------------------------------
+
+    def try_generation(
+        self,
+        enum: Enumerator,
+        ordered: List[Production],
+        redone: bool,
+    ) -> Optional[Iterable[List[Expr]]]:
+        """Attempt a sharded advance for the generation the enumerator
+        just opened. Returns a lazy per-production drive generator, or
+        None to let the caller run the serial production loop (no
+        production reaches ``min_cost``, or sharding was disabled by an
+        earlier failure — in every None case the parent pool is
+        untouched).
+
+        The drive is *lazy*: each production is dispatched only when
+        the consumer asks for its batch, so productions the DBS driver
+        never reaches — it tests each batch as it lands and abandons
+        the generator on a solve — cost nothing, exactly as in the
+        serial schedule. Productions under ``min_cost`` run serially in
+        the parent inside the same generator, mutating the live pool as
+        usual; only the expensive ones pay worker round-trips."""
+        store = enum.store
+        # A round can outlive its generation (prefetch abandoned on a
+        # solve); it must never leak into the next one.
+        self._abort_inflight()
+        if self.failed or self.closed or not store.options.use_dsl:
+            return None
+        costs = [enum._production_cost(prod) for prod in ordered]
+        plan = ShardPlan(
+            generation=store.generation,
+            jobs=self.jobs,
+            cost=max(costs, default=0),
+            productions=sum(1 for c in costs if c >= self.min_cost),
+            min_cost=self.min_cost,
+        )
+        if not plan.worthwhile:
+            return None
+        budget = store.budget
+        if (
+            budget.max_expressions is not None
+            and budget.max_expressions - budget.expressions <= 0
+        ):
+            return None
+        # Workers address productions by grammar-order index — stable
+        # shared state — not by position in the cost-sorted ``ordered``
+        # (the replica's cost estimates shift as mid-generation
+        # admissions sync in, which can reorder its sort).
+        grammar_index = {
+            id(prod): i
+            for i, prod in enumerate(_generation_productions(store.dsl))
+        }
+        return self._drive(enum, ordered, redone, costs, grammar_index, plan)
+
+    def _drive(
+        self,
+        enum: Enumerator,
+        ordered: List[Production],
+        redone: bool,
+        costs: List[int],
+        grammar_index: Dict[int, int],
+        plan: ShardPlan,
+    ) -> Iterable[List[Expr]]:
+        """The sharded generation loop: serial expansion for cheap
+        productions, dispatch + ordinal-merged replay for expensive
+        ones, yielding per-production batches exactly where the serial
+        loop would.
+
+        Dispatch is pipelined one production deep: after collecting a
+        round's results — and knowing from their envelopes that its
+        replay cannot end the generation — the *next* expensive
+        production is started on the fleet before this one is replayed,
+        so the workers crunch production N+1 while the parent replays N
+        and the DBS driver tests its batch. The prefetched round's sync
+        ops predate N's replay, which is safe: same-generation entries
+        are excluded from every argument split, and both replay tails
+        re-check the syntactic and semantic seen-sets against the live
+        pool, so a stale replica can only ship a few extra records —
+        never admit differently."""
+        store = enum.store
+        tracer = get_tracer()
+        prog = get_progress()
+        metrics = store.metrics
+        batched = enum._resolve_mode() == "batched"
+        announced = False
+        prefetched: Optional[int] = None  # position in `ordered` in flight
+        for idx, prod in enumerate(ordered):
+            results = None
+            if not self.failed and costs[idx] >= self.min_cost:
+                sent = prefetched == idx or self._send_production(
+                    enum, grammar_index[id(prod)], prod, redone
+                )
+                prefetched = None
+                if sent:
+                    results = self._collect_production(enum)
+                if results is not None and not self.failed:
+                    nxt = None
+                    if not self._replay_ends_generation(store, results):
+                        for j in range(idx + 1, len(ordered)):
+                            if costs[j] >= self.min_cost:
+                                nxt = j
+                                break
+                    if nxt is not None and self._send_production(
+                        enum, grammar_index[id(ordered[nxt])],
+                        ordered[nxt], redone,
+                    ):
+                        prefetched = nxt
+            if results is None:
+                use_batched = batched and enum._batchable(prod)
+                if tracer.enabled:
+                    batch = enum._expand_traced(prod, tracer, use_batched)
+                else:
+                    batch = enum._expand(prod, use_batched)
+            else:
+                if not announced:
+                    announced = True
+                    metrics.counter("enum.shard.generations").value += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "dbs.shard.plan",
+                            generation=plan.generation,
+                            jobs=plan.jobs,
+                            cost=plan.cost,
+                            productions=plan.productions,
+                        )
+                batch = self._replay_one(enum, prod, results)
+            if prog is not None and prog.due():
+                prog.tick(
+                    generation=store.generation,
+                    pool_size=store.total(),
+                    candidates=store.budget.expressions,
+                    deadline_s=store.budget.time_remaining(),
+                )
+            if batch:
+                yield batch
+        store.incomplete_generation = False
+        store.last_generation_redone = redone
+
+    def _send_production(
+        self,
+        enum: Enumerator,
+        grammar_idx: int,
+        prod: Production,
+        redone: bool,
+    ) -> bool:
+        """Start one production's round on the worker fleet without
+        waiting for results. Returns False to run it serially instead
+        (no budget window left for a dispatch to be useful, or an
+        infrastructure failure — which flips the permanent serial
+        fallback)."""
+        store = enum.store
+        budget = store.budget
+        remaining_expr = None
+        if budget.max_expressions is not None:
+            remaining_expr = budget.max_expressions - budget.expressions
+            if remaining_expr <= 0:
+                # The serial expansion raises on its first charge; let
+                # it, rather than paying a round-trip for zero window.
+                return False
+        soft = None
+        if budget.max_seconds is not None:
+            soft = max(0.05, budget.max_seconds - budget.elapsed)
+        hard = None
+        if budget.deadline is not None:
+            r = budget.deadline.remaining()
+            if r is not None:
+                hard = max(0.05, r)
+        cmd = {
+            # Pre-advance values; the preamble already bumped the
+            # parent's generation, the worker re-runs that bump itself.
+            "generation": store.generation - 1,
+            "pending_redo": redone,
+            "enum_mode": enum._resolve_mode(),
+            "prod_index": grammar_idx,
+            "prod_label": _production_label(prod),
+            "max_expressions": remaining_expr,
+            "max_seconds": soft,
+            "hard_seconds": hard,
+            "jobs": self.jobs,
+        }
+        try:
+            worker_pool = self._ensure_pool()
+            log_len = len(self._log)
+            items = [self._payload(slot, cmd) for slot in range(self.jobs)]
+            worker_pool.start(shard_task, items)
+        except BudgetExhausted:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+            return False
+        self._inflight = {"cmd": cmd, "log_len": log_len}
+        return True
+
+    def _collect_production(
+        self, enum: Enumerator
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Wait out the in-flight round and validate its per-shard
+        results. Returns None to run the production serially instead
+        (after flipping the permanent fallback on any infrastructure
+        failure)."""
+        inflight, self._inflight = self._inflight, None
+        if inflight is None or self._pool is None:
+            return None
+        store = enum.store
+        metrics = store.metrics
+        cmd = inflight["cmd"]
+
+        def rebuild(slot: int, attempt: int) -> Dict[str, Any]:
+            metrics.counter("enum.shard.retries").value += 1
+            return self._payload(slot, cmd, force_snapshot=True)
+
+        soft = cmd["max_seconds"]
+        hard = cmd["hard_seconds"]
+        timeout = None
+        if hard is not None or soft is not None:
+            timeout = max(hard or 0.0, soft or 0.0) + 30.0
+        try:
+            results = self._pool.finish(rebuild=rebuild, timeout_s=timeout)
+            for slot, res in enumerate(results):
+                if (
+                    not isinstance(res, dict)
+                    or not res.get("productions")
+                ):
+                    raise ShardError(
+                        f"shard {slot} returned {type(res).__name__}"
+                    )
+                self._cursors[slot] = inflight["log_len"]
+        except BudgetExhausted:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+            return None
+        for res in results:
+            snap = res.get("metrics")
+            if snap:
+                metrics.merge(snap)
+        metrics.counter("enum.shard.tasks").value += len(results)
+        return results
+
+    @staticmethod
+    def _replay_ends_generation(
+        store: PoolStore, results: List[Dict[str, Any]]
+    ) -> bool:
+        """Whether replaying these shard results must end the run — a
+        wall-clock death inside a worker, or the production's charge
+        total pushing the parent's expression budget over its cap. Both
+        are decidable from the result envelopes before any replay, and
+        both gate the next production's prefetch: work dispatched past
+        a death would be pure waste."""
+        charges = 0
+        for res in results:
+            part = res["productions"][0]
+            if part["died"] not in (None, "expressions"):
+                return True
+            charges += part["charges"]
+        cap = store.budget.max_expressions
+        return cap is not None and store.budget.expressions + charges > cap
+
+    # -- internals -----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from ...exec.parallel import ShardWorkerPool
+
+            self._trace_base = _tracer_base(get_tracer())
+            self._pool = ShardWorkerPool(
+                self.jobs, trace_base=self._trace_base
+            )
+        return self._pool
+
+    def _payload(
+        self, slot: int, cmd: Dict[str, Any], force_snapshot: bool = False
+    ) -> Dict[str, Any]:
+        cursor = self._cursors[slot]
+        if force_snapshot or cursor is None:
+            sync = ("snap", self._snapshot())
+        else:
+            sync = ("ops", self._ops_blob(cursor))
+        self._epochs[slot] += 1
+        advance = dict(cmd)
+        advance["shard"] = slot
+        return {
+            "key": self._key,
+            "epoch": self._epochs[slot],
+            "sync": sync,
+            "advance": advance,
+        }
+
+    def _ops_blob(self, cursor: int) -> bytes:
+        """The delta-op slice ``_log[cursor:]``, pre-pickled once.
+
+        Every slot with the same cursor (the common case — all slots
+        sync after each successful round) receives the identical slice,
+        and re-pickling a large op log per ``conn.send`` was the single
+        biggest parent-CPU cost of a dispatch round: embedding an
+        already-pickled ``bytes`` in the payload is a memcpy for the
+        sender, and each worker unpickles it off the parent's critical
+        path."""
+        n = len(self._log)
+        cached = self._ops_blob_cache
+        if cached is not None and cached[0] == cursor and cached[1] == n:
+            return cached[2]
+        data = pickle.dumps(self._log[cursor:], pickle.HIGHEST_PROTOCOL)
+        self._ops_blob_cache = (cursor, n, data)
+        return data
+
+    def _snapshot(self) -> bytes:
+        """Pickled ``(pool, enumerator)`` at the current log position.
+        The pool only mutates through logged admissions between
+        generations, so the log length keys the cache — one pickling
+        serves every fresh or respawned worker this generation."""
+        n = len(self._log)
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        try:
+            data = pickle.dumps(
+                (self._store, self._enum), pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise ShardError(f"pool snapshot not picklable: {exc!r}") from exc
+        self._snapshot_cache = (n, data)
+        return data
+
+    def _abort_inflight(self) -> None:
+        """Discard a prefetched round whose generation was abandoned
+        (the driver solved on an earlier batch, or the run died, and
+        the generator was never consumed further). The workers are
+        mid-enumeration on a production nobody will replay: reap them
+        rather than wait, and invalidate every cursor — the replicas
+        died with their processes, so the next round ships snapshots."""
+        self._inflight = None
+        pool = self._pool
+        if pool is None or self.closed or not pool.pending:
+            return
+        pool.abort()
+        self._cursors = [None] * self.jobs
+
+    def _fail(self, exc: Exception) -> None:
+        """Permanent fallback to serial advances for this session."""
+        self.failed = True
+        self._inflight = None
+        if self._store is not None:
+            self._store.metrics.counter("enum.shard.fallbacks").value += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("dbs.shard.fallback", error=f"{type(exc).__name__}: {exc}")
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def _replay_one(
+        self,
+        enum: Enumerator,
+        prod: Production,
+        results: List[Dict[str, Any]],
+    ) -> List[Expr]:
+        """Merge and replay one dispatched production's shard records in
+        global ordinal order. Raises ``BudgetExhausted`` (without
+        yielding the dying production's batch) at the same global
+        candidate the serial schedule would have died on."""
+        store = enum.store
+        budget = store.budget
+        tracer = get_tracer()
+        metrics = store.metrics
+        max_e = budget.max_expressions
+        label = _production_label(prod)
+        charges = 0
+        shards: List[List[Tuple]] = []
+        wall: Optional[str] = None
+        for res in results:
+            part = res["productions"][0]
+            if part["label"] != label:
+                # Replica order diverged from the parent's: a
+                # determinism bug, not a recoverable infrastructure
+                # fault. Surface it loudly.
+                raise RuntimeError(
+                    "shard replay order mismatch: "
+                    f"{part['label']!r} != {label!r}"
+                )
+            charges += part["charges"]
+            shards.append(part["records"])
+            if part["died"] is not None and part["died"] != "expressions":
+                wall = wall or part["died"]
+        if wall is not None:
+            # Nondeterministic wall-clock death inside a worker: drop
+            # the partial production, as a serial time trip drops its
+            # partial batch.
+            budget._trip(wall)
+        cutoff = None
+        if max_e is not None and budget.expressions + charges > max_e:
+            cutoff = max_e - budget.expressions
+        merged = heapq.merge(*shards, key=lambda rec: rec[1])
+        if tracer.enabled:
+            batch = self._replay_traced(
+                store, tracer, label, merged, cutoff, charges
+            )
+        else:
+            batch = self._replay_production(store, merged, cutoff)
+        metrics.counter("enum.shard.records").value += sum(
+            len(s) for s in shards
+        )
+        if cutoff is not None:
+            # The serial schedule's charge at global ordinal ``cutoff``
+            # is the one that trips; its candidate (and the production's
+            # partial batch) never lands.
+            budget.expressions = max_e + 1
+            budget._trip("expressions")
+        budget.expressions += charges
+        budget.check_deadline()
+        return batch
+
+    def _replay_production(
+        self, store: PoolStore, merged, cutoff: Optional[int]
+    ) -> List[Expr]:
+        batch: List[Expr] = []
+        for rec in merged:
+            if cutoff is not None and rec[1] >= cutoff:
+                break
+            tag = rec[0]
+            if tag == "b":
+                result = store.replay_batched(rec[2], rec[3], rec[4])
+            elif tag == "o":
+                result = store.replay_admit(rec[2], rec[3], rec[4], rec[5])
+            else:  # "k"
+                store.replay_syn_key(rec[2])
+                result = None
+            if result is not None:
+                batch.append(result)
+        return batch
+
+    def _replay_traced(
+        self,
+        store,
+        tracer,
+        label: str,
+        merged,
+        cutoff: Optional[int],
+        charges: int,
+    ) -> List[Expr]:
+        """Replay under a ``dbs.enumerate`` span mirroring
+        ``Enumerator._expand_traced`` (offered/added attrs and the
+        detailed ``prof.production.*`` instruments), so sharded trace
+        reports attribute parent-side merge time per production; the
+        workers' own expansion spans arrive via their absorbed shards.
+        ``charges`` is the production's total worker-side charge count —
+        the parent budget is only advanced after this span closes, so
+        the serial ``budget.expressions`` delta cannot supply it."""
+        detailed = store._detailed
+        offered = charges if cutoff is None else cutoff
+        with tracer.span(
+            "dbs.enumerate",
+            generation=store.generation,
+            production=label,
+            shards=self.jobs,
+        ) as span:
+            if detailed:
+                added_before = store._c_added.value
+                sem_before = store._c_semantic.value
+                t0 = perf_counter()
+            batch: List[Expr] = []
+            try:
+                batch = self._replay_production(store, merged, cutoff)
+            finally:
+                span.set(offered=offered, added=len(batch))
+                if detailed:
+                    metrics = store.metrics
+                    metrics.histogram("prof.production.seconds").observe(
+                        perf_counter() - t0, production=label
+                    )
+                    if offered:
+                        metrics.counter("prof.production.offered").inc(
+                            offered, production=label
+                        )
+                    admitted = store._c_added.value - added_before
+                    if admitted:
+                        metrics.counter("prof.production.admitted").inc(
+                            admitted, production=label
+                        )
+                    sig_rejected = store._c_semantic.value - sem_before
+                    if sig_rejected:
+                        metrics.counter("prof.production.sig_rejected").inc(
+                            sig_rejected, production=label
+                        )
+            return batch

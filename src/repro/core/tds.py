@@ -443,6 +443,16 @@ class TdsSession:
         if self._engine is not None:
             self._engine.suspend()
 
+    def release_workers(self) -> None:
+        """Reap shard-enumeration worker processes (folding their trace
+        shards into the active trace) without suspending the session:
+        the warm pool and enumerator stay live, and a later DBS call
+        respawns workers on demand. For sessions that outlive their
+        request but are not cache-managed (a CLI run's result keeps
+        them for warm resumption)."""
+        if self._engine is not None:
+            self._engine.close_shard_coordinator()
+
     def reset_clock(
         self,
         cancel: Optional[CancelToken] = None,

@@ -1,0 +1,405 @@
+"""Differential tests for sharded DBS generations (core.engine.shard).
+
+The sharding contract is strict determinism: a run split across worker
+processes must admit the *identical* pool — entries, order, shadow
+buckets, interned signature table — and synthesize byte-identical
+programs. These tests hold it to that at the engine level (pool-state
+equality, expression-budget death), end to end across all four paper
+domains in both enum modes, through a worker crash with retry, and
+through the unpicklable-pool serial fallback.
+
+DSL component functions here are module-level on purpose: shard workers
+receive the pool as a pickle snapshot, and pickling resolves functions
+by qualified name (``tests.test_shard.<fn>``). The lambda-built DSLs in
+``test_enum_batched`` are *deliberately* reused for the fallback test —
+they are exactly the unpicklable case sharding must survive.
+"""
+
+import os
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.dbs import DbsOptions, _shard_jobs, _shard_min_cost
+from repro.core.dsl import DslBuilder, Example, Signature
+from repro.core.engine import Enumerator, ShardCoordinator, ShardPlan
+from repro.core.expr import Call, Const, Function, Param
+from repro.core.tds import TdsOptions
+from repro.core.types import INT, STRING
+from tests.test_enum_batched import (
+    DOMAIN_CASES,
+    SIG,
+    make_pool,
+    pool_state,
+    tiny_dsl as lambda_tiny_dsl,
+)
+
+# -- picklable fixture DSLs -------------------------------------------
+
+
+def _neg(v):
+    return -v
+
+
+def _add(a, c):
+    return a + c
+
+
+def _mul(a, c):
+    return a * c
+
+
+def _concat(a, c):
+    return a + c
+
+
+def _repeat(s, n):
+    return s * n
+
+
+def _tiny_constants(examples):
+    return {"e": [0, 1, 2]}
+
+
+def _mixed_constants(examples):
+    return {"s": ["-"], "n": [2]}
+
+
+def shard_tiny_dsl():
+    b = DslBuilder("tiny", start="e")
+    b.nt("e", INT)
+    b.fn("e", "Neg", ["e"], _neg)
+    b.fn("e", "Add", ["e", "e"], _add)
+    b.fn("e", "Mul", ["e", "e"], _mul)
+    b.param("e")
+    b.constant("e")
+    b.constants_from(_tiny_constants)
+    return b.build()
+
+
+def shard_mixed_dsl():
+    b = DslBuilder("mixed", start="s")
+    b.nt("s", STRING).nt("n", INT)
+    b.fn("s", "Concat", ["s", "s"], _concat)
+    b.fn("s", "Repeat", ["s", "n"], _repeat)
+    b.fn("n", "Add", ["n", "n"], _add)
+    b.fn("n", "Len", ["s"], len)
+    b.param("s")
+    b.param("n")
+    b.constants_from(_mixed_constants)
+    return b.build()
+
+
+MIXED_SIG = Signature("f", (("s", STRING), ("n", INT)), STRING)
+
+MODES = ["batched", "classic"]
+
+
+def counter(stats, name):
+    snap = stats.registry.snapshot()
+    entry = snap.get(name)
+    return entry["value"] if entry else 0
+
+
+def run_generations(
+    dsl,
+    signature,
+    examples,
+    mode,
+    jobs=0,
+    advances=2,
+    max_expressions=10**7,
+    extend=None,
+):
+    """Mirror of test_enum_batched.run_generations with an optional
+    shard coordinator attached (min_cost=0 so every generation shards).
+    ``extend`` re-attaches, as a warm dbs run would: pool extension
+    mutates entries outside the delta log, so a new run starts from a
+    fresh snapshot."""
+    pool, stats = make_pool(
+        dsl, signature, examples, max_expressions=max_expressions
+    )
+    enumerator = Enumerator(pool, enum_mode=mode)
+    coord = None
+    if jobs:
+        coord = ShardCoordinator(jobs, min_cost=0)
+        coord.attach(pool, enumerator)
+    try:
+        enumerator.seed([])
+        for _ in range(advances):
+            enumerator.advance()
+        if extend is not None:
+            pool.extend_examples([extend])
+            if coord is not None:
+                coord.attach(pool, enumerator)
+            enumerator.seed([])
+            enumerator.advance()
+    finally:
+        if coord is not None:
+            coord.close()
+    return pool, stats
+
+
+# -- engine-level pool differential -----------------------------------
+
+
+class TestPoolDifferential:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("extend", [None, Example((5,), 0)])
+    def test_tiny_dsl_same_pool(self, mode, extend):
+        examples = [Example((1,), 0), Example((3,), 0)]
+        serial, _ = run_generations(
+            shard_tiny_dsl(), SIG, examples, mode, extend=extend
+        )
+        sharded, stats = run_generations(
+            shard_tiny_dsl(), SIG, examples, mode, jobs=2, extend=extend
+        )
+        assert counter(stats, "enum.shard.generations") > 0
+        assert counter(stats, "enum.shard.fallbacks") == 0
+        assert pool_state(sharded) == pool_state(serial)
+        assert sharded.generation == serial.generation
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_mixed_dsl_same_pool(self, mode, jobs):
+        examples = [Example(("ab", 2), "abab"), Example(("x", 3), "xxx")]
+        serial, _ = run_generations(
+            shard_mixed_dsl(), MIXED_SIG, examples, mode
+        )
+        sharded, stats = run_generations(
+            shard_mixed_dsl(), MIXED_SIG, examples, mode, jobs=jobs
+        )
+        assert counter(stats, "enum.shard.generations") > 0
+        assert pool_state(sharded) == pool_state(serial)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_budget_death_matches(self, mode):
+        # The expression budget must die on exactly the candidate the
+        # serial schedule would have died on: the replay path recreates
+        # the trip from per-production charge totals, dropping the dying
+        # production's batch just as the serial loop does.
+        examples = [Example((1,), 0), Example((3,), 0)]
+        serial, _ = run_generations(
+            shard_tiny_dsl(), SIG, examples, mode, max_expressions=120
+        )
+        sharded, stats = run_generations(
+            shard_tiny_dsl(), SIG, examples, mode, jobs=2,
+            max_expressions=120,
+        )
+        assert serial.exhausted and sharded.exhausted
+        assert counter(stats, "enum.shard.generations") > 0
+        assert pool_state(sharded) == pool_state(serial)
+
+
+# -- cross-shard interning --------------------------------------------
+
+
+ADD = Function("Add", (INT, INT), INT, _add)
+
+
+class TestCrossShardInterning:
+    def test_duplicate_signature_from_two_shards_collapses(self):
+        # Two observationally equal candidates arriving from different
+        # shards carry separately-built (equal, non-identical) raw
+        # signature columns. Replay re-interns both against the parent
+        # table: the second must dedup semantically, exactly as if one
+        # in-process generation had offered both.
+        examples = [Example((1,), 0), Example((3,), 0)]
+        pool, _ = make_pool(shard_tiny_dsl(), SIG, examples)
+        enumerator = Enumerator(pool, enum_mode="batched")
+        enumerator.seed([])
+        x = Param("x", INT, "e")
+        one = Const(1, INT, "e")
+        first = Call(ADD, (x, one), "e")
+        second = Call(ADD, (one, x), "e")
+        values = (2, 4)
+        raw_a = ("v", (2, 4))
+        raw_b = ("v", tuple(values))
+        assert raw_a == raw_b and raw_a is not raw_b
+        before = pool.total()
+        assert pool.replay_batched(first, values, raw_a) is not None
+        assert pool.replay_batched(second, values, raw_b) is None
+        assert pool.total() == before + 1
+        assert pool._intern_sig(raw_a) == pool._intern_sig(raw_b)
+
+    def test_replay_admit_dedups_and_reinterns(self):
+        examples = [Example((1,), 0), Example((3,), 0)]
+        pool, _ = make_pool(shard_tiny_dsl(), SIG, examples)
+        enumerator = Enumerator(pool, enum_mode="classic")
+        enumerator.seed([])
+        x = Param("x", INT, "e")
+        two = Const(2, INT, "e")
+        first = Call(ADD, (x, two), "e")
+        second = Call(ADD, (two, x), "e")
+        values = (3, 5)
+        raw = ("v", (3, 5))
+        assert pool.replay_admit(first, values, raw, False) is not None
+        # Same expression again from another shard: syntactic dedup.
+        assert pool.replay_admit(first, values, ("v", (3, 5)), False) is None
+        # Equal-valued different expression: semantic dedup via the
+        # re-interned signature; it lands in the shadow bucket.
+        assert pool.replay_admit(second, values, ("v", (3, 5)), False) is None
+        shadowed = [str(e.expr) for e in pool._shadows.get("e", ())]
+        assert str(second) in shadowed
+
+
+# -- end-to-end domain differentials ----------------------------------
+
+
+def _tds_options(mode, jobs):
+    return TdsOptions(
+        dbs=DbsOptions(enum_mode=mode, shard_jobs=jobs, shard_min_cost=0)
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("suite_name, bench_name", DOMAIN_CASES)
+def test_suite_benchmarks_sharded_matches_serial(
+    suite_name, bench_name, mode
+):
+    from repro.suites import ALL_SUITES
+
+    benchmark = next(
+        b for b in ALL_SUITES[suite_name] if b.name == bench_name
+    )
+    budget = lambda: Budget(max_seconds=30, max_expressions=250_000)
+    serial = benchmark.run(
+        budget_factory=budget, options=_tds_options(mode, 0)
+    )
+    sharded = benchmark.run(
+        budget_factory=budget, options=_tds_options(mode, 2)
+    )
+    assert serial.success and sharded.success
+    assert str(sharded.program) == str(serial.program)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_pexfun_puzzle_sharded_matches_serial(mode):
+    from repro.pex import PUZZLES, play
+
+    puzzle = next(p for p in PUZZLES if p.name == "max-of-two")
+    budget = lambda: Budget(max_seconds=10, max_expressions=80_000)
+    serial = play(
+        puzzle, budget_factory=budget, options=_tds_options(mode, 0)
+    )
+    sharded = play(
+        puzzle, budget_factory=budget, options=_tds_options(mode, 2)
+    )
+    assert serial.solved and sharded.solved
+    assert str(sharded.program) == str(serial.program)
+
+
+# -- crash retry and fallback -----------------------------------------
+
+
+class TestRobustness:
+    def test_worker_crash_is_retried(self, monkeypatch):
+        # Kill shard slot 0's first attempt; the coordinator must
+        # respawn the slot, re-send the work unit with a full snapshot,
+        # and merge a pool identical to the serial run's.
+        examples = [Example(("ab", 2), "abab"), Example(("x", 3), "xxx")]
+        serial, _ = run_generations(
+            shard_mixed_dsl(), MIXED_SIG, examples, "batched"
+        )
+        monkeypatch.setenv("REPRO_FAULTS", "crash:0@0")
+        sharded, stats = run_generations(
+            shard_mixed_dsl(), MIXED_SIG, examples, "batched", jobs=2
+        )
+        assert counter(stats, "enum.shard.retries") >= 1
+        assert counter(stats, "enum.shard.fallbacks") == 0
+        assert counter(stats, "enum.shard.generations") > 0
+        assert pool_state(sharded) == pool_state(serial)
+
+    def test_exhausted_retries_fall_back_serial(self, monkeypatch):
+        # Crash slot 0 on every attempt: the retry budget runs out, the
+        # coordinator flips to permanent serial fallback, and the run
+        # still produces the exact serial pool (it was never half-merged).
+        examples = [Example((1,), 0), Example((3,), 0)]
+        serial, _ = run_generations(shard_tiny_dsl(), SIG, examples, "batched")
+        monkeypatch.setenv("REPRO_FAULTS", "crash:0@*")
+        sharded, stats = run_generations(
+            shard_tiny_dsl(), SIG, examples, "batched", jobs=2
+        )
+        assert counter(stats, "enum.shard.fallbacks") == 1
+        assert counter(stats, "enum.shard.generations") == 0
+        assert pool_state(sharded) == pool_state(serial)
+
+    def test_unpicklable_pool_falls_back_serial(self):
+        # test_enum_batched's tiny_dsl builds its constants from a
+        # lambda — the pool snapshot cannot pickle, sharding must shrug
+        # and run serial with the parent pool untouched.
+        examples = [Example((1,), 0), Example((3,), 0)]
+        serial, _ = run_generations(lambda_tiny_dsl(), SIG, examples, "batched")
+        sharded, stats = run_generations(
+            lambda_tiny_dsl(), SIG, examples, "batched", jobs=2
+        )
+        assert counter(stats, "enum.shard.fallbacks") == 1
+        assert counter(stats, "enum.shard.generations") == 0
+        assert pool_state(sharded) == pool_state(serial)
+
+
+# -- gating and plumbing ----------------------------------------------
+
+
+class TestGating:
+    def test_shard_jobs_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DBS_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_IN_WORKER", raising=False)
+        assert _shard_jobs(DbsOptions()) == 0
+        assert _shard_jobs(DbsOptions(shard_jobs=1)) == 0
+        assert _shard_jobs(DbsOptions(shard_jobs=4)) == 4
+        monkeypatch.setenv("REPRO_DBS_JOBS", "3")
+        assert _shard_jobs(DbsOptions()) == 3
+        # Explicit options beat the environment.
+        assert _shard_jobs(DbsOptions(shard_jobs=2)) == 2
+        monkeypatch.setenv("REPRO_DBS_JOBS", "junk")
+        assert _shard_jobs(DbsOptions()) == 0
+        # An ablated grammar has no productions to split.
+        monkeypatch.setenv("REPRO_DBS_JOBS", "3")
+        assert _shard_jobs(DbsOptions(use_dsl=False)) == 0
+
+    def test_shard_min_cost_resolution(self, monkeypatch):
+        from repro.core.engine.shard import DEFAULT_SHARD_MIN_COST
+
+        monkeypatch.delenv("REPRO_DBS_SHARD_MIN_COST", raising=False)
+        assert _shard_min_cost(DbsOptions()) == DEFAULT_SHARD_MIN_COST
+        monkeypatch.setenv("REPRO_DBS_SHARD_MIN_COST", "0")
+        assert _shard_min_cost(DbsOptions()) == 0
+        # An explicit option beats the environment.
+        assert _shard_min_cost(DbsOptions(shard_min_cost=7)) == 7
+        monkeypatch.setenv("REPRO_DBS_SHARD_MIN_COST", "junk")
+        assert _shard_min_cost(DbsOptions()) == DEFAULT_SHARD_MIN_COST
+
+    def test_worker_processes_never_nest_sharding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DBS_JOBS", "3")
+        monkeypatch.setenv("REPRO_IN_WORKER", "1")
+        assert _shard_jobs(DbsOptions()) == 0
+        assert _shard_jobs(DbsOptions(shard_jobs=4)) == 0
+
+    def test_small_generations_stay_serial(self):
+        # With the default cost gate, a tiny grammar's generations never
+        # reach min_cost: workers idle, pool still exact.
+        examples = [Example((1,), 0), Example((3,), 0)]
+        pool, stats = make_pool(shard_tiny_dsl(), SIG, examples)
+        enumerator = Enumerator(pool, enum_mode="batched")
+        coord = ShardCoordinator(2, min_cost=10**9)
+        coord.attach(pool, enumerator)
+        try:
+            enumerator.seed([])
+            enumerator.advance()
+        finally:
+            coord.close()
+        assert counter(stats, "enum.shard.generations") == 0
+        assert counter(stats, "enum.shard.fallbacks") == 0
+        serial, _ = run_generations(
+            shard_tiny_dsl(), SIG, examples, "batched", advances=1
+        )
+        assert pool_state(pool) == pool_state(serial)
+
+    def test_shard_plan_worthwhile(self):
+        assert ShardPlan(1, 2, 5000, 3, 4096).worthwhile
+        assert not ShardPlan(1, 2, 100, 3, 4096).worthwhile
+
+    def test_coordinator_needs_two_jobs(self):
+        with pytest.raises(ValueError):
+            ShardCoordinator(1)
