@@ -68,6 +68,12 @@ HARD_FLOORS = {
 # ordinary relative comparison on every host.
 CPU_GATED_FLOORS = {
     "shard.speedup": (1.5, 4),
+    # The adaptive example scheduler must cut the staircase p95 by at
+    # least 1.3x over FIFO (BENCH_schedule.json). The win is
+    # deadline-shaping, not parallelism, so it reproduces on one core —
+    # but the floor follows the same ≥4-cpu policy as the other gated
+    # benches so noisy tiny hosts can regenerate the file honestly.
+    "schedule.p95_speedup": (1.3, 4),
 }
 
 

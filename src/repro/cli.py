@@ -130,6 +130,7 @@ def cmd_synthesize(args) -> int:
             shard_jobs=getattr(args, "dbs_jobs", 0),
         ),
         reuse_pool=not args.no_pool_reuse,
+        schedule=getattr(args, "schedule", None),
     )
     with _maybe_tracing(args):
         result = run_lasy(
@@ -169,7 +170,7 @@ def cmd_serve(args) -> int:
             None if args.default_timeout <= 0 else args.default_timeout
         ),
         budget_factory=_budget_factory(args),
-        options=TdsOptions(),
+        options=TdsOptions(schedule=getattr(args, "schedule", None)),
     )
 
     async def serve() -> None:
@@ -208,6 +209,8 @@ def cmd_request(args) -> int:
         payload["timeout_s"] = (
             None if args.request_timeout <= 0 else args.request_timeout
         )
+    if getattr(args, "schedule", None):
+        payload["schedule"] = args.schedule
     try:
         response = request(
             payload, host=args.host, port=args.port, timeout=args.wait
@@ -453,6 +456,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(equivalent to REPRO_ENUM; mainly for A/B timing)",
     )
     parser.add_argument(
+        "--schedule",
+        choices=("fifo", "adaptive", "representative"),
+        default=None,
+        help="example scheduler: fifo (caller order, the default), "
+        "adaptive (cheap-first ordering, timeout deferral, escalating "
+        "per-iteration deadlines) or representative (admit only "
+        "failing examples, verify the skipped ones) "
+        "(equivalent to REPRO_TDS_SCHEDULE; see docs/scheduling.md)",
+    )
+    parser.add_argument(
         "--no-pool-reuse",
         action="store_true",
         help="rebuild the component pool from scratch on every TDS "
@@ -673,6 +686,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.environ["REPRO_ENUM"] = args.enum
         set_enum_mode(args.enum)
+    if getattr(args, "schedule", None):
+        # Experiment workers and nested tds() calls resolve the
+        # scheduler through the environment, same as REPRO_ENUM.
+        import os
+
+        os.environ["REPRO_TDS_SCHEDULE"] = args.schedule
     try:
         return args.fn(args)
     except CliError as exc:

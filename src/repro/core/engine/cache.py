@@ -1,5 +1,5 @@
-"""A bounded LRU cache of warm synthesis sessions, keyed by
-:class:`~.keys.SessionKey`.
+"""A bounded cache of warm synthesis sessions, keyed by
+:class:`~.keys.SessionKey`, evicting the cheapest-to-rebuild entry.
 
 This is the piece that turns per-sequence pool reuse (PR 3) into
 *cross-request* reuse: a finished request's :class:`~..tds.TdsSession`
@@ -19,6 +19,15 @@ request's; the longest held prefix wins. Reordered prefixes are *not*
 matched here — order canonicalization lives inside the engine
 (``PoolStore.reorder_examples``), where the column permutation is
 sound; at this layer a different order is a different session.
+
+**Eviction is cost-aware, not plain LRU.** Sessions are not equally
+expensive to recreate: one that burned 30 DBS-seconds growing its pool
+is worth far more than one that solved in 10ms, yet plain LRU would
+evict whichever went longest unused. Each entry carries the session's
+``rebuild_cost_s`` (its lifetime DBS seconds — exactly the work a cold
+rebuild would repeat), and over capacity the cache evicts the entry
+with the *smallest* cost, breaking ties by least-recent insertion. With
+no cost signal (all zeros) this degrades to exactly the old LRU order.
 
 **Persistence.** With a ``journal_path`` the cache writes one fsync'd
 record per release through :class:`repro.exec.checkpoint.Journal`
@@ -50,7 +59,8 @@ _JOURNAL_VERSION = 1
 
 
 class SessionCache:
-    """Bounded LRU of suspended, warm TDS sessions (thread-safe)."""
+    """Bounded cache of suspended, warm TDS sessions (thread-safe);
+    evicts the cheapest-to-rebuild entry, LRU among ties."""
 
     def __init__(
         self,
@@ -69,6 +79,9 @@ class SessionCache:
         self._c_restored = self.metrics.counter("serve.cache.restored")
         self._lock = threading.RLock()
         self._entries: "OrderedDict[SessionKey, Any]" = OrderedDict()
+        # Rebuild-cost estimate per entry (dbs-seconds the session has
+        # spent over its lifetime); drives eviction order.
+        self._costs: Dict[SessionKey, float] = {}
         self.journal_path = journal_path
         self._journal: Optional[Journal] = None
         if journal_path is not None:
@@ -102,13 +115,17 @@ class SessionCache:
                 self._c_miss.value += 1
                 return None, 0
             session = self._entries.pop(best_key)
+            self._costs.pop(best_key, None)
             self._c_hit.value += 1
             return session, len(best_key.examples)
 
     def release(self, session: Any, key: Optional[SessionKey] = None) -> SessionKey:
         """Suspend ``session`` and insert it at the MRU end under its
-        current identity key, evicting from the LRU end over capacity.
-        Appends the release to the journal when one is configured."""
+        current identity key, evicting the cheapest-to-rebuild entry
+        over capacity (least-recent among cost ties — which includes the
+        new entry itself, so a trivial session never displaces an
+        expensive one). Appends the release to the journal when one is
+        configured."""
         if hasattr(session, "suspend"):
             session.suspend()
         if key is None:
@@ -116,13 +133,30 @@ class SessionCache:
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = session
+            self._costs[key] = float(
+                getattr(session, "rebuild_cost_s", 0.0) or 0.0
+            )
             self._c_insert.value += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self._c_evicted.value += 1
+            self._evict_over_capacity()
             if self._journal is not None:
                 self._append_journal(key, session)
         return key
+
+    def _evict_over_capacity(self) -> None:
+        """Drop min-cost entries until within capacity (lock held).
+        Strict ``<`` keeps the first-seen minimum, so equal-cost entries
+        fall out in insertion (LRU) order — plain LRU when no session
+        reports a cost."""
+        while len(self._entries) > self.capacity:
+            victim: Optional[SessionKey] = None
+            victim_cost = 0.0
+            for key in self._entries:
+                cost = self._costs.get(key, 0.0)
+                if victim is None or cost < victim_cost:
+                    victim, victim_cost = key, cost
+            self._entries.pop(victim)
+            self._costs.pop(victim, None)
+            self._c_evicted.value += 1
 
     # -- introspection -------------------------------------------------
 
@@ -149,6 +183,7 @@ class SessionCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._costs.clear()
 
     def close(self) -> None:
         with self._lock:
@@ -192,17 +227,18 @@ class SessionCache:
         if os.path.exists(path):
             with open(path, "rb+") as fh:
                 fh.truncate(valid_bytes)
-        # Survivors first (last record per key, LRU-capped), so only the
-        # blobs that will actually live get unpickled.
+        # Dedup to the last record per key first (a later release of the
+        # same key always supersedes), then replay the survivors through
+        # the live insert/evict discipline — cost-aware, so an expensive
+        # old session outlives many cheap recent ones, exactly as it
+        # would have in the cache that wrote the journal.
         last: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         for record in records:
             if record.get("v") != _JOURNAL_VERSION or "key" not in record:
                 continue
             last.pop(record["key"], None)
             last[record["key"]] = record
-        survivors = list(last.values())[-self.capacity:]
-        restored = 0
-        for record in survivors:
+        for record in last.values():
             try:
                 blob = base64.b64decode(record["blob"])
                 key, session = pickle.loads(blob)
@@ -210,5 +246,8 @@ class SessionCache:
                 continue  # version drift / foreign record: skip, don't die
             self._entries.pop(key, None)
             self._entries[key] = session
-            restored += 1
-        return restored
+            self._costs[key] = float(
+                getattr(session, "rebuild_cost_s", 0.0) or 0.0
+            )
+            self._evict_over_capacity()
+        return len(self._entries)

@@ -103,6 +103,15 @@ def options_fingerprint(options: Any) -> Tuple:
         if f.name == "timeout_s":
             continue
         value = getattr(options, f.name)
+        if f.name == "schedule":
+            # Fingerprint the *effective* scheduler: None defers to the
+            # REPRO_TDS_SCHEDULE environment switch, and an explicit
+            # "fifo" must key identically to the default — admission
+            # order shapes the session's program and pool, so the name
+            # matters, but how it was spelled does not.
+            from .schedule import resolve_schedule
+
+            value = resolve_schedule(value)
         if hasattr(value, "__dataclass_fields__"):
             out.append((f.name,) + options_fingerprint(value))
         else:

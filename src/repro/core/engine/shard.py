@@ -85,6 +85,18 @@ from .pool import PoolEntry, PoolStore, _recursion_shape_ok
 # and tests force it with ``shard_min_cost=0``.
 DEFAULT_SHARD_MIN_COST = 16384
 
+# A dispatch round costs a worker round-trip (payload pickling, replica
+# sync, record merge) on the order of tens of milliseconds, regardless
+# of how fast the production enumerates. The combination-count gate
+# above mispredicts when a domain's per-candidate work is unusually
+# cheap, so the coordinator also learns each production's observed
+# seconds-per-combination from its serial expansions and keeps a
+# production serial when its *predicted* wall time — estimated count
+# times observed rate — could not pay for the round-trip. A forced
+# ``min_cost <= 0`` (tests, REPRO_DBS_SHARD_MIN_COST=0) bypasses the
+# adaptive gate along with the static one.
+MIN_DISPATCH_SECONDS = 0.05
+
 _COORD_IDS = itertools.count()
 
 # Worker-process replica registry: one live replica per coordinator key
@@ -105,9 +117,11 @@ class ShardPlan:
     """One generation's sharding decision, as traced and gated.
 
     ``cost`` is the largest single production's estimated combination
-    count and ``productions`` the number reaching ``min_cost`` — only
-    those dispatch; the rest of the generation runs serially in the
-    parent (see :data:`DEFAULT_SHARD_MIN_COST`)."""
+    count and ``productions`` the number reaching the static
+    ``min_cost`` floor — at most those dispatch (the adaptive rate gate,
+    :meth:`ShardCoordinator.dispatch_worthwhile`, can demote further);
+    the rest of the generation runs serially in the parent (see
+    :data:`DEFAULT_SHARD_MIN_COST`)."""
 
     generation: int
     jobs: int
@@ -575,6 +589,15 @@ class ShardCoordinator:
         self._trace_base: Optional[str] = None
         self._snapshot_cache: Optional[Tuple[int, bytes]] = None
         self._ops_blob_cache: Optional[Tuple[int, int, bytes]] = None
+        # Observed seconds-per-estimated-combination, per production
+        # label (EMA over this session's serial expansions), plus a
+        # global fallback rate for labels never run serially — the
+        # signal behind the adaptive dispatch gate. Timing only shifts
+        # *where* a production runs, never what it admits, so feeding a
+        # nondeterministic clock in here cannot break the determinism
+        # contract.
+        self._rates: Dict[str, float] = {}
+        self._rate_global: Optional[float] = None
         # Round started on the fleet but not yet collected (see the
         # pipelined dispatch in _drive): {"cmd": ..., "log_len": ...}.
         self._inflight: Optional[Dict[str, Any]] = None
@@ -630,6 +653,41 @@ class ShardCoordinator:
                     os.remove(shard)
                 except OSError:
                     pass
+
+    # -- the adaptive dispatch gate -----------------------------------
+
+    def observe_production(
+        self, label: str, cost: int, elapsed: float
+    ) -> None:
+        """Feed one *serial* expansion's wall seconds back into the
+        per-production rate estimate. Dispatched rounds are not fed
+        back: their parent-side time measures sync and merge overhead,
+        not enumeration, and would inflate the rate of exactly the
+        productions the gate already sends out."""
+        if cost <= 0 or elapsed <= 0.0:
+            return
+        rate = elapsed / cost
+        prev = self._rates.get(label)
+        self._rates[label] = rate if prev is None else 0.5 * (prev + rate)
+        prev_g = self._rate_global
+        self._rate_global = (
+            rate if prev_g is None else 0.7 * prev_g + 0.3 * rate
+        )
+
+    def dispatch_worthwhile(self, label: str, cost: int) -> bool:
+        """Whether one production should go to the fleet: the static
+        combination-count floor, then — when earlier generations
+        supplied a rate — the predicted-seconds floor
+        (:data:`MIN_DISPATCH_SECONDS`). ``min_cost <= 0`` forces
+        dispatch unconditionally, preserving the test/CI override."""
+        if self.min_cost <= 0:
+            return True
+        if cost < self.min_cost:
+            return False
+        rate = self._rates.get(label, self._rate_global)
+        if rate is None:
+            return True  # no signal yet: trust the count estimate
+        return cost * rate >= MIN_DISPATCH_SECONDS
 
     # -- the sharded advance ------------------------------------------
 
@@ -716,10 +774,13 @@ class ShardCoordinator:
         metrics = store.metrics
         batched = enum._resolve_mode() == "batched"
         announced = False
+        labels = [_production_label(prod) for prod in ordered]
         prefetched: Optional[int] = None  # position in `ordered` in flight
         for idx, prod in enumerate(ordered):
             results = None
-            if not self.failed and costs[idx] >= self.min_cost:
+            if not self.failed and self.dispatch_worthwhile(
+                labels[idx], costs[idx]
+            ):
                 sent = prefetched == idx or self._send_production(
                     enum, grammar_index[id(prod)], prod, redone
                 )
@@ -730,7 +791,9 @@ class ShardCoordinator:
                     nxt = None
                     if not self._replay_ends_generation(store, results):
                         for j in range(idx + 1, len(ordered)):
-                            if costs[j] >= self.min_cost:
+                            if self.dispatch_worthwhile(
+                                labels[j], costs[j]
+                            ):
                                 nxt = j
                                 break
                     if nxt is not None and self._send_production(
@@ -740,10 +803,14 @@ class ShardCoordinator:
                         prefetched = nxt
             if results is None:
                 use_batched = batched and enum._batchable(prod)
+                t0 = perf_counter()
                 if tracer.enabled:
                     batch = enum._expand_traced(prod, tracer, use_batched)
                 else:
                     batch = enum._expand(prod, use_batched)
+                self.observe_production(
+                    labels[idx], costs[idx], perf_counter() - t0
+                )
             else:
                 if not announced:
                     announced = True

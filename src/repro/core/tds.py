@@ -64,15 +64,29 @@ class TdsOptions:
     # SynthesisTimeout and finalize() skips its retries. Composes with
     # DbsOptions.timeout_s (per DBS call); the tighter wall wins.
     timeout_s: Optional[float] = None
+    # Example scheduler (engine.schedule): which queued example a batch
+    # run admits next and under what per-iteration deadline. None
+    # defers to REPRO_TDS_SCHEDULE, default "fifo" (caller order,
+    # byte-identical to the historical behavior). Part of the session's
+    # identity: a cached session is only reused by requests running the
+    # same schedule.
+    schedule: Optional[str] = None
     dbs: DbsOptions = field(default_factory=DbsOptions)
 
 
 @dataclass
 class TdsStep:
-    """One iteration's record; Fig. 10 aggregates the DBS timings."""
+    """One iteration's record; Fig. 10 aggregates the DBS timings.
+
+    ``action`` is ``'satisfied' | 'synthesized' | 'timeout'`` for the
+    Algorithm-1 outcomes, plus the scheduling outcomes ``'queued'`` (a
+    non-FIFO scheduler buffered the example for later admission) and
+    ``'skipped'`` (the representative scheduler left a satisfied
+    example out of the DBS constraint set; it is re-verified against
+    the final program)."""
 
     example_index: int
-    action: str  # 'satisfied' | 'synthesized' | 'timeout'
+    action: str
     dbs_time: float = 0.0
     expressions: int = 0
     programs_tested: int = 0
@@ -100,7 +114,11 @@ class TdsResult:
 
     @property
     def dbs_times(self) -> List[float]:
-        return [s.dbs_time for s in self.steps if s.action != "satisfied"]
+        return [
+            s.dbs_time
+            for s in self.steps
+            if s.action not in ("satisfied", "queued", "skipped")
+        ]
 
 
 BudgetFactory = Callable[[], Budget]
@@ -136,6 +154,28 @@ class TdsSession:
         self.failures_in_a_row = 0
         self.examples: List[Example] = []
         self.steps: List[TdsStep] = []
+        # Example scheduling (engine.schedule). ``examples`` keeps every
+        # fed example in *arrival* order — that is the session's public
+        # identity (session_key, satisfies_all). The index lists below
+        # track what the scheduler did with them: ``_admitted`` is the
+        # DBS constraint set in admission order (== arrival order under
+        # fifo), ``_pending`` the queued-not-yet-admitted indices,
+        # ``_skipped`` what the representative scheduler left out. The
+        # fingerprint-keyed observations (``_example_costs``,
+        # ``_hard_fingerprints``) survive suspension so a cached
+        # session's adaptive ordering remembers which example hurt.
+        self._pending: List[int] = []
+        self._admitted: List[int] = []
+        self._skipped: List[int] = []
+        self._deferred: List[int] = []
+        self._hard_fingerprints: set = set()
+        self._example_costs: dict = {}
+        self._fps: dict = {}
+        self._sched = None
+        # Lifetime DBS seconds — the cache's rebuild-cost estimate (a
+        # session that took 5s of search to build is worth keeping over
+        # one that rebuilds in 50ms).
+        self.total_dbs_seconds: float = 0.0
         self._started = time.monotonic()
         # The session-wide hard deadline (TdsOptions.timeout_s); armed
         # lazily by the first DBS call so transported sessions re-arm on
@@ -149,9 +189,70 @@ class TdsSession:
     # -- the TDS loop body -------------------------------------------------
 
     def add_example(self, example: Example) -> TdsStep:
-        """Consume the next example (one iteration of Algorithm 1)."""
+        """Consume the next example (one iteration of Algorithm 1).
+
+        Always admits immediately — "in an interactive setting the user
+        could look at P_{i+1} ... when choosing S_{i+1}" needs the
+        iteration to happen now. Batch drivers should prefer
+        :meth:`feed`, which lets a non-FIFO scheduler queue the example
+        and pick the admission order itself."""
         index = len(self.examples)
         self.examples.append(example)
+        return self._admit(index)
+
+    def feed(self, example: Example) -> TdsStep:
+        """Hand the session the next example, letting the configured
+        scheduler decide *when* to admit it. Under ``fifo`` this is
+        exactly :meth:`add_example`; queueing schedulers return a
+        ``'queued'`` step and run the iteration during :meth:`drain` /
+        :meth:`finalize`."""
+        if self._scheduler().immediate:
+            return self.add_example(example)
+        index = len(self.examples)
+        self.examples.append(example)
+        self._pending.append(index)
+        return TdsStep(index, "queued")
+
+    def drain(self) -> List[TdsStep]:
+        """Admit every queued example in scheduler order."""
+        scheduler = self._scheduler()
+        steps: List[TdsStep] = []
+        tracer = get_tracer()
+        while self._pending:
+            # The scheduling decision itself (ordering, skip probes)
+            # runs under its own span so the trace report can attribute
+            # its cost to the ``schedule`` phase.
+            with tracer.span(
+                "tds.schedule",
+                scheduler=scheduler.name,
+                pending=len(self._pending),
+                function=self.signature.name,
+            ) as span:
+                index = scheduler.order(self, self._pending)[0]
+                self._pending.remove(index)
+                skip = (
+                    not scheduler.admits_all
+                    and self.program is not None
+                    and self._satisfies(self.program, self.examples[index])
+                )
+                span.set(index=index, skipped=skip)
+            if skip:
+                from .engine.schedule import C_SKIPPED
+
+                C_SKIPPED.value += 1
+                self._skipped.append(index)
+                step = TdsStep(index, "skipped")
+                self.steps.append(step)
+                steps.append(step)
+                continue
+            steps.append(self._admit(index))
+        return steps
+
+    def _admit(self, index: int) -> TdsStep:
+        """One iteration of Algorithm 1 over the admitted prefix."""
+        example = self.examples[index]
+        scheduler = self._scheduler()
+        self._admitted.append(index)
         with get_tracer().span(
             "tds.example", index=index, function=self.signature.name
         ) as span:
@@ -162,6 +263,7 @@ class TdsSession:
                 self.failures_in_a_row = 0
                 self.steps.append(step)
                 span.set(action="satisfied")
+                scheduler.observe(self, index, step)
                 return step
             if self._truncated():
                 # The whole-sequence wall already passed: don't touch
@@ -171,8 +273,14 @@ class TdsSession:
                 step = TdsStep(index, "timeout", timeout_reason=reason)
                 self.steps.append(step)
                 span.set(action="timeout", timeout_reason=reason)
+                scheduler.observe(self, index, step)
                 return step
-            result = self._dbs_step(self.examples)
+            cap_s = scheduler.iteration_deadline(
+                self, index, len(self._pending)
+            )
+            result = self._dbs_step(
+                self._admitted_examples(), iteration_cap_s=cap_s
+            )
             branch_budget = (
                 count_branches(self.program) + self.failures_in_a_row
             )
@@ -195,6 +303,7 @@ class TdsSession:
                 ),
             )
             self.steps.append(step)
+            self.total_dbs_seconds += step.dbs_time
             span.set(
                 action=action,
                 dbs_seconds=round(step.dbs_time, 6),
@@ -203,6 +312,7 @@ class TdsSession:
             )
             if step.timeout_reason is not None:
                 span.set(timeout_reason=step.timeout_reason)
+            scheduler.observe(self, index, step)
             return step
 
     def finalize(self) -> TdsResult:
@@ -211,7 +321,12 @@ class TdsSession:
         The main loop retries a failed example implicitly when later
         examples arrive; the last examples get the same second chance
         here (``final_retries`` extra DBS calls with the grown branch
-        budget)."""
+        budget). Queued examples are drained first, and the scheduler's
+        own wrap-up (deferred-timeout retries, representative
+        skipped-example verification) runs before the generic retries."""
+        if self._pending:
+            self.drain()
+        self._scheduler().wrapup(self)
         retries = self.options.final_retries
         while (
             retries > 0
@@ -220,34 +335,7 @@ class TdsSession:
             and not self.satisfies_all()
         ):
             retries -= 1
-            index = len(self.examples) - 1
-            with get_tracer().span(
-                "tds.retry", index=index, function=self.signature.name
-            ) as span:
-                result = self._dbs_step(self.examples)
-                if result.program is not None:
-                    self.program = result.program
-                    self.failures_in_a_row = 0
-                    action = "synthesized"
-                else:
-                    self.failures_in_a_row += 1
-                    action = "timeout"
-                span.set(
-                    action=action,
-                    dbs_seconds=round(result.stats.elapsed, 6),
-                )
-                self.steps.append(
-                    TdsStep(
-                        index,
-                        action,
-                        dbs_time=result.stats.elapsed,
-                        expressions=result.stats.expressions,
-                        programs_tested=result.stats.programs_tested,
-                        timeout_reason=(
-                            result.timeout.reason if result.timeout else None
-                        ),
-                    )
-                )
+            self._retry_step(len(self.examples) - 1)
         return TdsResult(
             program=self.program,
             success=self.satisfies_all(),
@@ -256,7 +344,74 @@ class TdsSession:
             signature=self.signature,
         )
 
+    def _retry_step(self, index: int) -> TdsStep:
+        """One uncapped retry DBS over the full admitted prefix."""
+        with get_tracer().span(
+            "tds.retry", index=index, function=self.signature.name
+        ) as span:
+            result = self._dbs_step(self._admitted_examples())
+            if result.program is not None:
+                self.program = result.program
+                self.failures_in_a_row = 0
+                action = "synthesized"
+            else:
+                self.failures_in_a_row += 1
+                action = "timeout"
+            span.set(
+                action=action,
+                dbs_seconds=round(result.stats.elapsed, 6),
+            )
+            step = TdsStep(
+                index,
+                action,
+                dbs_time=result.stats.elapsed,
+                expressions=result.stats.expressions,
+                programs_tested=result.stats.programs_tested,
+                timeout_reason=(
+                    result.timeout.reason if result.timeout else None
+                ),
+            )
+            self.steps.append(step)
+            self.total_dbs_seconds += step.dbs_time
+            return step
+
     # -- helpers -------------------------------------------------------------
+
+    def _scheduler(self):
+        """The configured ExampleScheduler, re-resolved when the name
+        changes (a cache checkout can swap ``options``)."""
+        from .engine.schedule import SCHEDULERS, resolve_schedule
+
+        name = resolve_schedule(self.options.schedule)
+        if self._sched is None or self._sched.name != name:
+            self._sched = SCHEDULERS.create(name)
+        return self._sched
+
+    def _admitted_examples(self) -> List[Example]:
+        """The DBS constraint set, in admission order — the example
+        list every engine run sees, so the warm pool's columns follow
+        admission order and prefix extension stays exact even when the
+        scheduler deviated from arrival order."""
+        return [self.examples[i] for i in self._admitted]
+
+    def _example_fingerprint(self, index: int) -> str:
+        """Content fingerprint of one arrival (memoized) — the key the
+        adaptive scheduler's cost/hardness observations live under, so
+        they survive suspension and match across requests."""
+        fp = self._fps.get(index)
+        if fp is None:
+            from .engine.keys import example_fingerprints
+
+            fp = example_fingerprints([self.examples[index]])[0]
+            self._fps[index] = fp
+        return fp
+
+    @property
+    def rebuild_cost_s(self) -> float:
+        """Estimated cost (seconds) of rebuilding this session's warm
+        state from cold — the lifetime sum of its DBS step times. The
+        SessionCache evicts the cheapest-to-rebuild session first."""
+        return self.total_dbs_seconds
 
     def satisfies_all(self) -> bool:
         if self.program is None:
@@ -284,7 +439,11 @@ class TdsSession:
             return False
         return value is not ERROR and structurally_equal(value, example.output)
 
-    def _dbs_step(self, prefix: Sequence[Example]) -> DbsResult:
+    def _dbs_step(
+        self,
+        prefix: Sequence[Example],
+        iteration_cap_s: Optional[float] = None,
+    ) -> DbsResult:
         program = self.program
         options = self.options
         if program is None or not options.use_contexts:
@@ -315,6 +474,10 @@ class TdsSession:
         max_branches = count_branches(program) + self.failures_in_a_row
         budget = self.budget_factory()
         budget.add_deadline(self._session_deadline())
+        if iteration_cap_s is not None:
+            # The scheduler's per-iteration wall: composes with the
+            # session deadline and the per-DBS budget, tighter wins.
+            budget.add_deadline(Deadline.after(iteration_cap_s))
         return dbs(
             contexts=contexts,
             examples=prefix,
@@ -440,6 +603,7 @@ class TdsSession:
         self.cancel = None
         self._deadline = None
         self._deadline_armed = False
+        self._sched = None
         if self._engine is not None:
             self._engine.suspend()
 
@@ -488,6 +652,7 @@ class TdsSession:
         state["_deadline"] = None
         state["_deadline_armed"] = False
         state["cancel"] = None
+        state["_sched"] = None  # recreated from options on first use
         # Budget factories are often closures (CLI flags, test lambdas);
         # a cache checkout installs the new request's factory anyway, so
         # an unpicklable one degrades to the default rather than failing
@@ -506,6 +671,20 @@ class TdsSession:
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
+        # Scheduling state was introduced after sessions started being
+        # journaled: a blob from an older cache replays as a plain FIFO
+        # session whose whole example list was admitted in order.
+        self.__dict__.setdefault("_pending", [])
+        self.__dict__.setdefault(
+            "_admitted", list(range(len(self.examples)))
+        )
+        self.__dict__.setdefault("_skipped", [])
+        self.__dict__.setdefault("_deferred", [])
+        self.__dict__.setdefault("_hard_fingerprints", set())
+        self.__dict__.setdefault("_example_costs", {})
+        self.__dict__.setdefault("_fps", {})
+        self.__dict__.setdefault("_sched", None)
+        self.__dict__.setdefault("total_dbs_seconds", 0.0)
         # Re-establish the shared-mapping invariant: session, engine,
         # and pool must alias one lasy_fns dict (pickle preserves the
         # sharing within one dump; this guards hand-built states).
@@ -567,7 +746,7 @@ def tds(
             cancel=cancel,
         )
     for example in list(examples)[matched:]:
-        session.add_example(example)
+        session.feed(example)
     result = session.finalize()
     if session_cache is not None:
         session_cache.release(session)

@@ -204,7 +204,10 @@ def run_lasy(
             continue
         session = sessions[stmt.func_name]
         with tracer.span("lasy.require", function=stmt.func_name) as span:
-            step = session.add_example(example)
+            # feed() == add_example() under fifo; a queueing scheduler
+            # buffers the example and admits it in its own order when
+            # finalize() drains the session.
+            step = session.feed(example)
             span.set(action=step.action)
         steps.append((stmt.func_name, step))
         if session.program is not None:

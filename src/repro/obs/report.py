@@ -38,6 +38,10 @@ _PHASES = {
     # Warm-pool extension between TDS iterations (widening cached value
     # vectors, reviving shadows, re-seeding atoms).
     "pool.extend": "pool",
+    # Example-scheduling decisions (engine.schedule): ordering the
+    # pending queue, representative skip probes. Self-time only — the
+    # admission the decision leads to is attributed to its own phases.
+    "tds.schedule": "schedule",
     "dbs.test": "test",
     "dbs.strategies": "strategies",
     "dbs.conditionals": "conditionals",
@@ -458,6 +462,7 @@ class HotspotReport:
 
     sort: str = "time"
     top: int = 12
+    phases: List[PhaseRow] = field(default_factory=list)
     productions: List[ProductionRow] = field(default_factory=list)
     strategies: List[StrategyRow] = field(default_factory=list)
     examples: List[ExampleRow] = field(default_factory=list)
@@ -493,6 +498,13 @@ def build_hotspots(
         sample_count=report.sample_count,
         sample_interval=report.sample_interval,
     )
+
+    # report.phases is already sorted by self-seconds; re-sort only for
+    # the budget view so the two sorts mean the same thing everywhere.
+    phase_key = (
+        (lambda r: r.seconds) if sort == "time" else (lambda r: r.expressions)
+    )
+    hs.phases = sorted(report.phases, key=phase_key, reverse=True)[:top]
 
     prod_key = (
         (lambda r: r.seconds) if sort == "time" else (lambda r: r.offered)
@@ -571,6 +583,23 @@ def render_hotspots(hs: HotspotReport) -> str:
     out: List[str] = []
     by = "self-time" if hs.sort == "time" else "expression budget"
     out.append(f"Hotspots (top {hs.top} by {by}):")
+    if hs.phases:
+        out.append("")
+        out.append("Phases:")
+        out.append(
+            _table(
+                ("phase", "calls", "seconds", "expressions"),
+                [
+                    (
+                        row.phase,
+                        row.calls,
+                        f"{row.seconds:.3f}",
+                        row.expressions or "",
+                    )
+                    for row in hs.phases
+                ],
+            )
+        )
     if hs.productions:
         out.append("")
         out.append("Productions:")
@@ -664,6 +693,15 @@ def hotspots_to_json(hs: HotspotReport) -> Dict[str, Any]:
         "sample_count": hs.sample_count,
         "sample_interval": hs.sample_interval,
         "idle_samples": hs.idle_samples,
+        "phases": [
+            {
+                "phase": row.phase,
+                "calls": row.calls,
+                "seconds": row.seconds,
+                "expressions": row.expressions,
+            }
+            for row in hs.phases
+        ],
         "productions": [
             {
                 "production": row.production,

@@ -8,10 +8,13 @@ plain ``\\n``-terminated UTF-8 JSON — debuggable with ``nc``.
 Request::
 
     {"id": 7, "op": "synthesize", "program": "<lasy source>",
-     "timeout_s": 10.0}
+     "timeout_s": 10.0, "schedule": "adaptive"}
 
 ``op`` is one of ``synthesize``, ``ping``, ``stats``, ``shutdown``.
 ``id`` is echoed back verbatim (any JSON value); omitted means null.
+``schedule`` (optional) picks the example scheduler for this request —
+``fifo`` (default), ``adaptive`` or ``representative`` (see
+docs/scheduling.md); an unknown name is a ``bad-request``.
 
 Response::
 

@@ -226,6 +226,21 @@ class SynthesisServer:
             return error_response(
                 request_id, "bad-request", "'timeout_s' must be a number"
             )
+        # Per-request example scheduler ("schedule": "fifo" | "adaptive"
+        # | "representative"); None falls back to the server's options.
+        # A different scheduler keys a different cached session, so a
+        # client's choice never poisons another client's warm state.
+        schedule = message.get("schedule")
+        if schedule is not None:
+            from ..core.engine.schedule import SCHEDULERS
+
+            if not isinstance(schedule, str) or schedule not in SCHEDULERS.names():
+                self._c_errors.inc()
+                return error_response(
+                    request_id,
+                    "bad-request",
+                    f"'schedule' must be one of {SCHEDULERS.names()}",
+                )
         # Admission control: count a request from acceptance to
         # completion (queued-for-a-worker time included — that wait is
         # exactly the latency the bound protects).
@@ -248,6 +263,7 @@ class SynthesisServer:
                     request_id,
                     source,
                     timeout_s,
+                    schedule,
                     gone,
                 )
             except Exception as exc:  # pragma: no cover - defensive
@@ -265,6 +281,7 @@ class SynthesisServer:
         request_id: Any,
         source: str,
         timeout_s: Optional[float],
+        schedule: Optional[str],
         gone: CancelToken,
     ) -> Dict[str, Any]:
         from ..lasy.parser import LasyParseError, parse_lasy
@@ -281,6 +298,8 @@ class SynthesisServer:
         options = dataclasses.replace(
             options, timeout_s=timeout_s if timeout_s else None
         )
+        if schedule is not None:
+            options = dataclasses.replace(options, schedule=schedule)
         start = time.monotonic()
         try:
             result = run_lasy(

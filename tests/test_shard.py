@@ -403,3 +403,36 @@ class TestGating:
     def test_coordinator_needs_two_jobs(self):
         with pytest.raises(ValueError):
             ShardCoordinator(1)
+
+    def test_adaptive_gate_demotes_fast_productions(self):
+        from repro.core.engine.shard import MIN_DISPATCH_SECONDS
+
+        coord = ShardCoordinator(2, min_cost=100)
+        # Static floor applies regardless of observations.
+        assert not coord.dispatch_worthwhile("p", 50)
+        # No rate signal yet: trust the combination-count estimate.
+        assert coord.dispatch_worthwhile("p", 200)
+        # Observed: 200 combinations enumerated in well under the
+        # dispatch overhead — predicted seconds can't pay for a
+        # round-trip, keep it serial despite the count.
+        coord.observe_production("p", 200, MIN_DISPATCH_SECONDS / 100)
+        assert not coord.dispatch_worthwhile("p", 200)
+        # An unseen label inherits the global fallback rate...
+        assert not coord.dispatch_worthwhile("q", 200)
+        # ...until its own serial run shows it is genuinely slow.
+        coord.observe_production("q", 200, 50.0)
+        assert coord.dispatch_worthwhile("q", 200)
+
+    def test_adaptive_gate_bypassed_when_forced(self):
+        # min_cost=0 (tests, REPRO_DBS_SHARD_MIN_COST=0) forces every
+        # production to the fleet, whatever the observed rate says.
+        coord = ShardCoordinator(2, min_cost=0)
+        coord.observe_production("p", 200, 1e-6)
+        assert coord.dispatch_worthwhile("p", 1)
+
+    def test_adaptive_gate_ignores_degenerate_observations(self):
+        coord = ShardCoordinator(2, min_cost=100)
+        coord.observe_production("p", 0, 1.0)
+        coord.observe_production("p", 200, 0.0)
+        assert coord._rates == {}
+        assert coord.dispatch_worthwhile("p", 200)
